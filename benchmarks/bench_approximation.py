@@ -1,0 +1,53 @@
+"""E5 -- Theorem 4.3: measured approximation factor of the extended-nibble.
+
+The paper proves congestion ≤ 7 · C_opt.  This benchmark measures the actual
+ratio against (a) the certified nibble lower bound on the full instance suite
+and (b) the exact optimum on small instances.  Expected shape: every ratio is
+at most 7, and typical ratios are far smaller (≈ 1--2).
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_approximation_ratio
+from repro.analysis.ratio import measure_ratio, summarize_ratios, ratio_study
+from repro.analysis.experiments import standard_instance_suite
+from repro.core.extended_nibble import extended_nibble
+from repro.network.builders import balanced_tree, single_bus
+from repro.workload.generators import uniform_pattern, zipf_pattern
+
+
+@pytest.mark.benchmark(group="E5-approximation")
+def test_e5_ratio_suite(benchmark, report_table):
+    records = benchmark(experiment_approximation_ratio, 0, False, False)
+    report_table("E5: extended-nibble congestion vs lower bound", records)
+    assert all(rec["within_7x"] for rec in records)
+    worst = max(rec["ratio_lb"] for rec in records)
+    print(f"\nE5 worst measured ratio vs lower bound: {worst:.3f} (paper bound: 7)")
+
+
+@pytest.mark.benchmark(group="E5-approximation")
+def test_e5_ratio_vs_exact_optimum(benchmark, report_table):
+    """Exact comparison on small instances (the paper's C_opt)."""
+
+    def run():
+        instances = []
+        for seed in range(4):
+            net = single_bus(4)
+            pat = uniform_pattern(net, 4, requests_per_processor=6, seed=seed)
+            instances.append((f"bus4/uniform-{seed}", net, pat))
+        return ratio_study(instances, compute_exact=True)
+
+    records = benchmark(run)
+    report_table("E5: ratio against the exact optimum", [r.as_dict() for r in records])
+    summary = summarize_ratios(records)
+    assert summary["all_within_7x"] == 1.0
+
+
+@pytest.mark.benchmark(group="E5-approximation")
+@pytest.mark.parametrize("n_objects", [32, 128])
+def test_e5_strategy_runtime(benchmark, n_objects):
+    """Cost of one full extended-nibble run (the quantity Theorem 4.3 bounds)."""
+    net = balanced_tree(2, 3, 3)
+    pattern = zipf_pattern(net, n_objects, requests_per_processor=16, seed=0)
+    result = benchmark(extended_nibble, net, pattern)
+    assert result.placement.n_objects == n_objects

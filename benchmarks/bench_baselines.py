@@ -1,0 +1,97 @@
+"""E8 -- congestion vs. baseline strategies and request-replay throughput.
+
+The introduction argues that (i) congestion is the right objective because
+message delivery time follows congestion + dilation, and (ii) congestion-aware
+placement beats naive policies.  This benchmark compares the extended-nibble
+strategy with owner / median-leaf / greedy / random / full-replication
+placements across the workload suite, and replays the requests through the
+store-and-forward router to connect congestion with delivery time.
+
+Expected shape: the extended-nibble is within 7x of the lower bound on every
+instance and is the best or near-best strategy overall; full replication wins
+on read-only workloads but collapses on write-heavy ones; replay makespan
+tracks the congestion.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_baseline_comparison
+from repro.core.baselines import greedy_congestion_placement, owner_placement
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.distributed.request_sim import replay_requests
+from repro.network.builders import balanced_tree
+from repro.workload.adversarial import replication_trap
+from repro.workload.generators import zipf_pattern
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_e8_strategy_comparison(benchmark, report_table):
+    records = benchmark(experiment_baseline_comparison, 0, True, False, 4)
+    report_table(
+        "E8: congestion by strategy",
+        records,
+        columns=["instance", "strategy", "congestion", "total_load", "lower_bound", "ratio_vs_lb"],
+    )
+    ext = [r for r in records if r["strategy"] == "extended-nibble"]
+    assert all(r["ratio_vs_lb"] <= 7 + 1e-9 for r in ext)
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_e8_replication_trap(benchmark, report_table):
+    """Full replication collapses on write-carrying read-mostly workloads."""
+    net = balanced_tree(2, 3, 2)
+    pattern = replication_trap(net, 16, seed=0)
+
+    def run():
+        from repro.core.baselines import full_replication_placement
+
+        ext = extended_nibble(net, pattern)
+        return {
+            "extended-nibble": ext.congestion(net, pattern),
+            "owner": compute_loads(net, pattern, owner_placement(net, pattern)).congestion,
+            "full-replication": compute_loads(
+                net, pattern, full_replication_placement(net, pattern)
+            ).congestion,
+        }
+
+    values = benchmark(run)
+    report_table(
+        "E8: replication trap",
+        [{"strategy": k, "congestion": v} for k, v in values.items()],
+    )
+    assert values["extended-nibble"] <= values["full-replication"]
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_e8_replay_tracks_congestion(benchmark, report_table):
+    """Store-and-forward delivery time follows congestion (+ dilation)."""
+    net = balanced_tree(2, 3, 2)
+    pattern = zipf_pattern(net, 24, requests_per_processor=12, seed=1)
+    ext = extended_nibble(net, pattern)
+    greedy = greedy_congestion_placement(net, pattern)
+
+    def run():
+        rows = []
+        for name, placement, assignment in (
+            ("extended-nibble", ext.placement, ext.assignment),
+            ("greedy", greedy, None),
+            ("owner", owner_placement(net, pattern), None),
+        ):
+            replay = replay_requests(net, pattern, placement, assignment=assignment, batch=2)
+            rows.append(
+                {
+                    "strategy": name,
+                    "congestion": replay.congestion,
+                    "makespan": replay.makespan,
+                    "dilation": replay.dilation,
+                    "slowdown": replay.slowdown,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report_table("E8: request replay (makespan vs congestion)", rows)
+    for row in rows:
+        assert row["makespan"] >= row["congestion"] - 1e-9
+        assert row["makespan"] <= 4 * (row["congestion"] + row["dilation"]) + 5

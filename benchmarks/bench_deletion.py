@@ -1,0 +1,53 @@
+"""E4 -- Observation 3.2: the deletion step's service window and load bound.
+
+Verifies that every surviving copy serves between κ_x and 2κ_x requests and
+measures the deletion step's cost relative to the nibble step.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_deletion_invariants
+from repro.core.deletion import apply_deletion
+from repro.core.nibble import nibble_placement
+from repro.network.builders import balanced_tree
+from repro.workload.traces import shared_counter_trace
+from repro.workload.generators import zipf_pattern
+
+
+@pytest.mark.benchmark(group="E4-deletion")
+def test_e4_deletion_invariants(benchmark, report_table):
+    records = benchmark(experiment_deletion_invariants, (0, 1, 2, 3), 8)
+    report_table("E4: copy service window after deletion", records)
+    assert all(rec["window_holds"] for rec in records)
+
+
+@pytest.mark.benchmark(group="E4-deletion")
+def test_e4_deletion_runtime_zipf(benchmark):
+    net = balanced_tree(2, 3, 2)
+    pattern = zipf_pattern(net, 128, requests_per_processor=16, seed=0)
+    nib = nibble_placement(net, pattern)
+
+    copies = benchmark(apply_deletion, net, pattern, nib.placement)
+    assert len(copies) == pattern.n_objects
+
+
+@pytest.mark.benchmark(group="E4-deletion")
+def test_e4_deletion_shrinks_copy_count(benchmark, report_table):
+    """High write contention forces the copy count down towards one."""
+    net = balanced_tree(2, 3, 2)
+    pattern = shared_counter_trace(net, n_counters=8, increments_per_processor=16)
+    nib = nibble_placement(net, pattern)
+
+    copies = benchmark(apply_deletion, net, pattern, nib.placement)
+    records = []
+    for oc in copies:
+        records.append(
+            {
+                "object": oc.obj,
+                "kappa": oc.kappa,
+                "nibble_copies": len(nib.placement.holders(oc.obj)),
+                "after_deletion": len(oc.copies),
+            }
+        )
+    report_table("E4: copy counts before/after deletion (shared counters)", records)
+    assert all(rec["after_deletion"] <= rec["nibble_copies"] for rec in records)

@@ -1,0 +1,55 @@
+"""E7 -- Theorem 4.3: distributed execution round counts.
+
+The distributed bound is O(|X| · |P ∪ B| · log(degree(T)) + height(T)) with
+pipelining over objects.  The benchmark sweeps |X| and height(T) and records
+the round counts of the three phases; the expected shape is additive
+(rounds grow roughly linearly in |X| for fixed height and roughly linearly
+in height for fixed |X|, not multiplicatively).
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_distributed_rounds
+from repro.distributed.aggregation import pipelined_convergecast
+from repro.distributed.protocols import distributed_extended_nibble, distributed_nibble
+from repro.network.builders import balanced_tree, path_of_buses
+from repro.workload.generators import uniform_pattern
+
+
+@pytest.mark.benchmark(group="E7-distributed")
+def test_e7_round_sweeps(benchmark, report_table):
+    records = benchmark(experiment_distributed_rounds, (4, 8, 16), (2, 4, 8), 0)
+    report_table("E7: distributed rounds vs |X| and height", records)
+    assert all(rec["total_rounds"] > 0 for rec in records)
+
+
+@pytest.mark.benchmark(group="E7-distributed")
+def test_e7_pipelining_benefit(benchmark):
+    """Pipelined convergecast: rounds ~ |X| + height, not |X| * height."""
+    net = path_of_buses(8, leaves_per_bus=1)
+    n_items = 32
+    local = {v: [1] * n_items for v in net.nodes()}
+
+    outcome = benchmark(pipelined_convergecast, net, local)
+    height = net.height()
+    print(
+        f"\nE7 pipelining: items={n_items} height={height} "
+        f"rounds={outcome.stats.rounds} naive bound={n_items * height}"
+    )
+    assert outcome.stats.rounds < n_items * height
+
+
+@pytest.mark.benchmark(group="E7-distributed")
+def test_e7_distributed_nibble_cost(benchmark):
+    net = balanced_tree(2, 3, 2)
+    pattern = uniform_pattern(net, 32, requests_per_processor=8, seed=0)
+    report = benchmark(distributed_nibble, net, pattern)
+    assert report.rounds > 0
+
+
+@pytest.mark.benchmark(group="E7-distributed")
+def test_e7_distributed_extended_nibble_cost(benchmark):
+    net = balanced_tree(2, 3, 2)
+    pattern = uniform_pattern(net, 16, requests_per_processor=8, seed=0)
+    report = benchmark(distributed_extended_nibble, net, pattern)
+    assert report.total_rounds >= report.nibble_rounds

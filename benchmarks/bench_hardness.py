@@ -1,0 +1,49 @@
+"""E2 -- Theorem 2.1: the PARTITION reduction and exact-solver cost growth.
+
+Reproduces the NP-hardness construction: for random YES and deterministic NO
+PARTITION instances, a placement of congestion at most ``4k`` exists exactly
+when the instance is solvable.  The second benchmark records how fast the
+exact branch-and-bound blows up with the number of objects on the gadget --
+the practical face of NP-hardness.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_hardness_reduction
+from repro.core.optimal import optimal_nonredundant
+from repro.hardness.partition import PartitionInstance
+from repro.hardness.reduction import build_reduction_instance, verify_reduction
+
+
+@pytest.mark.benchmark(group="E2-hardness")
+def test_e2_reduction_equivalence(benchmark, report_table):
+    records = benchmark(
+        experiment_hardness_reduction, (3, 4, 5), 2, 0
+    )
+    report_table("E2: PARTITION <-> placement decision", records)
+    assert all(rec["equivalence"] for rec in records)
+    assert {rec["partition_solvable"] for rec in records} == {True, False}
+
+
+@pytest.mark.benchmark(group="E2-hardness")
+@pytest.mark.parametrize("n_items", [2, 4, 6])
+def test_e2_exact_solver_growth(benchmark, n_items):
+    """Search-tree size of the exact solver on the gadget as |X| grows."""
+    sizes = tuple([2] * n_items)
+    instance = build_reduction_instance(PartitionInstance(sizes))
+
+    def solve():
+        return optimal_nonredundant(instance.network, instance.pattern)
+
+    result = benchmark(solve)
+    print(
+        f"\nE2 growth: n_items={len(sizes)} explored={result.explored} "
+        f"optimal={result.congestion}"
+    )
+    assert result.congestion <= instance.threshold + 1e-9  # balanced instances
+
+
+@pytest.mark.benchmark(group="E2-hardness")
+def test_e2_single_reduction_verification(benchmark):
+    report = benchmark(verify_reduction, PartitionInstance((4, 3, 2, 2, 1)))
+    assert report.equivalence_holds

@@ -1,0 +1,31 @@
+"""E3 -- Theorem 3.1: the nibble strategy's per-edge optimality and cost.
+
+Checks the three claims of Theorem 3.1 on random instances (connected copy
+set, κ_x edge bound, per-edge load optimality used as a congestion lower
+bound) and measures the nibble's linear-time behaviour.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_nibble_optimality
+from repro.core.nibble import nibble_placement
+from repro.network.builders import balanced_tree
+from repro.workload.generators import uniform_pattern
+
+
+@pytest.mark.benchmark(group="E3-nibble")
+def test_e3_nibble_invariants(benchmark, report_table):
+    records = benchmark(experiment_nibble_optimality, (0, 1, 2, 3), 8)
+    report_table("E3: nibble placement invariants", records)
+    assert all(rec["kappa_bound_holds"] for rec in records)
+    assert all(rec["connected"] for rec in records)
+
+
+@pytest.mark.benchmark(group="E3-nibble")
+@pytest.mark.parametrize("n_objects", [32, 128, 512])
+def test_e3_nibble_runtime(benchmark, n_objects):
+    """The nibble placement is linear in |X| for a fixed network."""
+    net = balanced_tree(2, 3, 2)
+    pattern = uniform_pattern(net, n_objects, requests_per_processor=8, seed=0)
+    result = benchmark(nibble_placement, net, pattern)
+    assert result.placement.n_objects == n_objects

@@ -1,0 +1,66 @@
+"""E9 (extension) -- online data management vs. the hindsight-static placement.
+
+The paper's related-work section discusses dynamic strategies that adapt the
+placement while serving requests.  This benchmark exercises the extension
+subpackage :mod:`repro.dynamic`: it serves request sequences online with the
+adaptive edge-counter strategy and compares congestion and total load against
+the hindsight-static extended-nibble placement (the strongest efficiently
+computable reference).
+
+Expected shape: on stationary mixed workloads the adaptive strategy stays
+within a small constant factor of the hindsight-static reference; on
+phase-changing workloads adaptation recovers most of the gap to a placement
+chosen with full hindsight; on rarely-touched read-mostly objects the online
+strategy pays the classic rent-or-buy penalty.
+"""
+
+import pytest
+
+from repro.dynamic.evaluate import empirical_competitive_ratio, evaluate_strategies
+from repro.dynamic.sequence import phase_change_sequence, sequence_from_pattern
+from repro.network.builders import balanced_tree
+from repro.workload.generators import uniform_pattern
+from repro.workload.traces import producer_consumer_trace
+
+
+@pytest.mark.benchmark(group="E9-online")
+def test_e9_stationary_workload(benchmark, report_table):
+    net = balanced_tree(2, 2, 2)
+    pattern = uniform_pattern(net, 24, requests_per_processor=24, seed=0)
+    seq = sequence_from_pattern(net, pattern, seed=1)
+
+    records = benchmark(evaluate_strategies, net, seq, None, 4)
+    report_table("E9: online strategies, stationary workload", [r.as_dict() for r in records])
+    by_name = {r.strategy: r for r in records}
+    assert by_name["edge-counter"].congestion <= 6 * by_name["hindsight-static"].congestion
+
+
+@pytest.mark.benchmark(group="E9-online")
+def test_e9_phase_change_workload(benchmark, report_table):
+    net = balanced_tree(2, 2, 2)
+    phases = [
+        producer_consumer_trace(net, n_channels=12, items_per_channel=16, seed=s)
+        for s in (0, 7)
+    ]
+    seq = phase_change_sequence(net, phases, seed=1)
+
+    records = benchmark(evaluate_strategies, net, seq, None, 3)
+    report_table("E9: online strategies, phase-changing workload", [r.as_dict() for r in records])
+    by_name = {r.strategy: r for r in records}
+    # adapting never costs much more than refusing to adapt
+    assert by_name["edge-counter"].total_load <= 1.5 * by_name["first-touch"].total_load
+
+
+@pytest.mark.benchmark(group="E9-online")
+@pytest.mark.parametrize("object_size", [1, 4, 16])
+def test_e9_rent_or_buy_threshold(benchmark, object_size):
+    """Sweep the replication threshold (rent-or-buy trade-off)."""
+    net = balanced_tree(2, 2, 2)
+    pattern = uniform_pattern(net, 16, requests_per_processor=24, seed=2)
+    seq = sequence_from_pattern(net, pattern, seed=3)
+
+    ratio = benchmark(
+        empirical_competitive_ratio, net, seq, object_size, "total_load"
+    )
+    print(f"\nE9 rent-or-buy: object_size={object_size} total-load ratio={ratio:.2f}")
+    assert ratio >= 1.0 - 1e-9

@@ -1,0 +1,65 @@
+"""E6 -- Theorem 4.3: sequential runtime scaling of the extended-nibble.
+
+The bound is O(|X| · |P ∪ B| · height(T) · log(degree(T))).  The benchmark
+sweeps |X|, height(T) and degree(T) separately and reports the fitted
+log-log slopes; the expected shape is near-linear growth in |X| and clearly
+sub-quadratic growth in the structural parameters.
+"""
+
+import pytest
+
+from repro.analysis.scaling import (
+    loglog_slope,
+    sweep_degree,
+    sweep_height,
+    sweep_objects,
+)
+from repro.core.extended_nibble import extended_nibble
+from repro.network.builders import balanced_tree, path_of_buses, single_bus
+from repro.workload.generators import uniform_pattern
+
+
+@pytest.mark.benchmark(group="E6-runtime")
+def test_e6_object_scaling(benchmark, report_table):
+    points = benchmark(sweep_objects, (8, 16, 32, 64), 3, 3, 3, 8, 0, 1)
+    slope = loglog_slope(points)
+    report_table("E6: runtime vs |X|", [p.as_dict() for p in points])
+    print(f"\nE6 |X| log-log slope: {slope:.2f} (bound predicts ~1)")
+    assert 0.3 <= slope <= 1.8
+
+
+@pytest.mark.benchmark(group="E6-runtime")
+def test_e6_height_scaling(benchmark, report_table):
+    points = benchmark(sweep_height, (2, 4, 8, 16), 24, 2, 8, 0, 1)
+    slope = loglog_slope(points)
+    report_table("E6: runtime vs height(T)", [p.as_dict() for p in points])
+    print(f"\nE6 height log-log slope: {slope:.2f}")
+    # runtime grows with the height, but (well) below quadratically
+    assert slope <= 2.5
+
+
+@pytest.mark.benchmark(group="E6-runtime")
+def test_e6_degree_scaling(benchmark, report_table):
+    points = benchmark(sweep_degree, (4, 8, 16, 32), 24, 8, 0, 1)
+    slope = loglog_slope(points)
+    report_table("E6: runtime vs degree(T)", [p.as_dict() for p in points])
+    print(f"\nE6 degree log-log slope: {slope:.2f}")
+    assert slope <= 2.5
+
+
+@pytest.mark.benchmark(group="E6-runtime")
+@pytest.mark.parametrize(
+    "topology",
+    ["bus", "balanced", "path"],
+)
+def test_e6_single_run_cost(benchmark, topology):
+    """Absolute cost of one run on representative topologies."""
+    if topology == "bus":
+        net = single_bus(32)
+    elif topology == "balanced":
+        net = balanced_tree(2, 4, 2)
+    else:
+        net = path_of_buses(16, leaves_per_bus=2)
+    pattern = uniform_pattern(net, 64, requests_per_processor=8, seed=0)
+    result = benchmark(extended_nibble, net, pattern)
+    assert result.placement.n_objects == 64

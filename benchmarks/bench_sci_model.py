@@ -1,0 +1,44 @@
+"""E1 -- Figures 1 and 2: SCI ring-of-rings vs. hierarchical bus network.
+
+The paper's modelling argument: because SCI transactions are request--response
+pairs that travel once around a ringlet, a ringlet behaves like a bus for load
+accounting, so a tree-like connected ring network is equivalent to a
+hierarchical bus network.  The benchmark builds the Figure-1 topology, converts
+it (Figure 2) and checks that per-ringlet/per-switch loads agree exactly.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_sci_equivalence
+from repro.network.sci import ring_of_rings, transaction_ring_load
+
+
+@pytest.mark.benchmark(group="E1-sci-model")
+def test_e1_ring_bus_equivalence(benchmark, report_table):
+    records = benchmark(experiment_sci_equivalence, 4, 4, 400, 0)
+    report_table("E1: ring model load vs bus model load", records)
+    assert all(rec["match"] for rec in records)
+
+
+@pytest.mark.benchmark(group="E1-sci-model")
+def test_e1_conversion_cost(benchmark):
+    fabric = ring_of_rings(8, 8)
+
+    def convert():
+        return fabric.to_bus_network()
+
+    conversion = benchmark(convert)
+    assert conversion.network.n_buses == 9
+    assert conversion.network.n_processors == 64
+
+
+@pytest.mark.benchmark(group="E1-sci-model")
+def test_e1_transaction_routing_throughput(benchmark):
+    fabric = ring_of_rings(6, 6)
+    transactions = [
+        (i % fabric.n_processors, (i * 7 + 3) % fabric.n_processors, 1)
+        for i in range(2000)
+    ]
+
+    ring_load, switch_load = benchmark(transaction_ring_load, fabric, transactions)
+    assert sum(ring_load.values()) > 0

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one experiment of DESIGN.md / EXPERIMENTS.md
+(E1 -- E8).  Benchmarks both *measure* (via pytest-benchmark) and *print* the
+result table of their experiment, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table, records_to_table
+
+
+def print_records(title: str, records, columns=None) -> None:
+    """Print an experiment's record table under a header."""
+    rows, headers = records_to_table(records, columns)
+    print(f"\n=== {title} ===")
+    if rows:
+        print(format_table(rows, headers))
+    else:
+        print("(no rows)")
+
+
+@pytest.fixture
+def report_table():
+    """Fixture exposing :func:`print_records` to benchmark modules."""
+    return print_records

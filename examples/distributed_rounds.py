@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Distributed execution demo: computing the placement on the network itself.
+
+The paper notes that the extended-nibble strategy can be computed by the
+processors of the tree in a distributed fashion.  This example runs the
+message-passing implementation on increasingly deep bus hierarchies and on
+growing object counts, and prints the round and message counts, illustrating
+the pipelined O(|X| + height) behaviour of the aggregation phases.
+
+Run with:  python examples/distributed_rounds.py
+"""
+
+from repro.analysis.report import format_table
+from repro.distributed.protocols import distributed_extended_nibble
+from repro.network.builders import balanced_tree, path_of_buses
+from repro.workload.generators import uniform_pattern
+
+
+def main() -> None:
+    rows = []
+    print("sweep 1: growing object count on a fixed hierarchy")
+    net = balanced_tree(arity=2, depth=3, leaves_per_bus=2)
+    for n_objects in (4, 8, 16, 32):
+        pattern = uniform_pattern(net, n_objects, requests_per_processor=8, seed=0)
+        report = distributed_extended_nibble(net, pattern)
+        rows.append(
+            [
+                f"balanced (h={net.height()})",
+                n_objects,
+                report.nibble_rounds,
+                report.deletion_rounds,
+                report.mapping_rounds,
+                report.total_rounds,
+                report.total_messages,
+            ]
+        )
+
+    print("sweep 2: growing height with a fixed object count")
+    for n_buses in (2, 4, 8, 16):
+        deep = path_of_buses(n_buses, leaves_per_bus=2)
+        pattern = uniform_pattern(deep, 8, requests_per_processor=8, seed=0)
+        report = distributed_extended_nibble(deep, pattern)
+        rows.append(
+            [
+                f"path (h={deep.height()})",
+                8,
+                report.nibble_rounds,
+                report.deletion_rounds,
+                report.mapping_rounds,
+                report.total_rounds,
+                report.total_messages,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            headers=[
+                "topology",
+                "|X|",
+                "nibble rounds",
+                "deletion rounds",
+                "mapping rounds",
+                "total rounds",
+                "messages",
+            ],
+        )
+    )
+    print(
+        "\nThe nibble phase dominates and grows additively in |X| and height "
+        "thanks to pipelining, matching the paper's distributed time bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

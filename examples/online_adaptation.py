@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Online adaptation demo: serving a request stream without knowing the future.
+
+The paper solves the static problem (frequencies known in advance).  This
+example uses the :mod:`repro.dynamic` extension to serve a request stream
+online with an adaptive replication/invalidation strategy and compares it
+with (a) the hindsight-static extended-nibble placement and (b) a
+first-touch placement that never adapts.  A phase change in the middle of
+the stream (producers and consumers swap roles) shows where adaptation pays.
+
+Run with:  python examples/online_adaptation.py
+"""
+
+from repro.analysis.report import format_table
+from repro.dynamic.evaluate import evaluate_strategies
+from repro.dynamic.sequence import phase_change_sequence, sequence_from_pattern
+from repro.network.builders import balanced_tree
+from repro.workload.generators import uniform_pattern
+from repro.workload.traces import producer_consumer_trace
+
+
+def show(title, records) -> None:
+    print(f"\n{title}")
+    rows = [
+        [r.strategy, r.congestion, r.total_load, r.service_load, r.management_load]
+        for r in records
+    ]
+    print(
+        format_table(
+            rows,
+            headers=["strategy", "congestion", "total load", "service", "management"],
+        )
+    )
+
+
+def main() -> None:
+    network = balanced_tree(arity=2, depth=3, leaves_per_bus=2)
+    print(
+        f"network: {network.n_processors} processors, {network.n_buses} buses, "
+        f"height {network.height()}"
+    )
+
+    # Scenario 1: stationary mixed workload.
+    pattern = uniform_pattern(network, 32, requests_per_processor=32, seed=0)
+    stationary = sequence_from_pattern(network, pattern, seed=1)
+    show(
+        f"stationary workload ({len(stationary)} requests)",
+        evaluate_strategies(network, stationary, object_size=4),
+    )
+
+    # Scenario 2: the sharing pattern flips halfway through.
+    phase_a = producer_consumer_trace(network, n_channels=24, items_per_channel=16, seed=2)
+    phase_b = producer_consumer_trace(network, n_channels=24, items_per_channel=16, seed=9)
+    changing = phase_change_sequence(network, [phase_a, phase_b], seed=3)
+    show(
+        f"phase-changing workload ({len(changing)} requests)",
+        evaluate_strategies(network, changing, object_size=3),
+    )
+
+    print(
+        "\nThe adaptive edge-counter strategy tracks the hindsight-static "
+        "extended-nibble placement on stationary workloads and limits the "
+        "damage when the access pattern changes, at the price of some "
+        "management (replication/migration) traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Workload study: congestion of every strategy across workload families.
+
+Sweeps the standard instance suite (single bus, balanced hierarchy, star,
+random tree x uniform / Zipf / hotspot / locality / adversarial workloads)
+and prints the congestion of the extended-nibble strategy and the baselines,
+normalised by the certified lower bound.  This is experiment E8 of
+EXPERIMENTS.md in script form.
+
+Run with:  python examples/workload_study.py
+"""
+
+from collections import defaultdict
+
+from repro.analysis.experiments import experiment_baseline_comparison
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    records = experiment_baseline_comparison(seed=0, small=False)
+
+    # wide table: one row per instance, one column per strategy (ratio vs LB)
+    strategies = []
+    for rec in records:
+        if rec["strategy"] not in strategies:
+            strategies.append(rec["strategy"])
+    by_instance = defaultdict(dict)
+    bounds = {}
+    for rec in records:
+        by_instance[rec["instance"]][rec["strategy"]] = rec["congestion"]
+        bounds[rec["instance"]] = rec["lower_bound"]
+
+    rows = []
+    wins = defaultdict(int)
+    for instance, values in by_instance.items():
+        bound = bounds[instance]
+        row = [instance, bound]
+        best = min(values.values())
+        for strategy in strategies:
+            value = values[strategy]
+            ratio = value / bound if bound > 0 else 1.0
+            marker = "*" if value == best else ""
+            row.append(f"{ratio:.2f}{marker}")
+            if value == best:
+                wins[strategy] += 1
+        rows.append(row)
+
+    print(format_table(rows, headers=["instance", "lower bound"] + strategies))
+    print("\n(* = best strategy for that instance; values are congestion / lower bound)")
+    print("\nwins per strategy:")
+    for strategy in strategies:
+        print(f"  {strategy:<18} {wins[strategy]}")
+
+    ext_ratios = [
+        by_instance[i]["extended-nibble"] / bounds[i]
+        for i in by_instance
+        if bounds[i] > 0
+    ]
+    print(
+        f"\nextended-nibble: worst ratio {max(ext_ratios):.2f}, "
+        f"mean ratio {sum(ext_ratios) / len(ext_ratios):.2f} "
+        f"(paper guarantee: 7.00)"
+    )
+
+
+if __name__ == "__main__":
+    main()

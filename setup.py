@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools predates PEP 660 wheel-less editable support
+(``pip install -e .`` then falls back to the classic ``setup.py develop``
+path).
+"""
+
+from setuptools import setup
+
+setup()

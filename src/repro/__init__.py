@@ -1,0 +1,31 @@
+"""repro -- reproduction of "Data Management in Hierarchical Bus Networks".
+
+F. Meyer auf der Heide, H. Räcke, M. Westermann, SPAA 2000.
+
+The package implements the paper's static data management problem on
+hierarchical bus networks (trees whose leaves are processors and whose inner
+nodes are buses), including:
+
+* the network and workload model (:mod:`repro.network`, :mod:`repro.workload`),
+* the congestion cost model (:mod:`repro.core.congestion`),
+* the nibble baseline and the paper's extended-nibble 7-approximation
+  (:mod:`repro.core`),
+* the NP-hardness reduction from PARTITION (:mod:`repro.hardness`),
+* a distributed round-based simulator (:mod:`repro.distributed`), and
+* analysis / experiment harnesses (:mod:`repro.analysis`).
+
+Quick start
+-----------
+>>> from repro.network import balanced_tree
+>>> from repro.workload import zipf_pattern
+>>> from repro.core import extended_nibble, nibble_lower_bound
+>>> net = balanced_tree(arity=2, depth=3, leaves_per_bus=2)
+>>> pattern = zipf_pattern(net, n_objects=16, seed=0)
+>>> result = extended_nibble(net, pattern)
+>>> result.congestion(net, pattern) <= 7 * max(nibble_lower_bound(net, pattern), 1e-9)
+True
+"""
+
+from repro.version import PAPER, __version__, version_info
+
+__all__ = ["__version__", "PAPER", "version_info"]

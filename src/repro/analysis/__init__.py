@@ -1,0 +1,62 @@
+"""Analysis harness: ratio and scaling studies, experiment runners, reports."""
+
+from repro.analysis.ratio import (
+    APPROXIMATION_FACTOR,
+    RatioRecord,
+    measure_ratio,
+    ratio_study,
+    summarize_ratios,
+)
+from repro.analysis.scaling import (
+    ScalingPoint,
+    loglog_slope,
+    measure_runtime,
+    sweep_degree,
+    sweep_height,
+    sweep_network_size,
+    sweep_objects,
+)
+from repro.analysis.report import format_table, format_value, markdown_table, records_to_table
+from repro.analysis.visualize import render_loads, render_placement_summary, render_tree
+from repro.analysis.experiments import (
+    experiment_approximation_ratio,
+    experiment_baseline_comparison,
+    experiment_deletion_invariants,
+    experiment_distributed_rounds,
+    experiment_hardness_reduction,
+    experiment_nibble_optimality,
+    experiment_runtime_scaling,
+    experiment_sci_equivalence,
+    standard_instance_suite,
+)
+
+__all__ = [
+    "APPROXIMATION_FACTOR",
+    "RatioRecord",
+    "measure_ratio",
+    "ratio_study",
+    "summarize_ratios",
+    "ScalingPoint",
+    "measure_runtime",
+    "sweep_objects",
+    "sweep_network_size",
+    "sweep_height",
+    "sweep_degree",
+    "loglog_slope",
+    "format_table",
+    "format_value",
+    "markdown_table",
+    "records_to_table",
+    "render_tree",
+    "render_loads",
+    "render_placement_summary",
+    "experiment_sci_equivalence",
+    "experiment_hardness_reduction",
+    "experiment_nibble_optimality",
+    "experiment_deletion_invariants",
+    "experiment_approximation_ratio",
+    "experiment_runtime_scaling",
+    "experiment_distributed_rounds",
+    "experiment_baseline_comparison",
+    "standard_instance_suite",
+]

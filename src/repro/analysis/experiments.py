@@ -1,0 +1,431 @@
+"""High-level experiment runners (E1 -- E8 of DESIGN.md).
+
+The paper has no experimental section; each of its figures and quantitative
+theorems is turned into an experiment here.  Every runner returns a list of
+plain-dict records (one row of the result table) so the benchmarks and
+``EXPERIMENTS.md`` share the same data.
+
+=====  ==========================================================
+ id    paper source / claim
+=====  ==========================================================
+ E1    Figures 1–2: ring-of-rings ≡ hierarchical bus network
+ E2    Theorem 2.1: PARTITION reduction (Fig. 3 gadget)
+ E3    Theorem 3.1: nibble per-edge optimality and κ_x bound
+ E4    Observation 3.2: deletion keeps every copy in [κ_x, 2κ_x]
+ E5    Theorem 4.3: congestion ≤ 7 · C_opt
+ E6    Theorem 4.3: sequential runtime scaling
+ E7    Theorem 4.3: distributed round counts
+ E8    Introduction / [KMRVW99]: congestion vs. baselines & replay
+=====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.ratio import RatioRecord, measure_ratio
+from repro.analysis.scaling import (
+    ScalingPoint,
+    loglog_slope,
+    sweep_degree,
+    sweep_height,
+    sweep_objects,
+)
+from repro.core.baselines import (
+    full_replication_placement,
+    greedy_congestion_placement,
+    median_leaf_placement,
+    owner_placement,
+    random_placement,
+)
+from repro.core.bounds import nibble_lower_bound
+from repro.core.congestion import compute_loads, object_edge_loads
+from repro.core.deletion import apply_deletion
+from repro.core.extended_nibble import extended_nibble
+from repro.core.nibble import nibble_placement
+from repro.core.placement import Placement
+from repro.distributed.protocols import distributed_extended_nibble
+from repro.distributed.request_sim import replay_requests
+from repro.hardness.partition import PartitionInstance, random_partition_instance
+from repro.hardness.reduction import verify_reduction
+from repro.network.builders import balanced_tree, random_tree, single_bus, star_of_buses
+from repro.network.sci import ring_of_rings, transaction_ring_load
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+from repro.workload.adversarial import bisection_stress, replication_trap, write_conflict_pattern
+from repro.workload.generators import (
+    hotspot_pattern,
+    subtree_local_pattern,
+    uniform_pattern,
+    zipf_pattern,
+)
+from repro.workload.traces import shared_counter_trace, web_cache_trace
+
+__all__ = [
+    "experiment_sci_equivalence",
+    "experiment_hardness_reduction",
+    "experiment_nibble_optimality",
+    "experiment_deletion_invariants",
+    "experiment_approximation_ratio",
+    "experiment_runtime_scaling",
+    "experiment_distributed_rounds",
+    "experiment_baseline_comparison",
+    "standard_instance_suite",
+]
+
+
+# --------------------------------------------------------------------------- #
+# shared instance suite
+# --------------------------------------------------------------------------- #
+def standard_instance_suite(
+    seed: int = 0,
+    small: bool = False,
+) -> List[Tuple[str, HierarchicalBusNetwork, AccessPattern]]:
+    """The labelled (topology, workload) pairs used by E5 and E8."""
+    rng = np.random.default_rng(seed)
+    instances: List[Tuple[str, HierarchicalBusNetwork, AccessPattern]] = []
+
+    def add(label, net, pat):
+        instances.append((label, net, pat))
+
+    bus = single_bus(6 if small else 12)
+    add("single-bus/uniform", bus, uniform_pattern(bus, 8 if small else 32, seed=seed))
+    add("single-bus/counter", bus, shared_counter_trace(bus, 4, 8, 8))
+
+    tree = balanced_tree(2, 3, 2)
+    add("balanced/zipf", tree, zipf_pattern(tree, 8 if small else 32, seed=seed))
+    add("balanced/local", tree, subtree_local_pattern(tree, 8 if small else 32, seed=seed))
+    add("balanced/hotspot", tree, hotspot_pattern(tree, 8 if small else 32, seed=seed))
+    add("balanced/bisection", tree, bisection_stress(tree, 8 if small else 24, seed=seed))
+
+    star = star_of_buses(3, 3)
+    add("star/web-cache", star, web_cache_trace(star, 16 if small else 48, seed=seed))
+    add("star/write-conflict", star, write_conflict_pattern(star, 8 if small else 24, seed=seed))
+
+    rnd = random_tree(6, 10, seed=seed + 1)
+    add("random/uniform", rnd, uniform_pattern(rnd, 8 if small else 24, seed=seed))
+    add("random/replication-trap", rnd, replication_trap(rnd, 8 if small else 16, seed=seed))
+    return instances
+
+
+# --------------------------------------------------------------------------- #
+# E1 -- Figures 1 and 2
+# --------------------------------------------------------------------------- #
+def experiment_sci_equivalence(
+    n_leaf_rings: int = 3,
+    processors_per_ring: int = 3,
+    n_transactions: int = 200,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Check that the ring model and the converted bus network agree on loads."""
+    rng = np.random.default_rng(seed)
+    fabric = ring_of_rings(n_leaf_rings, processors_per_ring)
+    conversion = fabric.to_bus_network()
+    net = conversion.network
+
+    transactions = []
+    for _ in range(n_transactions):
+        src = int(rng.integers(0, fabric.n_processors))
+        dst = int(rng.integers(0, fabric.n_processors))
+        if src == dst:
+            continue
+        transactions.append((src, dst, 1))
+
+    ring_load, switch_load = transaction_ring_load(fabric, transactions)
+
+    # Evaluate the same transactions as unicast traffic on the bus network.
+    rooted = net.rooted()
+    edge_load = np.zeros(net.n_edges)
+    for src, dst, count in transactions:
+        u = conversion.processor_node[src]
+        v = conversion.processor_node[dst]
+        for eid in rooted.path_edge_ids(u, v):
+            edge_load[eid] += count
+    bus_load = {}
+    for ring_id, bus in conversion.ringlet_node.items():
+        incident = list(net.incident_edge_ids(bus))
+        bus_load[ring_id] = edge_load[incident].sum() / 2.0
+
+    records = []
+    for ring_id in range(fabric.n_ringlets):
+        records.append(
+            {
+                "element": f"ringlet {ring_id}",
+                "ring_model_load": ring_load[ring_id],
+                "bus_model_load": bus_load[ring_id],
+                "match": abs(ring_load[ring_id] - bus_load[ring_id]) < 1e-9,
+            }
+        )
+    for switch_id, eid in conversion.switch_edge.items():
+        records.append(
+            {
+                "element": f"switch {switch_id}",
+                "ring_model_load": switch_load[switch_id],
+                "bus_model_load": float(edge_load[eid]),
+                "match": abs(switch_load[switch_id] - edge_load[eid]) < 1e-9,
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E2 -- Theorem 2.1
+# --------------------------------------------------------------------------- #
+def experiment_hardness_reduction(
+    item_counts: Sequence[int] = (3, 4, 5, 6),
+    instances_per_count: int = 2,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Verify the PARTITION ↔ placement equivalence on random instances."""
+    rng = np.random.default_rng(seed)
+    records: List[Dict[str, object]] = []
+    for n in item_counts:
+        for force_yes in (True, False):
+            for rep in range(instances_per_count):
+                if force_yes:
+                    inst = random_partition_instance(
+                        n, max_value=9, force_yes=True, rng=rng
+                    )
+                    if inst.total % 2 != 0:
+                        inst = PartitionInstance(tuple(list(inst.sizes) + [1]))
+                    if inst.total % 2 != 0:
+                        continue
+                else:
+                    # Deterministic NO instance: one element larger than the
+                    # sum of all the others, even total.
+                    inst = PartitionInstance(
+                        tuple([n + 1 + 2 * rep] + [1] * (n - 1))
+                    )
+                report = verify_reduction(inst)
+                records.append(
+                    {
+                        "n_items": inst.n,
+                        "total": inst.total,
+                        "threshold_4k": report.instance.threshold,
+                        "partition_solvable": report.partition_solvable,
+                        "optimal_congestion": report.optimal_congestion,
+                        "witness_congestion": report.witness_congestion
+                        if report.witness_congestion is not None
+                        else "-",
+                        "equivalence": report.equivalence_holds,
+                    }
+                )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E3 -- Theorem 3.1
+# --------------------------------------------------------------------------- #
+def experiment_nibble_optimality(
+    seeds: Sequence[int] = (0, 1, 2),
+    n_objects: int = 6,
+) -> List[Dict[str, object]]:
+    """Measure the nibble invariants: connectivity, κ_x bound, edge optimality."""
+    records = []
+    for seed in seeds:
+        net = random_tree(5, 8, seed=seed)
+        pat = uniform_pattern(net, n_objects, requests_per_processor=12, seed=seed)
+        nib = nibble_placement(net, pat)
+        rooted = net.rooted()
+        for obj in range(pat.n_objects):
+            holders = nib.placement.holders(obj)
+            kappa = pat.write_contention(obj)
+            loads = object_edge_loads(net, pat, nib.placement, obj)
+            steiner = set(rooted.steiner_edge_ids(holders))
+            inside = [loads[e] for e in steiner] if steiner else []
+            outside_max = max(
+                (loads[e] for e in range(net.n_edges) if e not in steiner), default=0.0
+            )
+            connected = len(rooted.steiner_node_ids(holders)) == len(
+                set(rooted.steiner_node_ids(holders)) | set(holders)
+            )
+            records.append(
+                {
+                    "seed": seed,
+                    "object": obj,
+                    "kappa": kappa,
+                    "copies": len(holders),
+                    "max_edge_load": float(loads.max()) if loads.size else 0.0,
+                    "load_inside_Tx": max(inside) if inside else 0.0,
+                    "max_load_outside_Tx": float(outside_max),
+                    "kappa_bound_holds": bool(loads.max() <= kappa + 1e-9)
+                    if kappa > 0 or loads.size == 0
+                    else bool(loads.max() <= max(kappa, 0) + 1e-9),
+                    "connected": connected,
+                }
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E4 -- Observation 3.2
+# --------------------------------------------------------------------------- #
+def experiment_deletion_invariants(
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    n_objects: int = 8,
+) -> List[Dict[str, object]]:
+    """Check the copy-service window [κ_x, 2κ_x] and the 2× load bound."""
+    records = []
+    for seed in seeds:
+        net = random_tree(5, 8, seed=seed)
+        pat = uniform_pattern(net, n_objects, requests_per_processor=12, seed=seed)
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        nib_loads = compute_loads(net, pat, nib.placement)
+        for oc in copies:
+            if oc.kappa == 0:
+                continue
+            served = [c.s for c in oc.copies]
+            records.append(
+                {
+                    "seed": seed,
+                    "object": oc.obj,
+                    "kappa": oc.kappa,
+                    "copies_before": len(nib.placement.holders(oc.obj)),
+                    "copies_after": len(oc.copies),
+                    "min_served": min(served),
+                    "max_served": max(served),
+                    "window_holds": all(oc.kappa <= s <= 2 * oc.kappa for s in served),
+                }
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E5 -- Theorem 4.3 (approximation factor)
+# --------------------------------------------------------------------------- #
+def experiment_approximation_ratio(
+    seed: int = 0,
+    compute_exact: bool = False,
+    small: bool = False,
+) -> List[Dict[str, object]]:
+    """Measure extended-nibble congestion against the lower bound / optimum."""
+    records = []
+    for label, net, pat in standard_instance_suite(seed=seed, small=small):
+        exact_ok = compute_exact and net.n_processors ** pat.n_objects < 10**7
+        rec = measure_ratio(net, pat, label=label, compute_exact=exact_ok)
+        records.append(rec.as_dict())
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E6 -- Theorem 4.3 (sequential runtime)
+# --------------------------------------------------------------------------- #
+def experiment_runtime_scaling(
+    object_counts: Sequence[int] = (8, 16, 32, 64),
+    heights: Sequence[int] = (2, 4, 8, 16),
+    degrees: Sequence[int] = (4, 8, 16, 32),
+    repeats: int = 1,
+) -> List[Dict[str, object]]:
+    """Runtime sweeps in |X|, height(T) and degree(T) with fitted slopes."""
+    records: List[Dict[str, object]] = []
+
+    sweeps = {
+        "objects": sweep_objects(object_counts, repeats=repeats),
+        "height": sweep_height(heights, repeats=repeats),
+        "degree": sweep_degree(degrees, repeats=repeats),
+    }
+    for name, points in sweeps.items():
+        slope = loglog_slope(points)
+        for p in points:
+            rec = p.as_dict()
+            rec["loglog_slope_of_sweep"] = slope
+            records.append(rec)
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E7 -- Theorem 4.3 (distributed rounds)
+# --------------------------------------------------------------------------- #
+def experiment_distributed_rounds(
+    object_counts: Sequence[int] = (4, 8, 16),
+    heights: Sequence[int] = (2, 4, 8),
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Round counts of the distributed strategy vs. |X| and height(T)."""
+    from repro.network.builders import path_of_buses
+
+    records = []
+    for count in object_counts:
+        net = balanced_tree(2, 3, 2)
+        pat = uniform_pattern(net, count, requests_per_processor=8, seed=seed)
+        rep = distributed_extended_nibble(net, pat)
+        records.append(
+            {
+                "sweep": "objects",
+                "value": count,
+                "height": net.height(),
+                "nibble_rounds": rep.nibble_rounds,
+                "deletion_rounds": rep.deletion_rounds,
+                "mapping_rounds": rep.mapping_rounds,
+                "total_rounds": rep.total_rounds,
+                "messages": rep.total_messages,
+            }
+        )
+    for n_buses in heights:
+        net = path_of_buses(n_buses, leaves_per_bus=2)
+        pat = uniform_pattern(net, 8, requests_per_processor=8, seed=seed)
+        rep = distributed_extended_nibble(net, pat)
+        records.append(
+            {
+                "sweep": "height",
+                "value": net.height(),
+                "height": net.height(),
+                "nibble_rounds": rep.nibble_rounds,
+                "deletion_rounds": rep.deletion_rounds,
+                "mapping_rounds": rep.mapping_rounds,
+                "total_rounds": rep.total_rounds,
+                "messages": rep.total_messages,
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E8 -- baselines and request replay
+# --------------------------------------------------------------------------- #
+def experiment_baseline_comparison(
+    seed: int = 0,
+    small: bool = False,
+    with_replay: bool = False,
+    replay_batch: int = 4,
+) -> List[Dict[str, object]]:
+    """Compare congestion (and optionally replay makespan) across strategies."""
+    strategies = {
+        "extended-nibble": None,  # handled specially to reuse its assignment
+        "owner": owner_placement,
+        "median-leaf": median_leaf_placement,
+        "greedy": greedy_congestion_placement,
+        "random": lambda net, pat: random_placement(net, pat, seed=seed),
+        "full-replication": full_replication_placement,
+    }
+    records = []
+    for label, net, pat in standard_instance_suite(seed=seed, small=small):
+        lb = nibble_lower_bound(net, pat)
+        for name, factory in strategies.items():
+            if name == "extended-nibble":
+                result = extended_nibble(net, pat)
+                placement = result.placement
+                assignment = result.assignment
+            else:
+                placement = factory(net, pat)
+                assignment = None
+            profile = compute_loads(net, pat, placement, assignment=assignment)
+            rec = {
+                "instance": label,
+                "strategy": name,
+                "congestion": profile.congestion,
+                "total_load": profile.total_load,
+                "lower_bound": lb,
+                "ratio_vs_lb": profile.congestion / lb if lb > 0 else 1.0,
+            }
+            if with_replay:
+                replay = replay_requests(
+                    net, pat, placement, assignment=assignment, batch=replay_batch
+                )
+                rec["replay_makespan"] = replay.makespan
+                rec["replay_slowdown"] = replay.slowdown
+            records.append(rec)
+    return records

@@ -1,0 +1,137 @@
+"""Approximation-ratio studies (experiment E5).
+
+Theorem 4.3 guarantees ``C_ext ≤ 7 · C_opt``.  These helpers measure the
+*actual* ratio on concrete instances, against two reference points:
+
+* the nibble lower bound (always available, Theorem 3.1), giving a certified
+  upper estimate of the true ratio, and
+* the exact optimum (branch-and-bound) on instances small enough to solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bounds import nibble_lower_bound
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.core.optimal import optimal_nonredundant
+from repro.errors import InfeasibleError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = ["RatioRecord", "measure_ratio", "ratio_study", "summarize_ratios"]
+
+APPROXIMATION_FACTOR = 7.0
+
+
+@dataclass(frozen=True)
+class RatioRecord:
+    """Approximation-ratio measurement for one instance."""
+
+    label: str
+    n_nodes: int
+    n_objects: int
+    extended_congestion: float
+    lower_bound: float
+    optimal_congestion: Optional[float]
+
+    @property
+    def ratio_vs_lower_bound(self) -> float:
+        """Extended-nibble congestion / nibble lower bound (≥ true ratio)."""
+        if self.lower_bound <= 0:
+            return 1.0 if self.extended_congestion <= 0 else float("inf")
+        return self.extended_congestion / self.lower_bound
+
+    @property
+    def ratio_vs_optimal(self) -> Optional[float]:
+        """Extended-nibble congestion / exact optimum (when available)."""
+        if self.optimal_congestion is None:
+            return None
+        if self.optimal_congestion <= 0:
+            return 1.0 if self.extended_congestion <= 0 else float("inf")
+        return self.extended_congestion / self.optimal_congestion
+
+    @property
+    def within_paper_bound(self) -> bool:
+        """True iff the measured ratio respects the factor-7 guarantee."""
+        return self.ratio_vs_lower_bound <= APPROXIMATION_FACTOR + 1e-9
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the record for table output."""
+        return {
+            "instance": self.label,
+            "nodes": self.n_nodes,
+            "objects": self.n_objects,
+            "extended": self.extended_congestion,
+            "lower_bound": self.lower_bound,
+            "optimal": self.optimal_congestion if self.optimal_congestion is not None else "-",
+            "ratio_lb": self.ratio_vs_lower_bound,
+            "ratio_opt": self.ratio_vs_optimal if self.ratio_vs_optimal is not None else "-",
+            "within_7x": self.within_paper_bound,
+        }
+
+
+def measure_ratio(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    label: str = "instance",
+    compute_exact: bool = False,
+    exact_max_nodes: int = 500_000,
+) -> RatioRecord:
+    """Measure the approximation ratio of the extended-nibble on one instance."""
+    result = extended_nibble(network, pattern)
+    ext = result.congestion(network, pattern)
+    lb = nibble_lower_bound(network, pattern)
+    opt: Optional[float] = None
+    if compute_exact:
+        try:
+            # Note: the exact solver searches the non-redundant class; a
+            # redundant extended-nibble placement may legitimately beat it on
+            # read-heavy instances, so no upper bound is passed for pruning.
+            opt = optimal_nonredundant(
+                network, pattern, max_nodes=exact_max_nodes
+            ).congestion
+        except InfeasibleError:
+            opt = None
+    return RatioRecord(
+        label=label,
+        n_nodes=network.n_nodes,
+        n_objects=pattern.n_objects,
+        extended_congestion=ext,
+        lower_bound=lb,
+        optimal_congestion=opt,
+    )
+
+
+def ratio_study(
+    instances: Iterable[Tuple[str, HierarchicalBusNetwork, AccessPattern]],
+    compute_exact: bool = False,
+    exact_max_nodes: int = 500_000,
+) -> List[RatioRecord]:
+    """Measure ratios for a collection of labelled instances."""
+    return [
+        measure_ratio(
+            net, pat, label=label, compute_exact=compute_exact, exact_max_nodes=exact_max_nodes
+        )
+        for label, net, pat in instances
+    ]
+
+
+def summarize_ratios(records: Sequence[RatioRecord]) -> Dict[str, float]:
+    """Aggregate statistics over a ratio study."""
+    ratios = [r.ratio_vs_lower_bound for r in records if np.isfinite(r.ratio_vs_lower_bound)]
+    exact = [r.ratio_vs_optimal for r in records if r.ratio_vs_optimal is not None]
+    summary = {
+        "instances": float(len(records)),
+        "max_ratio_vs_lower_bound": max(ratios) if ratios else 0.0,
+        "mean_ratio_vs_lower_bound": float(np.mean(ratios)) if ratios else 0.0,
+        "all_within_7x": float(all(r.within_paper_bound for r in records)),
+    }
+    if exact:
+        summary["max_ratio_vs_optimal"] = max(exact)
+        summary["mean_ratio_vs_optimal"] = float(np.mean(exact))
+    return summary

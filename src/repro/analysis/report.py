@@ -1,0 +1,80 @@
+"""Small text/markdown table formatting helpers for experiment reports.
+
+The benchmark harness prints its result tables with these helpers so that
+the rows shown in the test/benchmark output can be pasted directly into
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_value", "format_table", "markdown_table", "records_to_table"]
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Render a cell: floats with fixed precision, everything else via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value - round(value)) < 1e-12 and abs(value) < 1e12:
+            return str(int(round(value)))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Sequence[Any]],
+    headers: Sequence[str],
+    precision: int = 3,
+) -> str:
+    """Plain-text table with aligned columns."""
+    rendered = [[format_value(c, precision) for c in row] for row in rows]
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rendered:
+        if len(row) != columns:
+            raise ValueError("row length does not match the header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    rows: Sequence[Sequence[Any]],
+    headers: Sequence[str],
+    precision: int = 3,
+) -> str:
+    """GitHub-flavoured markdown table."""
+    rendered = [[format_value(c, precision) for c in row] for row in rows]
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def records_to_table(
+    records: Iterable[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> tuple:
+    """Convert a list of dict records into ``(rows, headers)``.
+
+    Column order follows ``columns`` when given, otherwise the key order of
+    the first record.
+    """
+    records = list(records)
+    if not records:
+        return [], list(columns or [])
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[rec.get(col, "") for col in columns] for rec in records]
+    return rows, list(columns)

@@ -1,0 +1,117 @@
+"""ASCII visualisation of networks, placements and load profiles.
+
+Terminal-friendly rendering used by the examples and handy when debugging
+placements interactively:
+
+* :func:`render_tree` -- indented tree view of a hierarchical bus network,
+  optionally annotated with per-node copy counts of a placement;
+* :func:`render_loads` -- per-edge load/bandwidth bars for a
+  :class:`~repro.core.congestion.LoadProfile`;
+* :func:`render_placement_summary` -- one line per object: holder count and
+  holder names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.congestion import LoadProfile
+from repro.core.placement import Placement
+from repro.network.tree import HierarchicalBusNetwork
+
+__all__ = ["render_tree", "render_loads", "render_placement_summary"]
+
+
+def _copy_counts(placement: Optional[Placement], n_nodes: int) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    if placement is None:
+        return counts
+    for obj in range(placement.n_objects):
+        for holder in placement.holders(obj):
+            if 0 <= holder < n_nodes:
+                counts[holder] = counts.get(holder, 0) + 1
+    return counts
+
+
+def render_tree(
+    network: HierarchicalBusNetwork,
+    placement: Optional[Placement] = None,
+    root: Optional[int] = None,
+) -> str:
+    """Render the tree as an indented ASCII outline.
+
+    Buses are tagged ``[bus]`` with their bandwidth, processors ``(proc)``;
+    when a placement is given, nodes holding copies get a ``copies=k``
+    annotation.
+    """
+    rooted = network.rooted(root)
+    counts = _copy_counts(placement, network.n_nodes)
+    lines: List[str] = []
+
+    def describe(node: int) -> str:
+        if network.is_bus(node):
+            tag = f"[bus {network.name(node)} bw={network.bus_bandwidth(node):g}]"
+        else:
+            tag = f"({network.name(node)})"
+        if node in counts:
+            tag += f" copies={counts[node]}"
+        return tag
+
+    def walk(node: int, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        if rooted.parent(node) < 0:
+            lines.append(describe(node))
+            child_prefix = ""
+        else:
+            lines.append(prefix + connector + describe(node))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        children = rooted.children(node)
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1)
+
+    walk(rooted.root, "", True)
+    return "\n".join(lines)
+
+
+def render_loads(profile: LoadProfile, width: int = 40) -> str:
+    """Render per-edge relative loads as horizontal bars.
+
+    The longest bar corresponds to the congestion (the maximum relative
+    load); every line shows ``u--v``, the absolute load, the bandwidth and
+    the bar.
+    """
+    network = profile.network
+    relative = profile.edge_relative_loads
+    peak = float(relative.max()) if relative.size else 0.0
+    lines: List[str] = []
+    for eid in range(network.n_edges):
+        u, v = network.edge_endpoints(eid)
+        rel = float(relative[eid])
+        bar_len = int(round(width * rel / peak)) if peak > 0 else 0
+        bar = "#" * bar_len
+        lines.append(
+            f"{network.name(u)}--{network.name(v)}: "
+            f"load={profile.edge_loads[eid]:g} bw={network.edge_bandwidth(eid):g} "
+            f"|{bar}"
+        )
+    lines.append(f"congestion = {profile.congestion:g}")
+    return "\n".join(lines)
+
+
+def render_placement_summary(
+    network: HierarchicalBusNetwork,
+    placement: Placement,
+    object_names: Optional[Sequence[str]] = None,
+    max_objects: int = 32,
+) -> str:
+    """One line per object: number of copies and holder names."""
+    lines: List[str] = []
+    shown = min(placement.n_objects, max_objects)
+    for obj in range(shown):
+        name = object_names[obj] if object_names is not None else f"x{obj}"
+        holders = sorted(placement.holders(obj))
+        holder_names = ", ".join(network.name(h) for h in holders)
+        lines.append(f"{name}: {len(holders)} copy(ies) on {holder_names}")
+    if placement.n_objects > shown:
+        lines.append(f"... ({placement.n_objects - shown} more objects)")
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script.  The CLI covers the common
+workflows without writing Python:
+
+* ``repro generate-network`` -- build a topology and save it as JSON;
+* ``repro info`` -- print the structural metrics of a saved network;
+* ``repro generate-workload`` -- build a synthetic workload for a network;
+* ``repro place`` -- run a placement strategy and report congestion against
+  the lower bound (optionally saving the placement);
+* ``repro experiment`` -- run one of the experiment runners E1..E8 and print
+  its result table (the same rows recorded in EXPERIMENTS.md).
+
+Every subcommand is a thin wrapper around the library API, so the CLI is
+also a usage example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import experiments as _experiments
+from repro.analysis.report import format_table, records_to_table
+from repro.core.baselines import (
+    full_replication_placement,
+    greedy_congestion_placement,
+    median_leaf_placement,
+    owner_placement,
+    random_placement,
+)
+from repro.core.bounds import nibble_lower_bound
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.network.builders import (
+    balanced_tree,
+    fat_tree,
+    path_of_buses,
+    random_tree,
+    single_bus,
+    star_of_buses,
+)
+from repro.network.metrics import compute_metrics
+from repro.network.serialization import load_network, save_network
+from repro.workload.access import AccessPattern
+from repro.workload.generators import (
+    hotspot_pattern,
+    subtree_local_pattern,
+    uniform_pattern,
+    zipf_pattern,
+)
+from repro.workload.traces import shared_counter_trace, web_cache_trace
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# registries
+# --------------------------------------------------------------------------- #
+_STRATEGIES: Dict[str, Callable] = {
+    "extended-nibble": None,  # handled specially
+    "owner": owner_placement,
+    "median-leaf": median_leaf_placement,
+    "greedy": greedy_congestion_placement,
+    "random": lambda net, pat: random_placement(net, pat, seed=0),
+    "full-replication": full_replication_placement,
+}
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "E1": _experiments.experiment_sci_equivalence,
+    "E2": _experiments.experiment_hardness_reduction,
+    "E3": _experiments.experiment_nibble_optimality,
+    "E4": _experiments.experiment_deletion_invariants,
+    "E5": _experiments.experiment_approximation_ratio,
+    "E6": _experiments.experiment_runtime_scaling,
+    "E7": _experiments.experiment_distributed_rounds,
+    "E8": _experiments.experiment_baseline_comparison,
+}
+
+
+def _print_records(records, stream) -> None:
+    rows, headers = records_to_table(records)
+    if rows:
+        print(format_table(rows, headers), file=stream)
+    else:
+        print("(no rows)", file=stream)
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_generate_network(args: argparse.Namespace, stream) -> int:
+    topology = args.topology
+    if topology == "single-bus":
+        net = single_bus(args.processors, bus_bandwidth=args.bus_bandwidth)
+    elif topology == "balanced":
+        net = balanced_tree(
+            args.arity, args.depth, args.leaves_per_bus, bus_bandwidth=args.bus_bandwidth
+        )
+    elif topology == "star":
+        net = star_of_buses(args.arity, args.leaves_per_bus, bus_bandwidth=args.bus_bandwidth)
+    elif topology == "path":
+        net = path_of_buses(args.depth, leaves_per_bus=args.leaves_per_bus)
+    elif topology == "fat-tree":
+        net = fat_tree(args.arity, args.depth, args.leaves_per_bus)
+    elif topology == "random":
+        net = random_tree(args.depth, args.processors, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown topology {topology}")
+    save_network(net, args.output)
+    print(
+        f"wrote {topology} network with {net.n_processors} processors and "
+        f"{net.n_buses} buses to {args.output}",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace, stream) -> int:
+    net = load_network(args.network)
+    metrics = compute_metrics(net)
+    rows = [[key, value] for key, value in metrics.as_dict().items()]
+    print(format_table(rows, headers=["metric", "value"]), file=stream)
+    return 0
+
+
+def _cmd_generate_workload(args: argparse.Namespace, stream) -> int:
+    net = load_network(args.network)
+    kind = args.kind
+    if kind == "uniform":
+        pattern = uniform_pattern(
+            net, args.objects, requests_per_processor=args.requests, seed=args.seed
+        )
+    elif kind == "zipf":
+        pattern = zipf_pattern(
+            net, args.objects, requests_per_processor=args.requests, seed=args.seed
+        )
+    elif kind == "hotspot":
+        pattern = hotspot_pattern(net, args.objects, seed=args.seed)
+    elif kind == "local":
+        pattern = subtree_local_pattern(
+            net, args.objects, requests_per_processor=args.requests, seed=args.seed
+        )
+    elif kind == "counter":
+        pattern = shared_counter_trace(net, n_counters=args.objects)
+    elif kind == "web":
+        pattern = web_cache_trace(
+            net, n_pages=args.objects, requests_per_processor=args.requests, seed=args.seed
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown workload kind {kind}")
+    Path(args.output).write_text(json.dumps(pattern.to_dict(), indent=2))
+    print(
+        f"wrote {kind} workload with {pattern.n_objects} objects "
+        f"({int(pattern.reads.sum())} reads, {int(pattern.writes.sum())} writes) "
+        f"to {args.output}",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace, stream) -> int:
+    net = load_network(args.network)
+    pattern = AccessPattern.from_dict(json.loads(Path(args.workload).read_text()))
+    pattern.validate_for(net)
+
+    if args.strategy == "extended-nibble":
+        result = extended_nibble(net, pattern)
+        placement, assignment = result.placement, result.assignment
+    else:
+        placement = _STRATEGIES[args.strategy](net, pattern)
+        assignment = None
+    profile = compute_loads(net, pattern, placement, assignment=assignment)
+    bound = nibble_lower_bound(net, pattern)
+
+    rows = [
+        ["strategy", args.strategy],
+        ["congestion", profile.congestion],
+        ["lower bound", bound],
+        ["ratio", profile.congestion / bound if bound > 0 else 1.0],
+        ["total load", profile.total_load],
+        ["copies", placement.total_copies()],
+    ]
+    print(format_table(rows, headers=["quantity", "value"]), file=stream)
+
+    if args.output:
+        document = {
+            "strategy": args.strategy,
+            "congestion": profile.congestion,
+            "lower_bound": bound,
+            "holders": {
+                pattern.object_names[x]: sorted(placement.holders(x))
+                for x in range(pattern.n_objects)
+            },
+        }
+        Path(args.output).write_text(json.dumps(document, indent=2))
+        print(f"wrote placement to {args.output}", file=stream)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace, stream) -> int:
+    runner = _EXPERIMENTS[args.id]
+    kwargs = {}
+    if args.id in ("E5", "E8"):
+        kwargs["small"] = args.small
+    records = runner(**kwargs)
+    print(f"experiment {args.id}: {len(records)} rows", file=stream)
+    _print_records(records, stream)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Data management in hierarchical bus networks (SPAA 2000) -- "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen_net = sub.add_parser("generate-network", help="build a topology and save it as JSON")
+    gen_net.add_argument(
+        "--topology",
+        choices=["single-bus", "balanced", "star", "path", "fat-tree", "random"],
+        default="balanced",
+    )
+    gen_net.add_argument("--processors", type=int, default=8)
+    gen_net.add_argument("--arity", type=int, default=2)
+    gen_net.add_argument("--depth", type=int, default=3)
+    gen_net.add_argument("--leaves-per-bus", type=int, default=2)
+    gen_net.add_argument("--bus-bandwidth", type=float, default=1.0)
+    gen_net.add_argument("--seed", type=int, default=0)
+    gen_net.add_argument("--output", "-o", required=True)
+    gen_net.set_defaults(func=_cmd_generate_network)
+
+    info = sub.add_parser("info", help="print structural metrics of a saved network")
+    info.add_argument("network")
+    info.set_defaults(func=_cmd_info)
+
+    gen_wl = sub.add_parser("generate-workload", help="build a synthetic workload")
+    gen_wl.add_argument("--network", required=True)
+    gen_wl.add_argument(
+        "--kind",
+        choices=["uniform", "zipf", "hotspot", "local", "counter", "web"],
+        default="zipf",
+    )
+    gen_wl.add_argument("--objects", type=int, default=32)
+    gen_wl.add_argument("--requests", type=int, default=32)
+    gen_wl.add_argument("--seed", type=int, default=0)
+    gen_wl.add_argument("--output", "-o", required=True)
+    gen_wl.set_defaults(func=_cmd_generate_workload)
+
+    place = sub.add_parser("place", help="run a placement strategy on an instance")
+    place.add_argument("--network", required=True)
+    place.add_argument("--workload", required=True)
+    place.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="extended-nibble"
+    )
+    place.add_argument("--output", "-o", default=None)
+    place.set_defaults(func=_cmd_place)
+
+    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E8)")
+    exp.add_argument("id", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--small", action="store_true", help="use reduced instance sizes")
+    exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Baseline placement strategies.
+
+The paper has no experimental section, but its introduction argues that
+congestion-oriented placement beats simpler policies.  The benchmark
+harness therefore compares the extended-nibble strategy against the natural
+baselines a practitioner would try first:
+
+* :func:`owner_placement` -- each object lives on the processor issuing the
+  most requests to it ("first-touch/owner computes").
+* :func:`median_leaf_placement` -- each object lives on the processor
+  minimising that object's *total* communication load (the weighted median
+  of its requesters projected onto the leaves); this is the classic
+  total-load heuristic the related-work section contrasts with congestion.
+* :func:`greedy_congestion_placement` -- objects are placed one by one
+  (heaviest first) on the leaf that minimises the congestion accumulated so
+  far.
+* :func:`random_placement` -- each object on a uniformly random leaf.
+* :func:`full_replication_placement` -- every processor holds every object.
+
+All baselines are non-redundant except full replication, and all return a
+plain :class:`~repro.core.placement.Placement` evaluated with the standard
+nearest-copy assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.congestion import object_edge_loads
+from repro.core.placement import Placement, RequestAssignment
+from repro.errors import PlacementError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "owner_placement",
+    "median_leaf_placement",
+    "greedy_congestion_placement",
+    "random_placement",
+    "full_replication_placement",
+]
+
+
+def _check(network: HierarchicalBusNetwork, pattern: AccessPattern) -> List[int]:
+    pattern.validate_for(network)
+    procs = list(network.processors)
+    if not procs:
+        raise PlacementError("the network has no processors to place copies on")
+    return procs
+
+
+def owner_placement(
+    network: HierarchicalBusNetwork, pattern: AccessPattern
+) -> Placement:
+    """Place each object on the processor with the most accesses to it.
+
+    Ties are broken towards the smallest processor id; objects nobody
+    accesses go to the smallest processor.
+    """
+    procs = _check(network, pattern)
+    totals = pattern.totals
+    holders = []
+    for obj in range(pattern.n_objects):
+        best = procs[0]
+        best_count = -1
+        for p in procs:
+            count = int(totals[p, obj])
+            if count > best_count:
+                best, best_count = p, count
+        holders.append(best)
+    return Placement.single_holder(holders)
+
+
+def median_leaf_placement(
+    network: HierarchicalBusNetwork, pattern: AccessPattern
+) -> Placement:
+    """Place each object on the leaf minimising its total communication load.
+
+    For a single copy on leaf ``l`` the total load of object ``x`` is
+    ``Σ_P h(P,x) · dist(P, l)`` (every request travels to ``l``; the write
+    broadcast is free for a single copy).  The minimiser is the weighted
+    median of the requesters restricted to the leaves.  This baseline
+    represents total-load-oriented data management.
+    """
+    procs = _check(network, pattern)
+    rooted = network.rooted()
+    totals = pattern.totals
+    holders = []
+    for obj in range(pattern.n_objects):
+        requesters = pattern.requesters(obj)
+        if not requesters:
+            holders.append(procs[0])
+            continue
+        best, best_cost = None, None
+        for leaf in procs:
+            cost = sum(
+                int(totals[p, obj]) * rooted.distance(p, leaf) for p in requesters
+            )
+            if best_cost is None or cost < best_cost:
+                best, best_cost = leaf, cost
+        holders.append(best)
+    return Placement.single_holder(holders)
+
+
+def greedy_congestion_placement(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    object_order: Optional[Sequence[int]] = None,
+) -> Placement:
+    """Greedy congestion-aware placement.
+
+    Objects are processed in decreasing total-request order (or the given
+    order) and each is placed on the leaf that minimises the maximum
+    relative edge/bus load accumulated so far.
+    """
+    procs = _check(network, pattern)
+    rooted = network.rooted()
+    if object_order is None:
+        totals = pattern.total_requests_all()
+        object_order = sorted(
+            range(pattern.n_objects), key=lambda x: (-int(totals[x]), x)
+        )
+
+    edge_bw = np.asarray(network.edge_bandwidths)
+    bus_bw = np.asarray(network.bus_bandwidths)
+    incident = [list(network.incident_edge_ids(v)) for v in network.nodes()]
+    buses = list(network.buses)
+
+    edge_loads = np.zeros(network.n_edges, dtype=np.float64)
+    chosen = [procs[0]] * pattern.n_objects
+
+    # Pre-compute, per object and candidate leaf, the per-edge load vector of
+    # placing the single copy there (path loads only; no Steiner tree for a
+    # single copy).
+    for obj in object_order:
+        requesters = pattern.requesters(obj)
+        if not requesters:
+            chosen[obj] = procs[0]
+            continue
+        best_leaf, best_score = None, None
+        for leaf in procs:
+            delta = np.zeros(network.n_edges, dtype=np.float64)
+            for p in requesters:
+                count = pattern.accesses_of(p, obj)
+                for eid in rooted.path_edge_ids(p, leaf):
+                    delta[eid] += count
+            trial = edge_loads + delta
+            score = float((trial / edge_bw).max()) if trial.size else 0.0
+            for bus in buses:
+                bus_load = trial[incident[bus]].sum() / 2.0
+                score = max(score, bus_load / bus_bw[bus])
+            if best_score is None or score < best_score or (
+                score == best_score and leaf < best_leaf
+            ):
+                best_leaf, best_score = leaf, score
+        chosen[obj] = best_leaf
+        for p in requesters:
+            count = pattern.accesses_of(p, obj)
+            for eid in rooted.path_edge_ids(p, best_leaf):
+                edge_loads[eid] += count
+    return Placement.single_holder(chosen)
+
+
+def random_placement(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> Placement:
+    """Each object on a uniformly random processor."""
+    procs = _check(network, pattern)
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    holders = [procs[int(gen.integers(0, len(procs)))] for _ in range(pattern.n_objects)]
+    return Placement.single_holder(holders)
+
+
+def full_replication_placement(
+    network: HierarchicalBusNetwork, pattern: AccessPattern
+) -> Placement:
+    """Every processor holds a copy of every object.
+
+    Reads become free, but every write is broadcast over the Steiner tree of
+    *all* processors (the whole tree), so write-heavy objects make this
+    baseline arbitrarily bad -- the regime
+    :func:`repro.workload.adversarial.replication_trap` exercises.
+    """
+    _check(network, pattern)
+    return Placement.full_replication(network, pattern.n_objects)

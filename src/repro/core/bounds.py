@@ -1,0 +1,121 @@
+"""Lower bounds on the optimal congestion.
+
+The approximation experiments need a certified lower bound on ``C_opt`` (the
+optimal congestion of the *bus-network* problem, where only processors may
+hold copies) that is cheap to compute for instances too large for the exact
+solvers.
+
+The main bound comes straight from Theorem 3.1: the nibble placement (which
+may use buses) minimises the load on *every* edge simultaneously over all
+placements and assignments, so its edge loads -- and hence its congestion --
+lower-bound the congestion of every bus-network placement:
+
+    ``C_opt  ≥  congestion(nibble placement)``.
+
+The module also exposes the per-edge load vector of the nibble placement as
+the vector of per-edge lower bounds, and the τ-related bound the paper uses
+in the proof of Theorem 4.3 (``C_opt ≥ min(κ_x̂, h_x̂ / 2)`` for the heaviest
+object that needed mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.congestion import compute_loads
+from repro.core.nibble import NibbleResult, nibble_placement
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "LowerBoundReport",
+    "nibble_lower_bound",
+    "per_edge_lower_bounds",
+    "contention_lower_bound",
+    "congestion_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class LowerBoundReport:
+    """Collection of congestion lower bounds for one instance."""
+
+    nibble_congestion: float
+    contention_bound: float
+
+    @property
+    def best(self) -> float:
+        """The strongest (largest) available lower bound."""
+        return max(self.nibble_congestion, self.contention_bound)
+
+
+def nibble_lower_bound(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    nibble: Optional[NibbleResult] = None,
+) -> float:
+    """Congestion of the nibble placement -- a lower bound on ``C_opt``."""
+    if nibble is None:
+        nibble = nibble_placement(network, pattern)
+    return compute_loads(network, pattern, nibble.placement).congestion
+
+
+def per_edge_lower_bounds(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    nibble: Optional[NibbleResult] = None,
+) -> np.ndarray:
+    """Per-edge load lower bounds (the nibble placement's edge loads)."""
+    if nibble is None:
+        nibble = nibble_placement(network, pattern)
+    return compute_loads(network, pattern, nibble.placement).edge_loads
+
+
+def contention_lower_bound(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    affected_objects: Optional[Sequence[int]] = None,
+) -> float:
+    """The paper's contention bound: ``min(κ_x̂, h_x̂ / 2)``.
+
+    Section 4 shows that for the maximum-contention object ``x̂`` among those
+    whose nibble placement used inner nodes, either ``C_opt ≥ κ_x̂`` or
+    ``C_opt ≥ h_x̂ / 2``; hence ``C_opt ≥ min(κ_x̂, h_x̂/2)``.  When
+    ``affected_objects`` is None the bound is evaluated over the objects
+    whose nibble holder set contains a bus.
+    """
+    if affected_objects is None:
+        nib = nibble_placement(network, pattern)
+        affected_objects = [
+            obj
+            for obj in range(pattern.n_objects)
+            if any(network.is_bus(h) for h in nib.placement.holders(obj))
+        ]
+    best = 0.0
+    for obj in affected_objects:
+        kappa = pattern.write_contention(obj)
+        total = pattern.total_requests(obj)
+        best = max(best, min(float(kappa), total / 2.0))
+    return best
+
+
+def congestion_lower_bound(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    nibble: Optional[NibbleResult] = None,
+) -> LowerBoundReport:
+    """All available lower bounds for an instance."""
+    if nibble is None:
+        nibble = nibble_placement(network, pattern)
+    affected = [
+        obj
+        for obj in range(pattern.n_objects)
+        if any(network.is_bus(h) for h in nibble.placement.holders(obj))
+    ]
+    return LowerBoundReport(
+        nibble_congestion=nibble_lower_bound(network, pattern, nibble),
+        contention_bound=contention_lower_bound(network, pattern, affected),
+    )

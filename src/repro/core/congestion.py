@@ -1,0 +1,219 @@
+"""Load and congestion computation.
+
+The cost model of Section 1.1:
+
+* a **read** request from processor ``P`` to object ``x`` adds one unit of
+  load to every edge on the unique path from ``P`` to its reference copy
+  ``c(P, x)``;
+* a **write** request adds one unit to every edge on the path from ``P`` to
+  ``c(P, x)`` *and* one unit to every edge of the Steiner tree connecting
+  the holder set ``P_x`` (the update broadcast);
+* the **load of a bus** is half the sum of the loads of its incident edges
+  (every message crossing the bus enters and leaves it);
+* the **relative load** of an edge or bus is its load divided by its
+  bandwidth, and the **congestion** is the maximum relative load over all
+  edges and buses.
+
+:func:`compute_loads` evaluates this model exactly for any placement and
+request assignment and returns a :class:`LoadProfile`; :func:`congestion` is
+the scalar shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.placement import Placement, RequestAssignment
+from repro.errors import PlacementError
+from repro.network.rooted import RootedTree
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "LoadProfile",
+    "compute_loads",
+    "congestion",
+    "object_edge_loads",
+    "total_communication_load",
+]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Edge and bus loads of a placement, plus derived congestion values."""
+
+    network: HierarchicalBusNetwork
+    edge_loads: np.ndarray
+    bus_loads: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # relative loads
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_relative_loads(self) -> np.ndarray:
+        """Per-edge load divided by edge bandwidth."""
+        return self.edge_loads / np.asarray(self.network.edge_bandwidths)
+
+    @property
+    def bus_relative_loads(self) -> np.ndarray:
+        """Per-node bus load divided by bus bandwidth (zero for processors)."""
+        return self.bus_loads / np.asarray(self.network.bus_bandwidths)
+
+    @property
+    def congestion(self) -> float:
+        """Maximum relative load over all edges and buses."""
+        values = [0.0]
+        if self.edge_loads.size:
+            values.append(float(self.edge_relative_loads.max()))
+        if self.bus_loads.size:
+            values.append(float(self.bus_relative_loads.max()))
+        return max(values)
+
+    @property
+    def max_edge_load(self) -> float:
+        """Maximum absolute edge load."""
+        return float(self.edge_loads.max()) if self.edge_loads.size else 0.0
+
+    @property
+    def total_load(self) -> float:
+        """Total communication load (sum of all edge loads)."""
+        return float(self.edge_loads.sum())
+
+    def bottleneck_edge(self) -> Optional[int]:
+        """Edge id with the maximum relative load (None for edgeless networks)."""
+        if not self.edge_loads.size:
+            return None
+        return int(np.argmax(self.edge_relative_loads))
+
+    def bottleneck_bus(self) -> Optional[int]:
+        """Bus node id with the maximum relative load (None if there is no bus)."""
+        if not self.network.buses:
+            return None
+        rel = self.bus_relative_loads
+        buses = list(self.network.buses)
+        values = [rel[b] for b in buses]
+        return int(buses[int(np.argmax(values))])
+
+    def edge_load(self, u: int, v: int) -> float:
+        """Load of edge ``{u, v}``."""
+        return float(self.edge_loads[self.network.edge_id(u, v)])
+
+    def bus_load(self, bus: int) -> float:
+        """Load of bus ``bus``."""
+        return float(self.bus_loads[bus])
+
+
+def _bus_loads_from_edges(
+    network: HierarchicalBusNetwork, edge_loads: np.ndarray
+) -> np.ndarray:
+    """Derive bus loads: half the sum of incident edge loads, per bus."""
+    bus_loads = np.zeros(network.n_nodes, dtype=np.float64)
+    for bus in network.buses:
+        incident = network.incident_edge_ids(bus)
+        bus_loads[bus] = edge_loads[list(incident)].sum() / 2.0
+    return bus_loads
+
+
+def object_edge_loads(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    placement: Placement,
+    obj: int,
+    assignment: Optional[RequestAssignment] = None,
+    rooted: Optional[RootedTree] = None,
+) -> np.ndarray:
+    """Per-edge load induced by a single object ``obj``.
+
+    The total load of a placement is the sum of these vectors over all
+    objects; the per-object view is what Theorem 3.1 reasons about (the load
+    on an edge "induced for serving requests to an object x").
+    """
+    if rooted is None:
+        rooted = network.rooted()
+    if assignment is None:
+        assignment = RequestAssignment.nearest_copy(network, pattern, placement)
+    loads = np.zeros(network.n_edges, dtype=np.float64)
+    holders = placement.holders(obj)
+    # request -> reference copy traffic
+    for proc in pattern.requesters(obj):
+        for share in assignment.shares(proc, obj):
+            count = share.total
+            if count == 0:
+                continue
+            for eid in rooted.path_edge_ids(proc, share.holder):
+                loads[eid] += count
+    # write broadcast over the Steiner tree of the holder set
+    kappa = pattern.write_contention(obj)
+    if kappa > 0 and len(holders) > 1:
+        for eid in rooted.steiner_edge_ids(holders):
+            loads[eid] += kappa
+    return loads
+
+
+def compute_loads(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    placement: Placement,
+    assignment: Optional[RequestAssignment] = None,
+    validate: bool = True,
+) -> LoadProfile:
+    """Evaluate the cost model for a placement.
+
+    Parameters
+    ----------
+    network, pattern, placement:
+        The instance and the placement to evaluate.
+    assignment:
+        Optional explicit request assignment.  Defaults to the nearest-copy
+        assignment (the paper's convention).
+    validate:
+        If true (default), validate the placement and assignment first.
+    """
+    if validate:
+        placement.validate_for(network, pattern)
+        pattern.validate_for(network)
+    if assignment is None:
+        assignment = RequestAssignment.nearest_copy(network, pattern, placement)
+    elif validate:
+        assignment.validate_for(network, pattern, placement)
+
+    rooted = network.rooted()
+    edge_loads = np.zeros(network.n_edges, dtype=np.float64)
+    for obj in range(pattern.n_objects):
+        edge_loads += object_edge_loads(
+            network, pattern, placement, obj, assignment=assignment, rooted=rooted
+        )
+    bus_loads = _bus_loads_from_edges(network, edge_loads)
+    return LoadProfile(network=network, edge_loads=edge_loads, bus_loads=bus_loads)
+
+
+def congestion(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    placement: Placement,
+    assignment: Optional[RequestAssignment] = None,
+    validate: bool = True,
+) -> float:
+    """Congestion (max relative load over edges and buses) of a placement."""
+    return compute_loads(
+        network, pattern, placement, assignment=assignment, validate=validate
+    ).congestion
+
+
+def total_communication_load(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    placement: Placement,
+    assignment: Optional[RequestAssignment] = None,
+) -> float:
+    """Total communication load (sum over edges of the edge load).
+
+    This is the objective that earlier theoretical work minimises; the paper
+    argues that congestion is the better objective because minimising the
+    total load can create very congested individual links.  The baseline
+    benchmarks report both.
+    """
+    return compute_loads(network, pattern, placement, assignment=assignment).total_load

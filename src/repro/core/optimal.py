@@ -1,0 +1,225 @@
+"""Exact solvers for the static placement problem on small instances.
+
+Section 2 of the paper proves the problem NP-complete even on a 4-ary tree
+of height 1, so exact solutions are only feasible for small instances.  The
+benchmarks use them to measure the true approximation ratio of the
+extended-nibble strategy (experiment E5) and to verify the PARTITION
+reduction (experiment E2).
+
+* :func:`optimal_nonredundant` -- branch-and-bound over single-holder
+  placements (each object on exactly one processor).  The paper observes
+  that when all requests are writes every optimal placement is
+  non-redundant, so this solver is exact for write-only instances; for
+  mixed instances it is exact *within* the non-redundant class.
+* :func:`optimal_redundant` -- exhaustive search over all non-empty holder
+  subsets per object with nearest-copy assignment; exact but only usable
+  for tiny instances.
+* :func:`placement_decision` -- decision-problem wrapper ("is there a
+  placement with congestion at most ``k``?") used by the NP-hardness
+  experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.congestion import compute_loads
+from repro.core.placement import Placement
+from repro.errors import InfeasibleError, PlacementError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "OptimalResult",
+    "optimal_nonredundant",
+    "optimal_redundant",
+    "placement_decision",
+]
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Result of an exact placement search."""
+
+    placement: Placement
+    congestion: float
+    explored: int  # number of (partial) placements examined
+
+
+def _per_object_leaf_loads(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    procs: Sequence[int],
+) -> List[List[np.ndarray]]:
+    """``loads[obj][leaf_index]`` = per-edge load of placing obj's single copy there."""
+    rooted = network.rooted()
+    out: List[List[np.ndarray]] = []
+    for obj in range(pattern.n_objects):
+        requesters = pattern.requesters(obj)
+        per_leaf: List[np.ndarray] = []
+        for leaf in procs:
+            vec = np.zeros(network.n_edges, dtype=np.float64)
+            for p in requesters:
+                count = pattern.accesses_of(p, obj)
+                for eid in rooted.path_edge_ids(p, leaf):
+                    vec[eid] += count
+            per_leaf.append(vec)
+        out.append(per_leaf)
+    return out
+
+
+def _congestion_of_edge_loads(
+    network: HierarchicalBusNetwork, edge_loads: np.ndarray
+) -> float:
+    edge_bw = np.asarray(network.edge_bandwidths)
+    value = float((edge_loads / edge_bw).max()) if edge_loads.size else 0.0
+    bus_bw = np.asarray(network.bus_bandwidths)
+    for bus in network.buses:
+        incident = list(network.incident_edge_ids(bus))
+        load = edge_loads[incident].sum() / 2.0
+        value = max(value, load / bus_bw[bus])
+    return value
+
+
+def optimal_nonredundant(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    max_nodes: int = 4_000_000,
+    upper_bound: Optional[float] = None,
+) -> OptimalResult:
+    """Optimal single-holder placement via branch and bound.
+
+    Parameters
+    ----------
+    network, pattern:
+        The instance.
+    max_nodes:
+        Safety cap on the number of explored search nodes; exceeding it
+        raises :class:`~repro.errors.InfeasibleError` (the instance is too
+        large for exact search).
+    upper_bound:
+        Optional known upper bound on the optimal congestion (e.g. from the
+        extended-nibble strategy); used to prune the search.
+    """
+    pattern.validate_for(network)
+    procs = list(network.processors)
+    if not procs:
+        raise PlacementError("network has no processors")
+    n_objects = pattern.n_objects
+
+    per_obj_loads = _per_object_leaf_loads(network, pattern, procs)
+    totals = pattern.total_requests_all()
+    order = sorted(range(n_objects), key=lambda x: (-int(totals[x]), x))
+
+    best_choice: Optional[List[int]] = None
+    best_value = float("inf") if upper_bound is None else float(upper_bound) + 1e-12
+    explored = 0
+
+    edge_loads = np.zeros(network.n_edges, dtype=np.float64)
+    choice = [0] * n_objects
+
+    def recurse(idx: int) -> None:
+        nonlocal best_choice, best_value, explored, edge_loads
+        explored += 1
+        if explored > max_nodes:
+            raise InfeasibleError(
+                f"branch-and-bound exceeded the limit of {max_nodes} nodes"
+            )
+        current = _congestion_of_edge_loads(network, edge_loads)
+        if current >= best_value:
+            return
+        if idx == n_objects:
+            best_value = current
+            best_choice = choice.copy()
+            return
+        obj = order[idx]
+        # Try leaves in order of the congestion they would produce alone, so
+        # good solutions are found early and pruning becomes effective.
+        scored = []
+        for li, leaf in enumerate(procs):
+            trial = edge_loads + per_obj_loads[obj][li]
+            scored.append((_congestion_of_edge_loads(network, trial), li))
+        scored.sort()
+        for _score, li in scored:
+            edge_loads += per_obj_loads[obj][li]
+            choice[obj] = li
+            recurse(idx + 1)
+            edge_loads -= per_obj_loads[obj][li]
+
+    recurse(0)
+    if best_choice is None:
+        raise InfeasibleError(
+            "no non-redundant placement beats the supplied upper bound"
+            if upper_bound is not None
+            else "no placement found (empty search space?)"
+        )
+    placement = Placement.single_holder([procs[best_choice[x]] for x in range(n_objects)])
+    value = compute_loads(network, pattern, placement).congestion
+    return OptimalResult(placement=placement, congestion=value, explored=explored)
+
+
+def optimal_redundant(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    max_combinations: int = 2_000_000,
+) -> OptimalResult:
+    """Exhaustive search over all redundant placements (tiny instances only).
+
+    Every object may be placed on any non-empty subset of the processors;
+    requests are served by the nearest copy.  The number of combinations is
+    ``(2^|P| - 1)^|X|`` and the function refuses to run when it exceeds
+    ``max_combinations``.
+    """
+    pattern.validate_for(network)
+    procs = list(network.processors)
+    subsets = []
+    for r in range(1, len(procs) + 1):
+        subsets.extend(itertools.combinations(procs, r))
+    total = len(subsets) ** pattern.n_objects
+    if total > max_combinations:
+        raise InfeasibleError(
+            f"redundant search space has {total} combinations "
+            f"(> {max_combinations}); use optimal_nonredundant instead"
+        )
+    best_placement: Optional[Placement] = None
+    best_value = float("inf")
+    explored = 0
+    for combo in itertools.product(subsets, repeat=pattern.n_objects):
+        explored += 1
+        placement = Placement(list(combo))
+        value = compute_loads(network, pattern, placement, validate=False).congestion
+        if value < best_value:
+            best_value = value
+            best_placement = placement
+    assert best_placement is not None
+    return OptimalResult(
+        placement=best_placement, congestion=best_value, explored=explored
+    )
+
+
+def placement_decision(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    threshold: float,
+    redundant: bool = False,
+    tolerance: float = 1e-9,
+    max_nodes: int = 4_000_000,
+) -> bool:
+    """Decision problem: does a placement with congestion ≤ ``threshold`` exist?
+
+    This is the NP-complete question of Section 2.  With ``redundant=False``
+    (the default) only single-holder placements are considered, which is
+    exactly the paper's reduction setting (all requests there are writes, so
+    redundancy never helps).
+    """
+    if redundant:
+        result = optimal_redundant(network, pattern)
+    else:
+        result = optimal_nonredundant(
+            network, pattern, max_nodes=max_nodes, upper_bound=None
+        )
+    return result.congestion <= threshold + tolerance

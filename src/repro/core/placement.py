@@ -1,0 +1,347 @@
+"""Placements and reference-copy assignments.
+
+A *placement* (Section 1.1 of the paper) determines, for every shared data
+object ``x``, a non-empty set ``P_x`` of nodes holding copies of ``x`` and,
+for every processor ``P``, a *reference copy* ``c(P, x) ∈ P_x`` that serves
+``P``'s requests to ``x``.
+
+Two placement flavours appear in the paper:
+
+* *tree placements* produced by the nibble strategy of [MMVW97], where inner
+  nodes (buses) may hold copies, and
+* *bus-network placements*, where only processors (leaves) may hold copies
+  -- the model of this paper, and the output of the extended-nibble
+  strategy.
+
+Both are represented by :class:`Placement`; :meth:`Placement.is_leaf_only`
+distinguishes them and :meth:`Placement.validate_for` can enforce the
+leaf-only restriction.
+
+The deletion step of the extended-nibble strategy may split the requests of
+a single processor across several copies; :class:`RequestAssignment` captures
+such (possibly fractional, in the sense of *split counts*) assignments
+exactly, while keeping the common single-reference-copy case convenient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AssignmentError, PlacementError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = ["Placement", "Share", "RequestAssignment"]
+
+
+class Placement:
+    """Copy locations ``P_x`` for every shared object.
+
+    Parameters
+    ----------
+    holders:
+        One iterable of node ids per object; must be non-empty for every
+        object (every object needs at least one copy).
+    """
+
+    __slots__ = ("_holders",)
+
+    def __init__(self, holders: Sequence[Iterable[int]]) -> None:
+        frozen: List[frozenset] = []
+        for x, hs in enumerate(holders):
+            fs = frozenset(int(h) for h in hs)
+            if not fs:
+                raise PlacementError(f"object {x} has an empty holder set")
+            frozen.append(fs)
+        self._holders: Tuple[frozenset, ...] = tuple(frozen)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_holder(cls, holder_per_object: Sequence[int]) -> "Placement":
+        """Non-redundant placement with one holder per object."""
+        return cls([[h] for h in holder_per_object])
+
+    @classmethod
+    def full_replication(
+        cls, network: HierarchicalBusNetwork, n_objects: int
+    ) -> "Placement":
+        """Every processor holds a copy of every object."""
+        procs = list(network.processors)
+        return cls([procs for _ in range(n_objects)])
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_objects(self) -> int:
+        """Number of objects the placement covers."""
+        return len(self._holders)
+
+    def holders(self, obj: int) -> frozenset:
+        """The holder set ``P_x`` of object ``obj``."""
+        return self._holders[obj]
+
+    def all_holders(self) -> Tuple[frozenset, ...]:
+        """Holder sets of all objects, indexed by object."""
+        return self._holders
+
+    def n_copies(self, obj: int) -> int:
+        """Number of distinct holder nodes of object ``obj``."""
+        return len(self._holders[obj])
+
+    def total_copies(self) -> int:
+        """Total number of (object, holder) pairs."""
+        return sum(len(h) for h in self._holders)
+
+    def is_redundant(self, obj: int) -> bool:
+        """True if object ``obj`` has more than one copy."""
+        return len(self._holders[obj]) > 1
+
+    def is_leaf_only(self, network: HierarchicalBusNetwork) -> bool:
+        """True iff every holder is a processor (bus-network placement)."""
+        return all(
+            network.is_processor(h) for hs in self._holders for h in hs
+        )
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate_for(
+        self,
+        network: HierarchicalBusNetwork,
+        pattern: Optional[AccessPattern] = None,
+        require_leaf_only: bool = False,
+    ) -> None:
+        """Check holder node ids (and optionally the leaf-only restriction).
+
+        Parameters
+        ----------
+        network:
+            Network the placement refers to.
+        pattern:
+            Optional access pattern; if given, the number of objects must
+            match.
+        require_leaf_only:
+            If true, raise when a bus holds a copy (the hierarchical bus
+            network model forbids this).
+        """
+        if pattern is not None and pattern.n_objects != self.n_objects:
+            raise PlacementError(
+                f"placement covers {self.n_objects} objects, "
+                f"pattern has {pattern.n_objects}"
+            )
+        for x, hs in enumerate(self._holders):
+            for h in hs:
+                if h not in network:
+                    raise PlacementError(f"object {x}: unknown holder node {h}")
+                if require_leaf_only and not network.is_processor(h):
+                    raise PlacementError(
+                        f"object {x}: holder {h} is a bus, but the hierarchical "
+                        "bus network model allows copies only on processors"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return self._holders == other._holders
+
+    def __hash__(self) -> int:
+        return hash(self._holders)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Placement(n_objects={self.n_objects}, "
+            f"total_copies={self.total_copies()})"
+        )
+
+
+@dataclass(frozen=True)
+class Share:
+    """A portion of one processor's requests to one object served by a holder.
+
+    ``reads`` and ``writes`` are the number of read and write requests of the
+    (processor, object) pair that are served by ``holder``.
+    """
+
+    holder: int
+    reads: int
+    writes: int
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise AssignmentError("share counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total number of requests in this share."""
+        return self.reads + self.writes
+
+
+class RequestAssignment:
+    """Assignment of every request to the copy that serves it.
+
+    In the simplest (paper-default) case every (processor, object) pair has a
+    single reference copy; the deletion step of the extended-nibble strategy
+    may however split one pair's requests between several copies.  This class
+    stores, for every (processor, object) pair with requests, the list of
+    :class:`Share` records describing how the requests are split.
+    """
+
+    __slots__ = ("_shares", "_n_objects")
+
+    def __init__(
+        self,
+        shares: Mapping[Tuple[int, int], Sequence[Share]],
+        n_objects: int,
+    ) -> None:
+        self._shares: Dict[Tuple[int, int], Tuple[Share, ...]] = {}
+        for key, value in shares.items():
+            proc, obj = int(key[0]), int(key[1])
+            if not 0 <= obj < n_objects:
+                raise AssignmentError(f"object index {obj} out of range")
+            entries = tuple(value)
+            if not entries:
+                continue
+            self._shares[(proc, obj)] = entries
+        self._n_objects = int(n_objects)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def nearest_copy(
+        cls,
+        network: HierarchicalBusNetwork,
+        pattern: AccessPattern,
+        placement: Placement,
+    ) -> "RequestAssignment":
+        """Assign every processor to the closest copy (ties: smallest id).
+
+        This is the paper's convention for the nibble placement (Section 3.2:
+        "the reference copy ``c(P, x)`` is the copy of ``x`` stored on the
+        node closest to ``P``").
+        """
+        placement.validate_for(network, pattern)
+        rooted = network.rooted()
+        shares: Dict[Tuple[int, int], List[Share]] = {}
+        for obj in range(pattern.n_objects):
+            holders = sorted(placement.holders(obj))
+            for proc in pattern.requesters(obj):
+                reads = pattern.reads_of(proc, obj)
+                writes = pattern.writes_of(proc, obj)
+                holder = rooted.nearest_in_set(proc, holders)
+                shares[(proc, obj)] = [Share(holder, reads, writes)]
+        return cls(shares, pattern.n_objects)
+
+    @classmethod
+    def single_reference(
+        cls,
+        pattern: AccessPattern,
+        reference: Mapping[Tuple[int, int], int],
+    ) -> "RequestAssignment":
+        """Build an assignment from an explicit ``(processor, object) -> holder`` map."""
+        shares: Dict[Tuple[int, int], List[Share]] = {}
+        for obj in range(pattern.n_objects):
+            for proc in pattern.requesters(obj):
+                try:
+                    holder = reference[(proc, obj)]
+                except KeyError:
+                    raise AssignmentError(
+                        f"no reference copy given for processor {proc}, object {obj}"
+                    ) from None
+                shares[(proc, obj)] = [
+                    Share(holder, pattern.reads_of(proc, obj), pattern.writes_of(proc, obj))
+                ]
+        return cls(shares, pattern.n_objects)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_objects(self) -> int:
+        """Number of objects covered."""
+        return self._n_objects
+
+    def shares(self, proc: int, obj: int) -> Tuple[Share, ...]:
+        """Shares of the (processor, object) pair (empty if no requests)."""
+        return self._shares.get((proc, obj), ())
+
+    def items(self):
+        """Iterate over ``((processor, object), shares)`` pairs."""
+        return self._shares.items()
+
+    def reference_copy(self, proc: int, obj: int) -> int:
+        """The single reference copy of a pair (error if split across copies)."""
+        entries = self.shares(proc, obj)
+        if not entries:
+            raise AssignmentError(f"processor {proc} has no requests to object {obj}")
+        holders = {s.holder for s in entries}
+        if len(holders) != 1:
+            raise AssignmentError(
+                f"requests of processor {proc} to object {obj} are split across "
+                f"holders {sorted(holders)}"
+            )
+        return entries[0].holder
+
+    def is_single_reference(self) -> bool:
+        """True iff no (processor, object) pair is split across holders."""
+        return all(
+            len({s.holder for s in entries}) == 1 for entries in self._shares.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate_for(
+        self,
+        network: HierarchicalBusNetwork,
+        pattern: AccessPattern,
+        placement: Placement,
+    ) -> None:
+        """Check consistency of the assignment.
+
+        * counts of every pair sum to the pattern frequencies,
+        * every share's holder is a holder of the object in ``placement``,
+        * every pair with requests in the pattern has shares.
+        """
+        if pattern.n_objects != self._n_objects:
+            raise AssignmentError("assignment and pattern cover different object counts")
+        for obj in range(pattern.n_objects):
+            holders = placement.holders(obj)
+            for proc in pattern.requesters(obj):
+                entries = self.shares(proc, obj)
+                if not entries:
+                    raise AssignmentError(
+                        f"processor {proc} requests object {obj} but has no shares"
+                    )
+                reads = sum(s.reads for s in entries)
+                writes = sum(s.writes for s in entries)
+                if reads != pattern.reads_of(proc, obj) or writes != pattern.writes_of(
+                    proc, obj
+                ):
+                    raise AssignmentError(
+                        f"shares of processor {proc}, object {obj} do not sum to the "
+                        "pattern frequencies"
+                    )
+                for s in entries:
+                    if s.holder not in holders:
+                        raise AssignmentError(
+                            f"share of processor {proc}, object {obj} uses holder "
+                            f"{s.holder} which is not in P_x = {sorted(holders)}"
+                        )
+                    if s.holder not in network:
+                        raise AssignmentError(f"unknown holder node {s.holder}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RequestAssignment(n_objects={self._n_objects}, "
+            f"n_pairs={len(self._shares)})"
+        )

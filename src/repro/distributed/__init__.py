@@ -1,0 +1,34 @@
+"""Distributed substrate: synchronous tree simulator, aggregation protocols,
+distributed placement strategies and the request-replay router."""
+
+from repro.distributed.engine import Message, NodeProcess, RoundStats, TreeSimulator
+from repro.distributed.aggregation import (
+    AggregationOutcome,
+    convergecast,
+    downcast,
+    pipelined_convergecast,
+)
+from repro.distributed.protocols import (
+    DistributedNibbleReport,
+    DistributedRunReport,
+    distributed_extended_nibble,
+    distributed_nibble,
+)
+from repro.distributed.request_sim import ReplayResult, replay_requests
+
+__all__ = [
+    "Message",
+    "NodeProcess",
+    "RoundStats",
+    "TreeSimulator",
+    "AggregationOutcome",
+    "convergecast",
+    "downcast",
+    "pipelined_convergecast",
+    "DistributedNibbleReport",
+    "DistributedRunReport",
+    "distributed_nibble",
+    "distributed_extended_nibble",
+    "ReplayResult",
+    "replay_requests",
+]

@@ -1,0 +1,268 @@
+"""Convergecast / broadcast building blocks on the tree simulator.
+
+The distributed versions of the nibble and extended-nibble strategies only
+need two communication patterns:
+
+* **convergecast** (bottom-up aggregation): every node combines values from
+  its children's subtrees and forwards the partial aggregate to its parent;
+  after ``height(T)`` rounds the root knows the aggregate of the whole tree
+  and, more importantly for the nibble strategy, every node knows the
+  aggregate of its own subtree;
+* **broadcast / downcast** (top-down): the root pushes a value (or each node
+  pushes a per-child value) towards the leaves in ``height(T)`` rounds.
+
+:func:`convergecast` and :func:`downcast` implement single-vector versions
+on the :class:`~repro.distributed.engine.TreeSimulator`;
+:func:`pipelined_convergecast` processes ``|X|`` independent value vectors
+back to back, demonstrating the pipelining the paper uses to obtain the
+``O(|X| + height(T))``-style round bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.engine import Message, NodeProcess, RoundStats, TreeSimulator
+from repro.errors import SimulationError
+from repro.network.rooted import RootedTree
+from repro.network.tree import HierarchicalBusNetwork
+
+__all__ = [
+    "AggregationOutcome",
+    "convergecast",
+    "downcast",
+    "pipelined_convergecast",
+]
+
+
+@dataclass(frozen=True)
+class AggregationOutcome:
+    """Result of a distributed aggregation run."""
+
+    values: Dict[int, object]
+    stats: RoundStats
+
+
+class _ConvergecastProcess(NodeProcess):
+    """Waits for all children, combines, forwards to the parent."""
+
+    def __init__(
+        self,
+        node: int,
+        rooted: RootedTree,
+        local_value: object,
+        combine: Callable[[object, object], object],
+    ) -> None:
+        super().__init__(node)
+        self.rooted = rooted
+        self.combine = combine
+        self.aggregate = local_value
+        self.pending = set(rooted.children(node))
+        self.sent = False
+
+    def on_start(self, ctx: TreeSimulator):
+        return self._maybe_send()
+
+    def _maybe_send(self):
+        if self.pending or self.sent:
+            return ()
+        parent = self.rooted.parent(self.node)
+        self.sent = True
+        if parent < 0:
+            return ()
+        return (Message(self.node, parent, self.aggregate),)
+
+    def on_round(self, ctx: TreeSimulator, inbox: Sequence[Message]):
+        for msg in inbox:
+            if msg.src not in self.pending:
+                raise SimulationError(
+                    f"node {self.node} received an unexpected message from {msg.src}"
+                )
+            self.pending.discard(msg.src)
+            self.aggregate = self.combine(self.aggregate, msg.payload)
+        return self._maybe_send()
+
+    def is_done(self, ctx: TreeSimulator) -> bool:
+        return self.sent or (not self.pending and self.rooted.parent(self.node) < 0)
+
+
+def convergecast(
+    network: HierarchicalBusNetwork,
+    local_values: Dict[int, object],
+    combine: Callable[[object, object], object],
+    root: Optional[int] = None,
+) -> AggregationOutcome:
+    """Aggregate per-node values bottom-up.
+
+    Returns, per node, the aggregate over its maximal subtree ``T(v)`` (for
+    the chosen root) together with the round statistics.  The number of
+    rounds equals the height of the tree plus one bookkeeping round.
+    """
+    rooted = network.rooted(root)
+    processes = {
+        node: _ConvergecastProcess(node, rooted, local_values.get(node), combine)
+        for node in network.nodes()
+    }
+    sim = TreeSimulator(network, processes)
+    stats = sim.run()
+    values = {node: processes[node].aggregate for node in network.nodes()}
+    return AggregationOutcome(values=values, stats=stats)
+
+
+class _DowncastProcess(NodeProcess):
+    """Forwards a value from the root towards the leaves."""
+
+    def __init__(
+        self,
+        node: int,
+        rooted: RootedTree,
+        root_value: object,
+        transform: Callable[[int, int, object], object],
+    ) -> None:
+        super().__init__(node)
+        self.rooted = rooted
+        self.transform = transform
+        self.value = root_value if rooted.parent(node) < 0 else None
+        self.forwarded = False
+
+    def _forward(self):
+        if self.value is None or self.forwarded:
+            return ()
+        self.forwarded = True
+        out = []
+        for child in self.rooted.children(self.node):
+            out.append(
+                Message(self.node, child, self.transform(self.node, child, self.value))
+            )
+        return out
+
+    def on_start(self, ctx: TreeSimulator):
+        return self._forward()
+
+    def on_round(self, ctx: TreeSimulator, inbox: Sequence[Message]):
+        for msg in inbox:
+            self.value = msg.payload
+        return self._forward()
+
+    def is_done(self, ctx: TreeSimulator) -> bool:
+        return self.forwarded or not self.rooted.children(self.node)
+
+
+def downcast(
+    network: HierarchicalBusNetwork,
+    root_value: object,
+    transform: Optional[Callable[[int, int, object], object]] = None,
+    root: Optional[int] = None,
+) -> AggregationOutcome:
+    """Broadcast a value from the root to every node (top-down).
+
+    ``transform(parent, child, value)`` may modify the value per child edge
+    (identity by default); the returned ``values`` map each node to the value
+    it received.
+    """
+    if transform is None:
+        transform = lambda _parent, _child, value: value  # noqa: E731
+    rooted = network.rooted(root)
+    processes = {
+        node: _DowncastProcess(node, rooted, root_value, transform)
+        for node in network.nodes()
+    }
+    sim = TreeSimulator(network, processes)
+    stats = sim.run()
+    values = {node: processes[node].value for node in network.nodes()}
+    return AggregationOutcome(values=values, stats=stats)
+
+
+class _PipelinedConvergecastProcess(NodeProcess):
+    """Convergecast of many independent items, one new item per round."""
+
+    def __init__(
+        self,
+        node: int,
+        rooted: RootedTree,
+        local_vectors: Sequence[int],
+        n_items: int,
+    ) -> None:
+        super().__init__(node)
+        self.rooted = rooted
+        self.n_items = n_items
+        self.aggregates: List[int] = list(local_vectors)
+        self.received: Dict[int, int] = {}  # item -> number of children heard from
+        self.n_children = len(rooted.children(node))
+        self.sent_items = 0
+
+    def _ready(self, item: int) -> bool:
+        return self.received.get(item, 0) == self.n_children
+
+    def _emit(self) -> List[Message]:
+        out: List[Message] = []
+        parent = self.rooted.parent(self.node)
+        # Send at most one item per round (pipelining): the smallest ready,
+        # unsent item.
+        while self.sent_items < self.n_items and self._ready(self.sent_items):
+            if parent < 0:
+                self.sent_items += 1
+                continue
+            out.append(
+                Message(
+                    self.node,
+                    parent,
+                    (self.sent_items, self.aggregates[self.sent_items]),
+                )
+            )
+            self.sent_items += 1
+            break
+        return out
+
+    def on_start(self, ctx: TreeSimulator):
+        if self.n_children == 0:
+            return self._emit()
+        return ()
+
+    def on_round(self, ctx: TreeSimulator, inbox: Sequence[Message]):
+        for msg in inbox:
+            item, value = msg.payload
+            self.aggregates[item] += value
+            self.received[item] = self.received.get(item, 0) + 1
+        return self._emit()
+
+    def is_done(self, ctx: TreeSimulator) -> bool:
+        return self.sent_items >= self.n_items
+
+
+def pipelined_convergecast(
+    network: HierarchicalBusNetwork,
+    local_vectors: Dict[int, Sequence[int]],
+    root: Optional[int] = None,
+) -> AggregationOutcome:
+    """Convergecast ``n_items`` integer values per node, pipelined.
+
+    Each node starts with a vector of ``n_items`` integers; the outcome maps
+    every node to the vector of subtree sums.  Thanks to pipelining the
+    total round count grows as ``O(n_items + height(T))`` rather than
+    ``O(n_items · height(T))`` -- the behaviour experiment E7 measures.
+    """
+    rooted = network.rooted(root)
+    n_items = None
+    for node in network.nodes():
+        vec = local_vectors.get(node)
+        if vec is None:
+            raise SimulationError(f"missing local vector for node {node}")
+        if n_items is None:
+            n_items = len(vec)
+        elif len(vec) != n_items:
+            raise SimulationError("all local vectors must have the same length")
+    assert n_items is not None
+    processes = {
+        node: _PipelinedConvergecastProcess(
+            node, rooted, list(local_vectors[node]), n_items
+        )
+        for node in network.nodes()
+    }
+    sim = TreeSimulator(network, processes)
+    stats = sim.run()
+    values = {node: list(processes[node].aggregates) for node in network.nodes()}
+    return AggregationOutcome(values=values, stats=stats)

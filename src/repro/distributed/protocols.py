@@ -1,0 +1,276 @@
+"""Distributed versions of the placement strategies.
+
+The paper states (Theorem 4.3) that the extended-nibble strategy can be
+computed "in a distributed fashion on the tree" in time
+``O(|X|·|P ∪ B|·log(degree(T)) + height(T))``, with the per-object work
+pipelined along the tree.  This module provides:
+
+* :func:`distributed_nibble` -- a faithful message-passing implementation of
+  the nibble placement built from pipelined convergecasts and downcasts on
+  the :class:`~repro.distributed.engine.TreeSimulator`.  Every node only
+  uses information it received through messages; the result is verified to
+  equal the sequential :func:`repro.core.nibble.nibble_placement` by the
+  test suite.
+* :func:`distributed_extended_nibble` -- the full strategy.  The placement
+  itself is the sequential one (the algorithm is deterministic, so the
+  distributed execution computes the same result); the returned
+  :class:`DistributedRunReport` additionally contains the round and message
+  counts of a level-synchronous schedule of the deletion and mapping steps,
+  derived from the per-level structure of those algorithms.
+
+Both functions return round statistics that experiment E7 sweeps against
+``|X|``, ``height(T)`` and ``degree(T)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.extended_nibble import ExtendedNibbleResult, extended_nibble
+from repro.core.nibble import NibbleResult, nibble_placement
+from repro.core.placement import Placement
+from repro.distributed.aggregation import (
+    convergecast,
+    downcast,
+    pipelined_convergecast,
+)
+from repro.distributed.engine import RoundStats
+from repro.errors import SimulationError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "DistributedNibbleReport",
+    "DistributedRunReport",
+    "distributed_nibble",
+    "distributed_extended_nibble",
+]
+
+
+@dataclass(frozen=True)
+class DistributedNibbleReport:
+    """Outcome of the distributed nibble computation."""
+
+    result: NibbleResult
+    rounds: int
+    messages: int
+    message_units: int
+
+    @property
+    def placement(self) -> Placement:
+        """The computed (tree) placement."""
+        return self.result.placement
+
+
+@dataclass(frozen=True)
+class DistributedRunReport:
+    """Outcome and cost model of the distributed extended-nibble strategy."""
+
+    result: ExtendedNibbleResult
+    nibble_rounds: int
+    deletion_rounds: int
+    mapping_rounds: int
+    total_messages: int
+
+    @property
+    def total_rounds(self) -> int:
+        """Total number of synchronous rounds of the three phases."""
+        return self.nibble_rounds + self.deletion_rounds + self.mapping_rounds
+
+
+def _merge(stats: Sequence[RoundStats]) -> Tuple[int, int, int]:
+    rounds = sum(s.rounds for s in stats)
+    messages = sum(s.total_messages for s in stats)
+    units = sum(s.total_units for s in stats)
+    return rounds, messages, units
+
+
+def distributed_nibble(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    root: Optional[int] = None,
+) -> DistributedNibbleReport:
+    """Compute the nibble placement with message passing only.
+
+    The protocol (per object, pipelined across objects):
+
+    1. convergecast of the per-node weights ``h(v)`` and writes ``w(v)``
+       (two pipelined convergecasts), giving every node the weight and write
+       count of its own subtree for an arbitrary fixed root;
+    2. downcast of the per-object totals from the root;
+    3. every node decides locally whether it is a gravity-center candidate
+       (it knows its children's subtree weights and the total);
+    4. convergecast of the minimum candidate id per object and downcast of
+       the result, so every node learns the center ``g``;
+    5. convergecast of the indicator "the center lies in my subtree", which
+       lets every node compute its subtree weight *with respect to the
+       center* and apply the placement rule ``h(T_g(v)) > w(T)`` locally.
+    """
+    pattern.validate_for(network)
+    if root is None:
+        root = network.canonical_root()
+    rooted = network.rooted(root)
+    n_objects = pattern.n_objects
+    n = network.n_nodes
+    stats: List[RoundStats] = []
+
+    if n_objects == 0:
+        return DistributedNibbleReport(
+            result=NibbleResult(placement=Placement([[root]] * 0), centers=()),
+            rounds=0,
+            messages=0,
+            message_units=0,
+        )
+
+    weights = {v: [pattern.accesses_of(v, x) for x in range(n_objects)] for v in range(n)}
+    writes = {v: [pattern.writes_of(v, x) for x in range(n_objects)] for v in range(n)}
+
+    # Phase 1: subtree weights / writes for every node (pipelined).
+    agg_w = pipelined_convergecast(network, weights, root=root)
+    agg_ww = pipelined_convergecast(network, writes, root=root)
+    stats.extend([agg_w.stats, agg_ww.stats])
+    subtree_weight = agg_w.values  # node -> list over objects
+    subtree_writes = agg_ww.values
+
+    # Phase 2: totals live at the root; push them down.
+    totals = list(subtree_weight[root])
+    total_writes = list(subtree_writes[root])
+    down_tot = downcast(network, (totals, total_writes), root=root)
+    stats.append(down_tot.stats)
+
+    # Phase 3: local candidate decision; needs children's subtree weights,
+    # which the parent saw during the convergecast.
+    children_weight: Dict[int, Dict[int, List[int]]] = {
+        v: {c: subtree_weight[c] for c in rooted.children(v)} for v in range(n)
+    }
+    candidate_flags: Dict[int, List[bool]] = {}
+    for v in range(n):
+        flags = []
+        for x in range(n_objects):
+            total = totals[x]
+            worst = max(
+                [children_weight[v][c][x] for c in rooted.children(v)] or [0]
+            )
+            worst = max(worst, total - subtree_weight[v][x])
+            flags.append(worst * 2 <= total)
+        candidate_flags[v] = flags
+
+    # Phase 4: minimum candidate id per object (convergecast of min), then
+    # downcast so everyone knows the center.
+    candidate_ids = {
+        v: [v if candidate_flags[v][x] else n for x in range(n_objects)]
+        for v in range(n)
+    }
+
+    def _vector_min(a, b):
+        return [min(p, q) for p, q in zip(a, b)]
+
+    min_cast = convergecast(network, candidate_ids, _vector_min, root=root)
+    stats.append(min_cast.stats)
+    centers = list(min_cast.values[root])
+    if any(c >= n for c in centers):  # pragma: no cover - impossible by the paper
+        raise SimulationError("no gravity-center candidate found for some object")
+    down_centers = downcast(network, centers, root=root)
+    stats.append(down_centers.stats)
+
+    # Phase 5: indicator convergecast -- does my subtree contain the center?
+    indicator = {
+        v: [1 if v == centers[x] else 0 for x in range(n_objects)] for v in range(n)
+    }
+    ind_cast = pipelined_convergecast(network, indicator, root=root)
+    stats.append(ind_cast.stats)
+    contains_center = ind_cast.values
+
+    # Local holder decision: compute the subtree weight w.r.t. the center.
+    holders: List[List[int]] = [[] for _ in range(n_objects)]
+    for v in range(n):
+        for x in range(n_objects):
+            g = centers[x]
+            if v == g:
+                holders[x].append(v)
+                continue
+            if contains_center[v][x] == 0:
+                # center outside my subtree: subtree w.r.t. g == subtree w.r.t. root
+                weight_g = subtree_weight[v][x]
+            else:
+                # center below me, through exactly one child: everything
+                # except that child's subtree belongs to T_g(v)
+                child_star = None
+                for c in rooted.children(v):
+                    if contains_center[c][x] or c == g:
+                        child_star = c
+                        break
+                if child_star is None:  # pragma: no cover - defensive
+                    raise SimulationError("center indicator inconsistent")
+                weight_g = totals[x] - children_weight[v][child_star][x]
+            if weight_g > total_writes[x]:
+                holders[x].append(v)
+
+    result = NibbleResult(
+        placement=Placement(holders), centers=tuple(int(c) for c in centers)
+    )
+    rounds, messages, units = _merge(stats)
+    return DistributedNibbleReport(
+        result=result, rounds=rounds, messages=messages, message_units=units
+    )
+
+
+def distributed_extended_nibble(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    root: Optional[int] = None,
+) -> DistributedRunReport:
+    """Distributed extended-nibble: placement plus round/message cost model.
+
+    The nibble phase is executed with real message passing
+    (:func:`distributed_nibble`).  The deletion and mapping phases are
+    level-synchronous by construction -- round ``l`` of the deletion touches
+    exactly the level-``l`` copies of ``T(x)``, and each of the two mapping
+    phases sweeps the levels of ``T`` once -- so their round counts follow
+    directly from the algorithm structure: ``height(T(x))`` rounds per
+    object (pipelined over objects) for the deletion and ``2·height(T)``
+    rounds for the mapping, with one message per copy movement and one per
+    reassigned request bundle.
+    """
+    dist_nib = distributed_nibble(network, pattern, root=root)
+    seq = extended_nibble(network, pattern, root=root)
+
+    # The distributed nibble must agree with the sequential step 1.
+    if dist_nib.result.placement != seq.nibble.placement:  # pragma: no cover
+        raise SimulationError(
+            "distributed nibble disagrees with the sequential nibble placement"
+        )
+
+    rooted = network.rooted(root if root is not None else network.canonical_root())
+    height = rooted.height
+
+    # Deletion: one round per level of the largest copy subtree, pipelined
+    # over objects (one extra round per additional object).
+    max_subtree_height = 0
+    deletion_messages = 0
+    for obj in range(pattern.n_objects):
+        holders = seq.nibble.placement.holders(obj)
+        if len(holders) <= 1:
+            continue
+        depths = [rooted.depth(h) for h in holders]
+        max_subtree_height = max(max_subtree_height, max(depths) - min(depths))
+        # every deleted copy forwards one reassignment message
+        deletion_messages += max(0, len(holders) - len(seq.modified_copies[obj].copies))
+    deletion_rounds = max_subtree_height + max(0, pattern.n_objects - 1)
+
+    # Mapping: an upwards sweep and a downwards sweep over the levels of T,
+    # one message per copy movement.
+    mapping_rounds = 2 * height if seq.mapping.affected_objects else 0
+    mapping_messages = seq.mapping.moves_up + seq.mapping.moves_down
+
+    total_messages = dist_nib.messages + deletion_messages + mapping_messages
+    return DistributedRunReport(
+        result=seq,
+        nibble_rounds=dist_nib.rounds,
+        deletion_rounds=deletion_rounds,
+        mapping_rounds=mapping_rounds,
+        total_messages=total_messages,
+    )

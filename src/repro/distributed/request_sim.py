@@ -1,0 +1,258 @@
+"""Request-replay simulator: from congestion to actual delivery time.
+
+The introduction of the paper motivates congestion as the objective because
+routing results show that the delivery time of a batch of messages is
+governed by ``congestion + dilation``.  This module closes that loop for the
+reproduction: given a placement, it expands the access pattern into actual
+request messages (reads, write updates and write broadcasts), routes them
+through the tree with a store-and-forward scheduler that respects edge and
+bus bandwidths, and reports the resulting makespan.
+
+The makespan can never beat the congestion (every edge can forward at most
+``b(e)`` traversals per round, every bus at most ``2·b(B)`` incident
+traversals per round), and for tree routing the greedy schedule stays within
+a small factor of ``congestion + dilation`` -- the relationship experiment
+E8 reports for the different placement strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.placement import Placement, RequestAssignment
+from repro.errors import SimulationError
+from repro.network.rooted import RootedTree
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = ["ReplayResult", "replay_requests"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a request-replay simulation.
+
+    Attributes
+    ----------
+    makespan:
+        Number of rounds until every traversal was delivered.
+    total_traversals:
+        Total number of (message, edge) traversals scheduled.
+    per_edge_traffic:
+        Traversals per edge (matches the congestion model's edge loads).
+    congestion:
+        Max relative edge/bus load implied by ``per_edge_traffic`` -- the
+        lower bound on the makespan.
+    dilation:
+        Longest path (in edges) of any message.
+    """
+
+    makespan: int
+    total_traversals: int
+    per_edge_traffic: np.ndarray
+    congestion: float
+    dilation: int
+
+    @property
+    def slowdown(self) -> float:
+        """Makespan divided by the congestion lower bound (>= 1)."""
+        if self.congestion <= 0:
+            return 1.0
+        return self.makespan / self.congestion
+
+
+@dataclass
+class _Traversal:
+    """One edge crossing of one message, with a precedence dependency."""
+
+    edge_id: int
+    bus_endpoints: Tuple[int, ...]
+    predecessor: Optional[int]  # index of the traversal that must finish first
+    order: int  # FIFO tie-breaker
+    done: bool = False
+
+
+def _expand_messages(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    placement: Placement,
+    assignment: RequestAssignment,
+    rooted: RootedTree,
+    batch: int,
+) -> Tuple[List[_Traversal], np.ndarray, int]:
+    """Expand the pattern into edge traversals with precedence constraints.
+
+    ``batch`` scales the number of messages down: ``batch = k`` means every
+    ``k`` requests of a (processor, object, holder) share are bundled into a
+    single message (the per-edge traffic is divided accordingly), which keeps
+    the simulation tractable for heavy patterns while preserving the load
+    *shape*.
+    """
+    traversals: List[_Traversal] = []
+    per_edge = np.zeros(network.n_edges, dtype=np.float64)
+    dilation = 0
+    order = 0
+
+    def add_path(path_edges: Sequence[int], endpoints_path: Sequence[int], copies: int) -> None:
+        nonlocal order, dilation
+        dilation = max(dilation, len(path_edges))
+        for _ in range(copies):
+            prev_index: Optional[int] = None
+            for step, eid in enumerate(path_edges):
+                # buses adjacent to this edge constrain its scheduling
+                u, v = network.edge_endpoints(eid)
+                buses = tuple(b for b in (u, v) if network.is_bus(b))
+                traversals.append(
+                    _Traversal(
+                        edge_id=eid,
+                        bus_endpoints=buses,
+                        predecessor=prev_index,
+                        order=order,
+                    )
+                )
+                prev_index = len(traversals) - 1
+                per_edge[eid] += 1
+            order += 1
+
+    def add_steiner(edge_ids: Sequence[int], copies: int) -> None:
+        nonlocal order, dilation
+        # A broadcast crosses every Steiner edge once; edges of a broadcast
+        # are independent of each other (the update fans out), so no
+        # precedence between them.
+        dilation = max(dilation, 1 if edge_ids else 0)
+        for _ in range(copies):
+            for eid in edge_ids:
+                u, v = network.edge_endpoints(eid)
+                buses = tuple(b for b in (u, v) if network.is_bus(b))
+                traversals.append(
+                    _Traversal(
+                        edge_id=eid, bus_endpoints=buses, predecessor=None, order=order
+                    )
+                )
+                per_edge[eid] += 1
+            order += 1
+
+    for obj in range(pattern.n_objects):
+        holders = placement.holders(obj)
+        steiner = rooted.steiner_edge_ids(holders) if len(holders) > 1 else []
+        total_writes = 0
+        for proc in pattern.requesters(obj):
+            for share in assignment.shares(proc, obj):
+                count = -(-share.total // batch)  # ceil
+                path = rooted.path_edge_ids(proc, share.holder)
+                add_path(path, (proc, share.holder), count)
+                total_writes += share.writes
+        if steiner and total_writes > 0:
+            add_steiner(steiner, -(-total_writes // batch))
+    return traversals, per_edge, dilation
+
+
+def replay_requests(
+    network: HierarchicalBusNetwork,
+    pattern: AccessPattern,
+    placement: Placement,
+    assignment: Optional[RequestAssignment] = None,
+    batch: int = 1,
+    max_rounds: int = 10_000_000,
+) -> ReplayResult:
+    """Replay every request of the pattern through a store-and-forward router.
+
+    Parameters
+    ----------
+    network, pattern, placement:
+        The instance and the placement to exercise.
+    assignment:
+        Optional explicit request assignment (defaults to nearest-copy).
+    batch:
+        Bundle factor: ``batch`` requests of the same (processor, object,
+        holder) share travel as one message.  Keeps large patterns tractable.
+    max_rounds:
+        Safety limit on the number of simulated rounds.
+    """
+    if batch < 1:
+        raise SimulationError("batch must be a positive integer")
+    if assignment is None:
+        assignment = RequestAssignment.nearest_copy(network, pattern, placement)
+    rooted = network.rooted()
+    traversals, per_edge, dilation = _expand_messages(
+        network, pattern, placement, assignment, rooted, batch
+    )
+
+    edge_bw = np.asarray(network.edge_bandwidths)
+    bus_bw = np.asarray(network.bus_bandwidths)
+
+    # congestion implied by the generated traffic (lower bound on makespan)
+    congestion = 0.0
+    if per_edge.size:
+        congestion = float((per_edge / edge_bw).max())
+        for bus in network.buses:
+            incident = list(network.incident_edge_ids(bus))
+            congestion = max(congestion, per_edge[incident].sum() / 2.0 / bus_bw[bus])
+
+    # ready queue per edge, FIFO by message order
+    pending_by_edge: Dict[int, List[int]] = {e: [] for e in range(network.n_edges)}
+    blocked_children: Dict[int, List[int]] = {}
+    remaining = 0
+    for idx, tr in enumerate(traversals):
+        remaining += 1
+        if tr.predecessor is None:
+            pending_by_edge[tr.edge_id].append(idx)
+        else:
+            blocked_children.setdefault(tr.predecessor, []).append(idx)
+    for queue in pending_by_edge.values():
+        queue.sort(key=lambda i: traversals[i].order)
+
+    rounds = 0
+    while remaining > 0:
+        rounds += 1
+        if rounds > max_rounds:
+            raise SimulationError("request replay exceeded the round limit")
+        edge_capacity = {e: int(edge_bw[e]) if edge_bw[e] >= 1 else 1 for e in range(network.n_edges)}
+        bus_capacity = {
+            b: max(1, int(2 * bus_bw[b])) for b in network.buses
+        }
+        newly_done: List[int] = []
+        for eid in range(network.n_edges):
+            queue = pending_by_edge[eid]
+            if not queue:
+                continue
+            taken: List[int] = []
+            for idx in queue:
+                if edge_capacity[eid] <= 0:
+                    break
+                tr = traversals[idx]
+                if any(bus_capacity[b] <= 0 for b in tr.bus_endpoints):
+                    continue
+                edge_capacity[eid] -= 1
+                for b in tr.bus_endpoints:
+                    bus_capacity[b] -= 1
+                tr.done = True
+                taken.append(idx)
+                newly_done.append(idx)
+            for idx in taken:
+                queue.remove(idx)
+        if not newly_done:
+            # No progress is impossible with positive capacities unless there
+            # is nothing pending, which contradicts remaining > 0.
+            raise SimulationError("request replay deadlocked")  # pragma: no cover
+        remaining -= len(newly_done)
+        for idx in newly_done:
+            for child in blocked_children.get(idx, ()):  # release successors
+                pending_by_edge[traversals[child].edge_id].append(child)
+        for idx in newly_done:
+            if idx in blocked_children:
+                del blocked_children[idx]
+        # keep FIFO order stable
+        for queue in pending_by_edge.values():
+            queue.sort(key=lambda i: traversals[i].order)
+
+    return ReplayResult(
+        makespan=rounds,
+        total_traversals=len(traversals),
+        per_edge_traffic=per_edge,
+        congestion=congestion,
+        dilation=dilation,
+    )

@@ -1,0 +1,303 @@
+"""Online data management strategies on hierarchical bus networks.
+
+The dynamic model (discussed in Section 1.3 of the paper, following
+[MMVW97] and [MVW99]) serves requests one by one without knowledge of the
+future and may replicate, migrate and invalidate copies while doing so.
+Copies may only reside on processors (the hierarchical bus network
+restriction studied in this paper).
+
+This module provides:
+
+* :class:`OnlineCostAccount` -- the per-edge/bus load bookkeeping shared by
+  all strategies; serving and management traffic are charged to the same
+  congestion measure used in the static model.
+* :class:`StaticPlacementManager` -- serves the whole sequence from a fixed
+  placement (no adaptation); used as the hindsight-static reference when the
+  placement comes from the extended-nibble on the aggregate frequencies.
+* :class:`EdgeCounterManager` -- an adaptive strategy in the spirit of the
+  dynamic strategies of [MMVW97]: per-object read counters trigger
+  replication towards frequent readers once they have paid the equivalent of
+  a copy migration (``object_size`` requests), and writes invalidate replicas
+  that have not been read since the previous write burst.  We make no
+  competitive-ratio claim for this exact variant; the evaluation harness
+  (:mod:`repro.dynamic.evaluate`) measures its empirical ratio against the
+  hindsight-static reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.dynamic.sequence import RequestEvent, RequestSequence
+from repro.errors import PlacementError, WorkloadError
+from repro.network.rooted import RootedTree
+from repro.network.tree import HierarchicalBusNetwork
+
+__all__ = [
+    "OnlineCostAccount",
+    "OnlineStrategy",
+    "StaticPlacementManager",
+    "EdgeCounterManager",
+]
+
+
+class OnlineCostAccount:
+    """Accumulates per-edge loads (service + management traffic)."""
+
+    __slots__ = ("network", "edge_loads", "service_units", "management_units")
+
+    def __init__(self, network: HierarchicalBusNetwork) -> None:
+        self.network = network
+        self.edge_loads = np.zeros(network.n_edges, dtype=np.float64)
+        self.service_units = 0.0
+        self.management_units = 0.0
+
+    def charge_path(self, rooted: RootedTree, src: int, dst: int, amount: float = 1.0,
+                    management: bool = False) -> None:
+        """Charge ``amount`` on every edge of the path ``src -> dst``."""
+        if amount <= 0 or src == dst:
+            return
+        for eid in rooted.path_edge_ids(src, dst):
+            self.edge_loads[eid] += amount
+        cost = amount * len(rooted.path_edge_ids(src, dst))
+        if management:
+            self.management_units += cost
+        else:
+            self.service_units += cost
+
+    def charge_steiner(self, rooted: RootedTree, terminals: Sequence[int],
+                       amount: float = 1.0, management: bool = False) -> None:
+        """Charge ``amount`` on every edge of the Steiner tree of ``terminals``."""
+        terminals = list(terminals)
+        if amount <= 0 or len(terminals) < 2:
+            return
+        edges = rooted.steiner_edge_ids(terminals)
+        for eid in edges:
+            self.edge_loads[eid] += amount
+        cost = amount * len(edges)
+        if management:
+            self.management_units += cost
+        else:
+            self.service_units += cost
+
+    @property
+    def bus_loads(self) -> np.ndarray:
+        """Per-node bus loads derived from the edge loads."""
+        loads = np.zeros(self.network.n_nodes, dtype=np.float64)
+        for bus in self.network.buses:
+            incident = list(self.network.incident_edge_ids(bus))
+            loads[bus] = self.edge_loads[incident].sum() / 2.0
+        return loads
+
+    @property
+    def congestion(self) -> float:
+        """Maximum relative load over edges and buses."""
+        value = 0.0
+        if self.edge_loads.size:
+            value = float(
+                (self.edge_loads / np.asarray(self.network.edge_bandwidths)).max()
+            )
+        bus_bw = np.asarray(self.network.bus_bandwidths)
+        bus_loads = self.bus_loads
+        for bus in self.network.buses:
+            value = max(value, bus_loads[bus] / bus_bw[bus])
+        return value
+
+    @property
+    def total_load(self) -> float:
+        """Total communication load over all edges."""
+        return float(self.edge_loads.sum())
+
+
+class OnlineStrategy:
+    """Interface of an online data management strategy."""
+
+    def __init__(self, network: HierarchicalBusNetwork, n_objects: int) -> None:
+        self.network = network
+        self.rooted = network.rooted()
+        self.n_objects = int(n_objects)
+        self.account = OnlineCostAccount(network)
+
+    def serve(self, event: RequestEvent) -> None:
+        """Serve one request, charging its cost to :attr:`account`."""
+        raise NotImplementedError
+
+    def run(self, sequence: RequestSequence) -> OnlineCostAccount:
+        """Serve a whole sequence and return the cost account."""
+        if sequence.n_objects > self.n_objects:
+            raise WorkloadError(
+                "sequence references more objects than the strategy was built for"
+            )
+        for event in sequence:
+            self.serve(event)
+        return self.account
+
+    def holders(self, obj: int) -> Set[int]:
+        """Current holder set of an object (for inspection and tests)."""
+        raise NotImplementedError
+
+
+class StaticPlacementManager(OnlineStrategy):
+    """Serve every request from a fixed placement (no adaptation).
+
+    With the extended-nibble placement computed from the aggregate
+    frequencies of the sequence, this is the hindsight-static reference the
+    dynamic strategies are compared against.
+    """
+
+    def __init__(
+        self,
+        network: HierarchicalBusNetwork,
+        placement: Placement,
+    ) -> None:
+        super().__init__(network, placement.n_objects)
+        placement.validate_for(network, require_leaf_only=True)
+        self._placement = placement
+        self._nearest_cache: Dict[Tuple[int, int], int] = {}
+
+    def holders(self, obj: int) -> Set[int]:
+        return set(self._placement.holders(obj))
+
+    def _nearest(self, proc: int, obj: int) -> int:
+        key = (proc, obj)
+        if key not in self._nearest_cache:
+            self._nearest_cache[key] = self.rooted.nearest_in_set(
+                proc, self._placement.holders(obj)
+            )
+        return self._nearest_cache[key]
+
+    def serve(self, event: RequestEvent) -> None:
+        target = self._nearest(event.processor, event.obj)
+        self.account.charge_path(self.rooted, event.processor, target)
+        if event.is_write:
+            self.account.charge_steiner(
+                self.rooted, sorted(self._placement.holders(event.obj))
+            )
+
+
+@dataclass
+class _ObjectState:
+    """Adaptive per-object state of the edge-counter strategy."""
+
+    holders: Set[int]
+    read_credit: Dict[int, int] = field(default_factory=dict)  # processor -> credit
+    unread_writes: Dict[int, int] = field(default_factory=dict)  # holder -> count
+
+
+class EdgeCounterManager(OnlineStrategy):
+    """Adaptive replication / invalidation driven by per-processor counters.
+
+    Parameters
+    ----------
+    network:
+        The hierarchical bus network.
+    n_objects:
+        Number of shared objects.
+    object_size:
+        Cost (in load units per edge) of copying an object across an edge;
+        also the number of remote reads a processor must issue before it
+        earns a local replica (rent-or-buy threshold).
+    invalidation_patience:
+        Number of consecutive writes an unused replica survives before it is
+        dropped.
+    initial_placement:
+        Optional starting placement; defaults to the first requester
+        ("first touch").
+    """
+
+    def __init__(
+        self,
+        network: HierarchicalBusNetwork,
+        n_objects: int,
+        object_size: int = 4,
+        invalidation_patience: int = 2,
+        initial_placement: Optional[Placement] = None,
+    ) -> None:
+        super().__init__(network, n_objects)
+        if object_size < 1:
+            raise WorkloadError("object_size must be at least 1")
+        if invalidation_patience < 1:
+            raise WorkloadError("invalidation_patience must be at least 1")
+        self.object_size = int(object_size)
+        self.invalidation_patience = int(invalidation_patience)
+        self._states: Dict[int, _ObjectState] = {}
+        if initial_placement is not None:
+            initial_placement.validate_for(network, require_leaf_only=True)
+            if initial_placement.n_objects != n_objects:
+                raise PlacementError("initial placement has the wrong object count")
+            for obj in range(n_objects):
+                self._states[obj] = _ObjectState(set(initial_placement.holders(obj)))
+
+    # ------------------------------------------------------------------ #
+    def holders(self, obj: int) -> Set[int]:
+        state = self._states.get(obj)
+        return set(state.holders) if state is not None else set()
+
+    def _state_for(self, event: RequestEvent) -> _ObjectState:
+        state = self._states.get(event.obj)
+        if state is None:
+            # first touch: the object materialises on the first requester
+            state = _ObjectState({event.processor})
+            self._states[event.obj] = state
+        return state
+
+    # ------------------------------------------------------------------ #
+    def serve(self, event: RequestEvent) -> None:
+        state = self._state_for(event)
+        proc = event.processor
+        nearest = self.rooted.nearest_in_set(proc, state.holders)
+
+        if event.is_read:
+            self.account.charge_path(self.rooted, proc, nearest)
+            if proc not in state.holders:
+                credit = state.read_credit.get(proc, 0) + 1
+                if credit >= self.object_size:
+                    # replicate: ship the object from the nearest copy
+                    self.account.charge_path(
+                        self.rooted, nearest, proc, amount=self.object_size,
+                        management=True,
+                    )
+                    state.holders.add(proc)
+                    state.unread_writes[proc] = 0
+                    state.read_credit[proc] = 0
+                else:
+                    state.read_credit[proc] = credit
+            else:
+                state.unread_writes[proc] = 0
+            return
+
+        # write request: update the reference copy and broadcast to replicas
+        self.account.charge_path(self.rooted, proc, nearest)
+        self.account.charge_steiner(self.rooted, sorted(state.holders))
+        # age replicas; drop the ones nobody read for a while (no traffic)
+        writer_holder = proc if proc in state.holders else nearest
+        stale: List[int] = []
+        for holder in state.holders:
+            if holder == writer_holder:
+                state.unread_writes[holder] = 0
+                continue
+            count = state.unread_writes.get(holder, 0) + 1
+            state.unread_writes[holder] = count
+            if count >= self.invalidation_patience and len(state.holders) > 1:
+                stale.append(holder)
+        for holder in stale:
+            if len(state.holders) > 1:
+                state.holders.discard(holder)
+                state.unread_writes.pop(holder, None)
+        # migration: a lonely copy follows a persistent remote writer
+        if len(state.holders) == 1 and proc not in state.holders:
+            credit = state.read_credit.get(proc, 0) + 1
+            if credit >= self.object_size:
+                old = next(iter(state.holders))
+                self.account.charge_path(
+                    self.rooted, old, proc, amount=self.object_size, management=True
+                )
+                state.holders = {proc}
+                state.unread_writes = {proc: 0}
+                state.read_credit[proc] = 0
+            else:
+                state.read_credit[proc] = credit

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library errors without accidentally swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "NotATreeError",
+    "InvalidNodeError",
+    "InvalidEdgeError",
+    "BandwidthError",
+    "WorkloadError",
+    "PlacementError",
+    "AssignmentError",
+    "AlgorithmError",
+    "InfeasibleError",
+    "SimulationError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """The network topology violates the hierarchical-bus-network model."""
+
+
+class NotATreeError(TopologyError):
+    """The supplied graph is not a tree (disconnected or contains a cycle)."""
+
+
+class InvalidNodeError(TopologyError):
+    """A node identifier does not exist or has the wrong kind."""
+
+
+class InvalidEdgeError(TopologyError):
+    """An edge does not exist in the network."""
+
+
+class BandwidthError(TopologyError):
+    """A bandwidth value is missing or not a positive number."""
+
+
+class WorkloadError(ReproError):
+    """An access pattern (read/write frequency matrix) is malformed."""
+
+
+class PlacementError(ReproError):
+    """A placement is malformed (empty holder set, holder on a bus, ...)."""
+
+
+class AssignmentError(PlacementError):
+    """A reference-copy assignment is inconsistent with the placement."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm reached a state that its analysis proves impossible.
+
+    Raised, e.g., when the downwards phase of the mapping algorithm cannot
+    find a free child edge -- Lemma 4.1 of the paper shows this cannot
+    happen, so hitting this error indicates a bug or a malformed input.
+    """
+
+
+class InfeasibleError(ReproError):
+    """An exact solver determined that no feasible solution exists."""
+
+
+class SimulationError(ReproError):
+    """The distributed simulation engine was used inconsistently."""
+
+
+class SerializationError(ReproError):
+    """A serialized network or workload could not be decoded."""

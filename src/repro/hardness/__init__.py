@@ -1,0 +1,27 @@
+"""NP-hardness machinery: PARTITION and the Theorem 2.1 reduction."""
+
+from repro.hardness.partition import (
+    PartitionInstance,
+    random_partition_instance,
+    solve_partition_bruteforce,
+    solve_partition_dp,
+)
+from repro.hardness.reduction import (
+    ReductionInstance,
+    ReductionReport,
+    build_reduction_instance,
+    placement_from_subset,
+    verify_reduction,
+)
+
+__all__ = [
+    "PartitionInstance",
+    "solve_partition_dp",
+    "solve_partition_bruteforce",
+    "random_partition_instance",
+    "ReductionInstance",
+    "ReductionReport",
+    "build_reduction_instance",
+    "placement_from_subset",
+    "verify_reduction",
+]

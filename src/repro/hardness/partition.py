@@ -1,0 +1,184 @@
+"""The PARTITION problem, source of the NP-hardness reduction (Section 2).
+
+PARTITION: given positive integers ``k_1, ..., k_n`` with
+``Σ k_i = 2k``, decide whether a subset ``S ⊆ {1, ..., n}`` exists with
+``Σ_{i∈S} k_i = k``.
+
+Two exact solvers are provided:
+
+* :func:`solve_partition_dp` -- the classical pseudo-polynomial dynamic
+  program in ``O(n · k)``; returns a witness subset.
+* :func:`solve_partition_bruteforce` -- exhaustive ``O(2^n)`` search, used
+  by tests as an independent oracle for small inputs.
+
+:func:`random_partition_instance` generates yes/no instances for the
+benchmark sweep of experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PartitionInstance",
+    "solve_partition_dp",
+    "solve_partition_bruteforce",
+    "random_partition_instance",
+]
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """An instance of PARTITION.
+
+    Attributes
+    ----------
+    sizes:
+        The integers ``k_1, ..., k_n`` (positive).
+    """
+
+    sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ReproError("a PARTITION instance needs at least one integer")
+        if any(int(k) <= 0 or int(k) != k for k in self.sizes):
+            raise ReproError("PARTITION integers must be positive integers")
+        object.__setattr__(self, "sizes", tuple(int(k) for k in self.sizes))
+
+    @property
+    def total(self) -> int:
+        """The total ``Σ k_i = 2k``."""
+        return sum(self.sizes)
+
+    @property
+    def half(self) -> int:
+        """``k = total / 2`` (rounded down for odd totals, which are NO instances)."""
+        return self.total // 2
+
+    @property
+    def n(self) -> int:
+        """Number of integers."""
+        return len(self.sizes)
+
+    def is_balanced_subset(self, subset: Sequence[int]) -> bool:
+        """Check whether ``subset`` (indices) sums to exactly half the total."""
+        if self.total % 2 != 0:
+            return False
+        return sum(self.sizes[i] for i in subset) == self.half
+
+
+def solve_partition_dp(instance: PartitionInstance) -> Optional[List[int]]:
+    """Solve PARTITION with the subset-sum dynamic program.
+
+    Returns a witness subset of indices summing to ``total/2``, or ``None``
+    when no such subset exists (including when the total is odd).
+    """
+    total = instance.total
+    if total % 2 != 0:
+        return None
+    target = total // 2
+    sizes = instance.sizes
+    # reachable[s] = index of the last item used to first reach sum s (-1 for 0)
+    reachable = np.full(target + 1, -2, dtype=np.int64)
+    reachable[0] = -1
+    for idx, value in enumerate(sizes):
+        if value > target:
+            continue
+        # iterate sums downwards so each item is used at most once
+        hit = np.flatnonzero(reachable[: target - value + 1] != -2)
+        new_sums = hit + value
+        fresh = new_sums[reachable[new_sums] == -2]
+        reachable[fresh] = idx
+        if reachable[target] != -2:
+            break
+    if reachable[target] == -2:
+        return None
+    # Reconstruct the witness.  ``reachable[s]`` stores the item that first
+    # reached ``s``; walking backwards yields a valid subset because an item
+    # never "first reaches" two sums in the same reconstruction chain.
+    subset: List[int] = []
+    s = target
+    while s > 0:
+        idx = int(reachable[s])
+        subset.append(idx)
+        s -= sizes[idx]
+        if idx in subset[:-1]:  # pragma: no cover - defensive
+            raise ReproError("dynamic program produced an invalid witness")
+    subset.reverse()
+    if not instance.is_balanced_subset(subset):  # pragma: no cover - defensive
+        raise ReproError("dynamic program produced an unbalanced witness")
+    return subset
+
+
+def solve_partition_bruteforce(instance: PartitionInstance) -> Optional[List[int]]:
+    """Exhaustive search over all subsets (for small ``n`` only)."""
+    total = instance.total
+    if total % 2 != 0:
+        return None
+    target = total // 2
+    n = instance.n
+    if n > 26:
+        raise ReproError("brute force limited to 26 items; use solve_partition_dp")
+    sizes = instance.sizes
+    for mask in range(1 << n):
+        s = 0
+        for i in range(n):
+            if mask & (1 << i):
+                s += sizes[i]
+        if s == target:
+            return [i for i in range(n) if mask & (1 << i)]
+    return None
+
+
+def random_partition_instance(
+    n: int,
+    max_value: int = 20,
+    force_yes: Optional[bool] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> PartitionInstance:
+    """Generate a random PARTITION instance.
+
+    Parameters
+    ----------
+    n:
+        Number of integers.
+    max_value:
+        Values are drawn uniformly from ``1..max_value``.
+    force_yes:
+        If True, the instance is made solvable by duplicating a random
+        subset (the two halves are identical); if False, the generator
+        re-draws until the DP reports unsolvable; if None, no adjustment is
+        made.
+    """
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    if n < 1:
+        raise ReproError("need at least one integer")
+    if force_yes is True:
+        half = [int(gen.integers(1, max_value + 1)) for _ in range((n + 1) // 2)]
+        sizes = (half + half)[:n] if n % 2 == 0 else half + half[: n - len(half)]
+        # For odd n the duplication trick cannot guarantee solvability, so
+        # pad with the missing difference.
+        inst = PartitionInstance(tuple(sizes))
+        if solve_partition_dp(inst) is None:
+            diff = abs(sum(half) * 2 - inst.total)
+            sizes = list(inst.sizes) + [max(diff, 1)]
+            inst = PartitionInstance(tuple(sizes))
+            if solve_partition_dp(inst) is None:
+                # final fallback: an explicitly balanced instance
+                inst = PartitionInstance(tuple([1] * (2 * ((n + 1) // 2))))
+        return inst
+    for _ in range(1000):
+        sizes = tuple(int(gen.integers(1, max_value + 1)) for _ in range(n))
+        inst = PartitionInstance(sizes)
+        if force_yes is None:
+            return inst
+        if solve_partition_dp(inst) is None:
+            return inst
+    raise ReproError("failed to generate a NO instance; raise max_value")

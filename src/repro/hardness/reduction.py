@@ -1,0 +1,173 @@
+"""The NP-hardness reduction of Theorem 2.1.
+
+Section 2 of the paper reduces PARTITION to the static placement decision
+problem on a 4-ary tree of height 1 whose inner node (bus) may not store
+copies:
+
+* the network has four processors ``a, b, s, sbar`` attached to one bus of
+  effectively unlimited bandwidth (so edge loads dominate);
+* the objects are ``x_1 .. x_n`` and ``y`` with write frequencies
+  ``h_w(v, x_i) = k_i`` for every processor ``v`` and
+  ``h_w(a, y) = 4k + 1``, ``h_w(b, y) = 2k`` where ``2k = Σ k_i``;
+* a placement of congestion at most ``4k`` exists **iff** the PARTITION
+  instance is solvable, and the witness placement puts ``y`` on ``a`` and
+  ``x_i`` on ``s`` for ``i ∈ S`` and on ``sbar`` otherwise.
+
+This module constructs the reduction instance, builds witness placements
+from PARTITION solutions, and verifies the equivalence with the exact
+solver -- the machine-checkable version of the theorem used by experiment
+E2 and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.congestion import compute_loads
+from repro.core.optimal import optimal_nonredundant
+from repro.core.placement import Placement
+from repro.errors import ReproError
+from repro.hardness.partition import (
+    PartitionInstance,
+    solve_partition_dp,
+)
+from repro.network.builders import hardness_gadget
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+from repro.workload.adversarial import partition_like_pattern
+
+__all__ = [
+    "ReductionInstance",
+    "ReductionReport",
+    "build_reduction_instance",
+    "placement_from_subset",
+    "verify_reduction",
+]
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """A placement instance encoding a PARTITION instance.
+
+    Attributes
+    ----------
+    partition:
+        The source PARTITION instance.
+    network, pattern:
+        The 4-leaf gadget network and the encoded access pattern.
+    threshold:
+        The congestion threshold ``4k`` of the decision question.
+    anchors:
+        The node ids of the processors ``(a, b, s, sbar)``.
+    """
+
+    partition: PartitionInstance
+    network: HierarchicalBusNetwork
+    pattern: AccessPattern
+    threshold: int
+    anchors: Tuple[int, int, int, int]
+
+    @property
+    def n_items(self) -> int:
+        """Number of PARTITION integers (number of ``x_i`` objects)."""
+        return self.partition.n
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Outcome of verifying the reduction on one PARTITION instance."""
+
+    instance: ReductionInstance
+    partition_solvable: bool
+    witness_subset: Optional[Tuple[int, ...]]
+    witness_congestion: Optional[float]
+    optimal_congestion: float
+    decision_at_threshold: bool
+
+    @property
+    def equivalence_holds(self) -> bool:
+        """True iff (congestion ≤ 4k achievable) == (PARTITION solvable)."""
+        return self.decision_at_threshold == self.partition_solvable
+
+
+def build_reduction_instance(
+    partition: PartitionInstance,
+    bus_bandwidth: float = 1.0e9,
+) -> ReductionInstance:
+    """Encode a PARTITION instance as a placement instance (Theorem 2.1)."""
+    if partition.total % 2 != 0:
+        raise ReproError(
+            "the reduction requires an even total (Σ k_i = 2k); odd totals are "
+            "trivial NO instances of PARTITION"
+        )
+    network = hardness_gadget(bus_bandwidth=bus_bandwidth)
+    anchors = (
+        network.node_by_name("a"),
+        network.node_by_name("b"),
+        network.node_by_name("s"),
+        network.node_by_name("sbar"),
+    )
+    pattern = partition_like_pattern(network, partition.sizes, anchor_processors=anchors)
+    threshold = 4 * partition.half
+    return ReductionInstance(
+        partition=partition,
+        network=network,
+        pattern=pattern,
+        threshold=threshold,
+        anchors=anchors,
+    )
+
+
+def placement_from_subset(
+    instance: ReductionInstance, subset: Sequence[int]
+) -> Placement:
+    """The witness placement for a PARTITION solution.
+
+    Object ``x_i`` is placed on ``s`` when ``i`` is in the subset and on
+    ``sbar`` otherwise; object ``y`` is placed on ``a`` (the proof's
+    construction).
+    """
+    a, _b, s, sbar = instance.anchors
+    chosen = set(int(i) for i in subset)
+    holders: List[int] = []
+    for i in range(instance.n_items):
+        holders.append(s if i in chosen else sbar)
+    holders.append(a)  # object y is the last object of the pattern
+    return Placement.single_holder(holders)
+
+
+def verify_reduction(
+    partition: PartitionInstance,
+    bus_bandwidth: float = 1.0e9,
+    max_nodes: int = 4_000_000,
+) -> ReductionReport:
+    """Machine-check Theorem 2.1 on one PARTITION instance.
+
+    Solves PARTITION exactly, builds the reduction instance, evaluates the
+    witness placement (when one exists) and compares the exact optimal
+    congestion against the ``4k`` threshold.
+    """
+    instance = build_reduction_instance(partition, bus_bandwidth=bus_bandwidth)
+    subset = solve_partition_dp(partition)
+    solvable = subset is not None
+
+    witness_congestion: Optional[float] = None
+    if solvable:
+        witness = placement_from_subset(instance, subset)
+        witness_congestion = compute_loads(
+            instance.network, instance.pattern, witness
+        ).congestion
+
+    result = optimal_nonredundant(
+        instance.network, instance.pattern, max_nodes=max_nodes
+    )
+    decision = result.congestion <= instance.threshold + 1e-9
+    return ReductionReport(
+        instance=instance,
+        partition_solvable=solvable,
+        witness_subset=tuple(subset) if subset is not None else None,
+        witness_congestion=witness_congestion,
+        optimal_congestion=result.congestion,
+        decision_at_threshold=decision,
+    )

@@ -1,0 +1,62 @@
+"""Network model for hierarchical bus networks.
+
+The subpackage provides the tree data structure (:mod:`repro.network.tree`),
+rooted views with paths, levels and Steiner trees
+(:mod:`repro.network.rooted`), ready-made topologies
+(:mod:`repro.network.builders`), the SCI ring-of-rings substrate and its
+conversion to a bus network (:mod:`repro.network.sci`), structural metrics
+(:mod:`repro.network.metrics`) and JSON serialization
+(:mod:`repro.network.serialization`).
+"""
+
+from repro.network.node import BusSpec, NodeKind, NodeSpec, ProcessorSpec
+from repro.network.tree import Edge, HierarchicalBusNetwork, NetworkBuilder
+from repro.network.rooted import RootedTree
+from repro.network.builders import (
+    balanced_tree,
+    caterpillar,
+    fat_tree,
+    hardness_gadget,
+    path_of_buses,
+    random_tree,
+    single_bus,
+    star_of_buses,
+)
+from repro.network.metrics import NetworkMetrics, compute_metrics, diameter
+from repro.network.sci import BusConversion, SCIFabric, ring_of_rings, transaction_ring_load
+from repro.network.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "NodeKind",
+    "NodeSpec",
+    "ProcessorSpec",
+    "BusSpec",
+    "Edge",
+    "HierarchicalBusNetwork",
+    "NetworkBuilder",
+    "RootedTree",
+    "single_bus",
+    "balanced_tree",
+    "random_tree",
+    "path_of_buses",
+    "caterpillar",
+    "star_of_buses",
+    "fat_tree",
+    "hardness_gadget",
+    "NetworkMetrics",
+    "compute_metrics",
+    "diameter",
+    "SCIFabric",
+    "BusConversion",
+    "ring_of_rings",
+    "transaction_ring_load",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+]

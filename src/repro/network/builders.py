@@ -1,0 +1,314 @@
+"""Ready-made hierarchical bus network topologies.
+
+All builders return a validated
+:class:`~repro.network.tree.HierarchicalBusNetwork` whose leaves are
+processors and whose inner nodes are buses.  The paper's model assumes that
+processor switch edges have bandwidth one and that all other bandwidths are
+at least one; the builders follow that convention but allow overriding the
+bus and trunk bandwidths to explore other regimes.
+
+The builders cover the topology families used by the benchmark harness:
+
+* :func:`single_bus` -- one bus with ``n`` processors (a single SCI ringlet).
+* :func:`balanced_tree` -- complete ``arity``-ary bus tree of given depth
+  with processors at the lowest bus level.
+* :func:`random_tree` -- random bus tree with processors attached.
+* :func:`path_of_buses` / :func:`caterpillar` -- deep, thin topologies.
+* :func:`star_of_buses` -- one root bus with child buses (hierarchical
+  switch, Figure 2 of the paper).
+* :func:`fat_tree` -- balanced tree whose bus/trunk bandwidths grow towards
+  the root (a common NOW/MPP configuration).
+* :func:`hardness_gadget` -- the 4-ary height-1 tree of Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.tree import HierarchicalBusNetwork, NetworkBuilder
+
+__all__ = [
+    "single_bus",
+    "balanced_tree",
+    "random_tree",
+    "path_of_buses",
+    "caterpillar",
+    "star_of_buses",
+    "fat_tree",
+    "hardness_gadget",
+]
+
+
+def single_bus(
+    n_processors: int,
+    bus_bandwidth: float = 1.0,
+    name: str = "bus",
+) -> HierarchicalBusNetwork:
+    """One bus with ``n_processors`` processor leaves.
+
+    Models a single SCI ringlet (Section 1 of the paper): all processors
+    share the bandwidth of one bus.
+    """
+    if n_processors < 2:
+        raise TopologyError("single_bus requires at least two processors")
+    b = NetworkBuilder()
+    bus = b.add_bus(name, bandwidth=bus_bandwidth)
+    for i in range(n_processors):
+        p = b.add_processor(f"p{i}")
+        b.connect(p, bus, bandwidth=1.0)
+    return b.build()
+
+
+def balanced_tree(
+    arity: int,
+    depth: int,
+    leaves_per_bus: int = 2,
+    bus_bandwidth: float = 1.0,
+    trunk_bandwidth: float = 1.0,
+) -> HierarchicalBusNetwork:
+    """Complete ``arity``-ary tree of buses with processors at the bottom.
+
+    Parameters
+    ----------
+    arity:
+        Number of child buses of each non-leaf-level bus.
+    depth:
+        Number of bus levels (``depth == 1`` gives a single bus).
+    leaves_per_bus:
+        Number of processors attached to each lowest-level bus.
+    bus_bandwidth:
+        Bandwidth of every bus.
+    trunk_bandwidth:
+        Bandwidth of bus-to-bus edges (processor switches keep bandwidth 1).
+    """
+    if arity < 1 or depth < 1 or leaves_per_bus < 1:
+        raise TopologyError("arity, depth and leaves_per_bus must be >= 1")
+    b = NetworkBuilder()
+    root = b.add_bus("b0", bandwidth=bus_bandwidth)
+    frontier = [root]
+    for level in range(1, depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(arity):
+                bus = b.add_bus(f"b{b.n_nodes}", bandwidth=bus_bandwidth)
+                b.connect(bus, parent, bandwidth=trunk_bandwidth)
+                new_frontier.append(bus)
+        frontier = new_frontier
+    for bus in frontier:
+        for _ in range(max(leaves_per_bus, 1)):
+            p = b.add_processor(f"p{b.n_nodes}")
+            b.connect(p, bus, bandwidth=1.0)
+    # A depth-1 tree with a single leaf per bus would make the bus a degree-1
+    # node; the validation below catches that, but give a clearer error.
+    net = b.build(validate=False)
+    if depth == 1 and leaves_per_bus < 2:
+        raise TopologyError("a single bus needs at least two processors")
+    net.validate()
+    return net
+
+
+def random_tree(
+    n_buses: int,
+    n_processors: int,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    bus_bandwidth: float = 1.0,
+    trunk_bandwidth: float = 1.0,
+) -> HierarchicalBusNetwork:
+    """Random bus tree with processors attached to random buses.
+
+    The bus tree is drawn by attaching bus ``i`` to a uniformly random
+    earlier bus (a random recursive tree); each processor is attached to a
+    uniformly random bus.  Buses that would end up as leaves receive an
+    extra processor so the result is a valid hierarchical bus network.
+    """
+    if n_buses < 1:
+        raise TopologyError("need at least one bus")
+    if n_processors < 2:
+        raise TopologyError("need at least two processors")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    b = NetworkBuilder()
+    buses = [b.add_bus("b0", bandwidth=bus_bandwidth)]
+    for i in range(1, n_buses):
+        parent = buses[int(rng.integers(0, len(buses)))]
+        bus = b.add_bus(f"b{i}", bandwidth=bus_bandwidth)
+        b.connect(bus, parent, bandwidth=trunk_bandwidth)
+        buses.append(bus)
+    attach_counts = [0] * n_buses
+    for i in range(n_processors):
+        idx = int(rng.integers(0, n_buses))
+        p = b.add_processor(f"p{i}")
+        b.connect(p, buses[idx], bandwidth=1.0)
+        attach_counts[idx] += 1
+    net = b.build(validate=False)
+    # Fix up buses that are still leaves (degree 1): attach one processor.
+    extra = 0
+    builder2 = NetworkBuilder()
+    # Rebuild only if needed, to keep ids stable in the common case.
+    needs_fix = any(
+        net.degree(bus) < 2 for bus in net.buses
+    )
+    if not needs_fix:
+        net.validate()
+        return net
+    # Rebuild with extra processors appended at the end.
+    id_map = {}
+    for node in net.nodes():
+        if net.is_bus(node):
+            id_map[node] = builder2.add_bus(net.name(node), net.bus_bandwidth(node))
+        else:
+            id_map[node] = builder2.add_processor(net.name(node))
+    for e in net.edges:
+        builder2.connect(id_map[e.u], id_map[e.v], net.edge_bandwidth(e.u, e.v))
+    for bus in net.buses:
+        if net.degree(bus) < 2:
+            p = builder2.add_processor(f"pfix{extra}")
+            builder2.connect(p, id_map[bus], bandwidth=1.0)
+            extra += 1
+    return builder2.build()
+
+
+def path_of_buses(
+    n_buses: int,
+    leaves_per_bus: int = 1,
+    bus_bandwidth: float = 1.0,
+    trunk_bandwidth: float = 1.0,
+) -> HierarchicalBusNetwork:
+    """A path of ``n_buses`` buses, each with ``leaves_per_bus`` processors.
+
+    Produces the deepest possible bus hierarchy for a given number of buses
+    (height ``n_buses + 1``); useful for runtime-scaling experiments in
+    ``height(T)``.
+    """
+    if n_buses < 1:
+        raise TopologyError("need at least one bus")
+    if leaves_per_bus < 1:
+        raise TopologyError("need at least one processor per bus")
+    b = NetworkBuilder()
+    prev = None
+    buses = []
+    for i in range(n_buses):
+        bus = b.add_bus(f"b{i}", bandwidth=bus_bandwidth)
+        if prev is not None:
+            b.connect(bus, prev, bandwidth=trunk_bandwidth)
+        buses.append(bus)
+        prev = bus
+    for i, bus in enumerate(buses):
+        count = leaves_per_bus
+        # End buses need enough leaves to not be degree-1 nodes.
+        if n_buses == 1:
+            count = max(count, 2)
+        elif (i == 0 or i == n_buses - 1) and leaves_per_bus < 1:
+            count = 1
+        for j in range(count):
+            p = b.add_processor(f"p{i}_{j}")
+            b.connect(p, bus, bandwidth=1.0)
+    return b.build()
+
+
+def caterpillar(
+    spine_length: int,
+    legs: int = 2,
+    bus_bandwidth: float = 1.0,
+    trunk_bandwidth: float = 1.0,
+) -> HierarchicalBusNetwork:
+    """Caterpillar topology: a spine of buses, ``legs`` processors per bus."""
+    if legs < 1:
+        raise TopologyError("need at least one leg per spine bus")
+    return path_of_buses(
+        spine_length,
+        leaves_per_bus=legs,
+        bus_bandwidth=bus_bandwidth,
+        trunk_bandwidth=trunk_bandwidth,
+    )
+
+
+def star_of_buses(
+    n_child_buses: int,
+    leaves_per_bus: int,
+    root_bandwidth: float = 1.0,
+    bus_bandwidth: float = 1.0,
+    trunk_bandwidth: float = 1.0,
+) -> HierarchicalBusNetwork:
+    """A root bus connected to ``n_child_buses`` buses with processor leaves.
+
+    This is the shape of Figure 2 in the paper: two leaf-level buses joined
+    by a higher-level bus via switches.
+    """
+    if n_child_buses < 1 or leaves_per_bus < 1:
+        raise TopologyError("need at least one child bus and one leaf per bus")
+    b = NetworkBuilder()
+    root = b.add_bus("root", bandwidth=root_bandwidth)
+    if n_child_buses == 1 and leaves_per_bus < 2:
+        raise TopologyError("degenerate star: child bus would be a leaf")
+    for i in range(n_child_buses):
+        bus = b.add_bus(f"b{i}", bandwidth=bus_bandwidth)
+        b.connect(bus, root, bandwidth=trunk_bandwidth)
+        for j in range(leaves_per_bus):
+            p = b.add_processor(f"p{i}_{j}")
+            b.connect(p, bus, bandwidth=1.0)
+    if n_child_buses == 1:
+        # Root would be degree 1; attach a processor directly to the root.
+        p = b.add_processor("p_root")
+        b.connect(p, root, bandwidth=1.0)
+    return b.build()
+
+
+def fat_tree(
+    arity: int,
+    depth: int,
+    leaves_per_bus: int = 2,
+    base_bandwidth: float = 1.0,
+    fatness: float = 2.0,
+) -> HierarchicalBusNetwork:
+    """Balanced bus tree whose bandwidths grow geometrically towards the root.
+
+    Level-``l`` buses (counting the leaf-level buses as level 0) have
+    bandwidth ``base_bandwidth * fatness**l`` and the trunk edge to their
+    parent has the same bandwidth, reflecting fat-tree style provisioning.
+    """
+    if arity < 1 or depth < 1 or leaves_per_bus < 1:
+        raise TopologyError("arity, depth and leaves_per_bus must be >= 1")
+    if fatness <= 0:
+        raise TopologyError("fatness must be positive")
+    b = NetworkBuilder()
+    # level of the root (leaf-level buses are level 0)
+    root_level = depth - 1
+    root = b.add_bus("b0", bandwidth=base_bandwidth * fatness**root_level)
+    frontier = [(root, root_level)]
+    for _ in range(1, depth):
+        new_frontier = []
+        for parent, plevel in frontier:
+            for _ in range(arity):
+                level = plevel - 1
+                bw = base_bandwidth * fatness**level
+                bus = b.add_bus(f"b{b.n_nodes}", bandwidth=bw)
+                b.connect(bus, parent, bandwidth=base_bandwidth * fatness ** (level + 1))
+                new_frontier.append((bus, level))
+        frontier = new_frontier
+    for bus, _level in frontier:
+        count = max(leaves_per_bus, 2 if depth == 1 else 1)
+        for _ in range(count):
+            p = b.add_processor(f"p{b.n_nodes}")
+            b.connect(p, bus, bandwidth=1.0)
+    return b.build()
+
+
+def hardness_gadget(bus_bandwidth: float = 1.0e9) -> HierarchicalBusNetwork:
+    """The 4-ary height-1 tree used in the NP-hardness proof (Theorem 2.1).
+
+    Four processors named ``a``, ``b``, ``s`` and ``sbar`` attached to a
+    single bus.  The bus bandwidth is "sufficiently large such that the load
+    on the edges is dominating" (the proof's assumption); the default makes
+    it effectively unconstrained.
+    """
+    b = NetworkBuilder()
+    bus = b.add_bus("bus", bandwidth=bus_bandwidth)
+    for name in ("a", "b", "s", "sbar"):
+        p = b.add_processor(name)
+        b.connect(p, bus, bandwidth=1.0)
+    return b.build()

@@ -1,0 +1,88 @@
+"""Structural metrics of hierarchical bus networks.
+
+These helpers report the quantities that appear in the paper's runtime
+bounds -- ``|P ∪ B|``, ``height(T)`` and ``degree(T)`` -- plus a few extra
+statistics used by the scaling experiments (diameter, processor/bus counts,
+bandwidth summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.network.tree import HierarchicalBusNetwork
+
+__all__ = ["NetworkMetrics", "compute_metrics", "diameter", "eccentricity"]
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Summary statistics of a network topology."""
+
+    n_nodes: int
+    n_processors: int
+    n_buses: int
+    n_edges: int
+    height: int
+    max_degree: int
+    diameter: int
+    mean_bus_degree: float
+    min_edge_bandwidth: float
+    max_edge_bandwidth: float
+    min_bus_bandwidth: float
+    max_bus_bandwidth: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the metrics as a plain dictionary (for reports/JSON)."""
+        return asdict(self)
+
+
+def eccentricity(network: HierarchicalBusNetwork, node: int) -> int:
+    """Maximum distance from ``node`` to any other node."""
+    rooted = network.rooted(node)
+    return rooted.height
+
+
+def diameter(network: HierarchicalBusNetwork) -> int:
+    """Diameter of the tree (longest path, in edges).
+
+    Computed with the classical double-BFS trick: the farthest node from an
+    arbitrary start is one end of a diameter.
+    """
+    if network.n_nodes == 1:
+        return 0
+    r0 = network.rooted(0)
+    far = max(network.nodes(), key=lambda v: (r0.depth(v), -v))
+    r1 = network.rooted(far)
+    return r1.height
+
+
+def compute_metrics(
+    network: HierarchicalBusNetwork, root: Optional[int] = None
+) -> NetworkMetrics:
+    """Compute a :class:`NetworkMetrics` summary for ``network``."""
+    bus_degrees = [network.degree(b) for b in network.buses]
+    edge_bw = np.asarray(network.edge_bandwidths, dtype=np.float64)
+    if network.buses:
+        bus_bw = np.asarray(
+            [network.bus_bandwidth(b) for b in network.buses], dtype=np.float64
+        )
+    else:
+        bus_bw = np.asarray([1.0])
+    return NetworkMetrics(
+        n_nodes=network.n_nodes,
+        n_processors=network.n_processors,
+        n_buses=network.n_buses,
+        n_edges=network.n_edges,
+        height=network.height(root),
+        max_degree=network.max_degree(),
+        diameter=diameter(network),
+        mean_bus_degree=float(np.mean(bus_degrees)) if bus_degrees else 0.0,
+        min_edge_bandwidth=float(edge_bw.min()) if edge_bw.size else 1.0,
+        max_edge_bandwidth=float(edge_bw.max()) if edge_bw.size else 1.0,
+        min_bus_bandwidth=float(bus_bw.min()),
+        max_bus_bandwidth=float(bus_bw.max()),
+    )

@@ -1,0 +1,100 @@
+"""Node model for hierarchical bus networks.
+
+A hierarchical bus network is a tree ``T = (P ∪ B, E, b)`` whose leaves are
+*processors* and whose inner nodes are *buses* (Section 1.1 of the paper).
+This module defines the light-weight node descriptions used by
+:class:`repro.network.tree.HierarchicalBusNetwork`.
+
+Nodes are identified by dense integer ids ``0 .. n-1``; the descriptor
+objects defined here carry the *kind* (processor or bus), an optional
+human-readable name and, for buses, the bus bandwidth ``b(B)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BandwidthError
+
+__all__ = ["NodeKind", "NodeSpec", "ProcessorSpec", "BusSpec"]
+
+
+class NodeKind(enum.IntEnum):
+    """Kind of a node in a hierarchical bus network.
+
+    The integer values are stable and used in serialized form and in numpy
+    arrays (``PROCESSOR == 0``, ``BUS == 1``).
+    """
+
+    PROCESSOR = 0
+    BUS = 1
+
+    @property
+    def is_processor(self) -> bool:
+        """``True`` iff the kind is :attr:`PROCESSOR`."""
+        return self is NodeKind.PROCESSOR
+
+    @property
+    def is_bus(self) -> bool:
+        """``True`` iff the kind is :attr:`BUS`."""
+        return self is NodeKind.BUS
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Description of one node before it is frozen into a network.
+
+    Parameters
+    ----------
+    kind:
+        Whether the node is a processor (leaf) or a bus (inner node).
+    name:
+        Optional human readable name.  Defaults to ``"p<i>"`` / ``"b<i>"``
+        when the network is built.
+    bandwidth:
+        Bus bandwidth ``b(B)`` for buses.  Ignored for processors (processors
+        have no own bandwidth in the model -- only their switch edge, which
+        carries bandwidth 1 by assumption).
+    """
+
+    kind: NodeKind
+    name: Optional[str] = None
+    bandwidth: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.BUS and not self.bandwidth > 0:
+            raise BandwidthError(
+                f"bus bandwidth must be positive, got {self.bandwidth!r}"
+            )
+
+    @property
+    def is_processor(self) -> bool:
+        """``True`` iff this node is a processor."""
+        return self.kind is NodeKind.PROCESSOR
+
+    @property
+    def is_bus(self) -> bool:
+        """``True`` iff this node is a bus."""
+        return self.kind is NodeKind.BUS
+
+
+def ProcessorSpec(name: Optional[str] = None) -> NodeSpec:
+    """Convenience constructor for a processor node description."""
+    return NodeSpec(kind=NodeKind.PROCESSOR, name=name)
+
+
+def BusSpec(name: Optional[str] = None, bandwidth: float = 1.0) -> NodeSpec:
+    """Convenience constructor for a bus node description.
+
+    Parameters
+    ----------
+    name:
+        Optional human readable name.
+    bandwidth:
+        Bus bandwidth ``b(B) >= 1`` (the paper assumes all bandwidths other
+        than processor switches are at least one; this is not enforced here
+        beyond positivity so that experiments may explore other regimes).
+    """
+    return NodeSpec(kind=NodeKind.BUS, name=name, bandwidth=bandwidth)

@@ -1,0 +1,285 @@
+"""Rooted views of hierarchical bus networks.
+
+The algorithms in the paper repeatedly root the tree at some node (the
+center of gravity for the nibble strategy, an arbitrary node for the mapping
+algorithm) and then reason about parents, children, levels and subtrees.
+:class:`RootedTree` provides these derived quantities for a fixed root,
+computed once in ``O(n)`` and shared via the cache in
+:meth:`repro.network.tree.HierarchicalBusNetwork.rooted`.
+
+Level convention (Section 3.3 of the paper): the root is on level
+``height(T)`` and the children of a level ``i+1`` node are on level ``i``;
+equivalently ``level(v) = height(T) - depth(v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidNodeError
+
+__all__ = ["RootedTree"]
+
+
+class RootedTree:
+    """Parent/children/depth/level structure of a network for a fixed root.
+
+    Parameters
+    ----------
+    network:
+        The underlying :class:`~repro.network.tree.HierarchicalBusNetwork`.
+    root:
+        The node to use as root.
+    """
+
+    __slots__ = (
+        "network",
+        "root",
+        "_parent",
+        "_parent_edge",
+        "_depth",
+        "_order",
+        "_children",
+        "_height",
+        "_subtree_size",
+    )
+
+    def __init__(self, network, root: int) -> None:
+        n = network.n_nodes
+        if not 0 <= root < n:
+            raise InvalidNodeError(f"invalid root {root!r}")
+        self.network = network
+        self.root = int(root)
+
+        parent = np.full(n, -1, dtype=np.int64)
+        parent_edge = np.full(n, -1, dtype=np.int64)
+        depth = np.full(n, -1, dtype=np.int64)
+        order: List[int] = []
+        children: List[List[int]] = [[] for _ in range(n)]
+
+        depth[root] = 0
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for v in network.neighbors(u):
+                if v != parent[u]:
+                    parent[v] = u
+                    parent_edge[v] = network.edge_id(u, v)
+                    depth[v] = depth[u] + 1
+                    children[u].append(v)
+                    stack.append(v)
+        if len(order) != n:
+            raise InvalidNodeError(
+                "rooted traversal did not reach all nodes; network is not a tree"
+            )
+
+        self._parent = parent
+        self._parent_edge = parent_edge
+        self._depth = depth
+        self._order = np.asarray(order, dtype=np.int64)
+        self._children = [tuple(sorted(c)) for c in children]
+        self._height = int(depth.max())
+        sizes = np.ones(n, dtype=np.int64)
+        for u in reversed(order):
+            p = parent[u]
+            if p >= 0:
+                sizes[p] += sizes[u]
+        self._subtree_size = sizes
+
+    # ------------------------------------------------------------------ #
+    # structural accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Height of the tree for this root (max depth)."""
+        return self._height
+
+    def parent(self, node: int) -> int:
+        """Parent of ``node`` (``-1`` for the root)."""
+        return int(self._parent[node])
+
+    def parent_edge_id(self, node: int) -> int:
+        """Id of the edge connecting ``node`` to its parent (``-1`` for root)."""
+        return int(self._parent_edge[node])
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        """Children of ``node`` in ascending id order."""
+        return self._children[node]
+
+    def depth(self, node: int) -> int:
+        """Depth of ``node`` (root has depth 0)."""
+        return int(self._depth[node])
+
+    def level(self, node: int) -> int:
+        """Paper level of ``node``: ``height(T) - depth(node)``."""
+        return self._height - int(self._depth[node])
+
+    def subtree_size(self, node: int) -> int:
+        """Number of nodes in the maximal subtree ``T(node)``."""
+        return int(self._subtree_size[node])
+
+    @property
+    def preorder(self) -> Sequence[int]:
+        """Nodes in a preorder (parents before children)."""
+        return tuple(int(v) for v in self._order)
+
+    @property
+    def postorder(self) -> Sequence[int]:
+        """Nodes in a postorder (children before parents)."""
+        return tuple(int(v) for v in self._order[::-1])
+
+    def nodes_by_level(self) -> Dict[int, List[int]]:
+        """Group node ids by paper level, ``{level: [nodes...]}``."""
+        groups: Dict[int, List[int]] = {}
+        for v in range(self.network.n_nodes):
+            groups.setdefault(self.level(v), []).append(v)
+        for lst in groups.values():
+            lst.sort()
+        return groups
+
+    def is_ancestor(self, anc: int, node: int) -> bool:
+        """``True`` iff ``anc`` lies on the path from ``node`` to the root.
+
+        A node is considered an ancestor of itself.
+        """
+        # Walk up from node; depth difference bounds the walk length.
+        while self._depth[node] > self._depth[anc]:
+            node = int(self._parent[node])
+        return node == anc
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v``."""
+        du, dv = int(self._depth[u]), int(self._depth[v])
+        while du > dv:
+            u = int(self._parent[u])
+            du -= 1
+        while dv > du:
+            v = int(self._parent[v])
+            dv -= 1
+        while u != v:
+            u = int(self._parent[u])
+            v = int(self._parent[v])
+        return u
+
+    def path_nodes(self, u: int, v: int) -> List[int]:
+        """The unique path from ``u`` to ``v`` as a node sequence."""
+        a = self.lca(u, v)
+        up: List[int] = []
+        x = u
+        while x != a:
+            up.append(x)
+            x = int(self._parent[x])
+        down: List[int] = []
+        x = v
+        while x != a:
+            down.append(x)
+            x = int(self._parent[x])
+        return up + [a] + down[::-1]
+
+    def path_edge_ids(self, u: int, v: int) -> List[int]:
+        """Edge ids of the unique path from ``u`` to ``v`` (may be empty)."""
+        a = self.lca(u, v)
+        edges: List[int] = []
+        x = u
+        while x != a:
+            edges.append(int(self._parent_edge[x]))
+            x = int(self._parent[x])
+        tail: List[int] = []
+        x = v
+        while x != a:
+            tail.append(int(self._parent_edge[x]))
+            x = int(self._parent[x])
+        return edges + tail[::-1]
+
+    def distance(self, u: int, v: int) -> int:
+        """Number of edges on the path from ``u`` to ``v``."""
+        a = self.lca(u, v)
+        return int(self._depth[u] + self._depth[v] - 2 * self._depth[a])
+
+    # ------------------------------------------------------------------ #
+    # subtree aggregation and Steiner trees
+    # ------------------------------------------------------------------ #
+    def subtree_sums(self, values: np.ndarray) -> np.ndarray:
+        """Sum the per-node ``values`` over every maximal subtree ``T(v)``.
+
+        Returns an array ``s`` with ``s[v] = sum(values[u] for u in T(v))``
+        where ``T(v)`` is the maximal subtree containing ``v`` but not its
+        parent (the paper's definition in Section 3.1).
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.network.n_nodes:
+            raise ValueError("values must have one entry per node")
+        sums = values.astype(np.float64 if values.dtype.kind == "f" else np.int64).copy()
+        for u in self._order[::-1]:
+            p = self._parent[u]
+            if p >= 0:
+                sums[p] += sums[u]
+        return sums
+
+    def steiner_edge_ids(self, terminals: Iterable[int]) -> List[int]:
+        """Edges of the minimal subtree connecting ``terminals``.
+
+        Used for the write-broadcast cost: a write to object ``x`` loads every
+        edge of the Steiner tree connecting the holder set ``P_x``.
+        Returns an empty list when fewer than two terminals are given.
+        """
+        term = sorted(set(int(t) for t in terminals))
+        for t in term:
+            if not 0 <= t < self.network.n_nodes:
+                raise InvalidNodeError(f"invalid terminal {t}")
+        if len(term) <= 1:
+            return []
+        marks = np.zeros(self.network.n_nodes, dtype=np.int64)
+        marks[term] = 1
+        counts = self.subtree_sums(marks)
+        total = len(term)
+        edges: List[int] = []
+        for v in range(self.network.n_nodes):
+            p = self._parent[v]
+            if p < 0:
+                continue
+            below = counts[v]
+            if 0 < below < total:
+                edges.append(int(self._parent_edge[v]))
+        return edges
+
+    def steiner_node_ids(self, terminals: Iterable[int]) -> List[int]:
+        """Nodes of the minimal subtree connecting ``terminals``.
+
+        For a single terminal this is the terminal itself; for an empty set
+        the result is empty.
+        """
+        term = sorted(set(int(t) for t in terminals))
+        if not term:
+            return []
+        if len(term) == 1:
+            return term
+        nodes = set(term)
+        for eid in self.steiner_edge_ids(term):
+            e = self.network.edge_endpoints(eid)
+            nodes.add(e.u)
+            nodes.add(e.v)
+        return sorted(nodes)
+
+    def nearest_in_set(self, node: int, candidates: Iterable[int]) -> int:
+        """Return the candidate closest to ``node`` (ties: smallest id).
+
+        Used to pick the reference copy ``c(P, x)`` as the copy of ``x``
+        stored on the node closest to ``P`` (Section 3.2).
+        """
+        cands = sorted(set(int(c) for c in candidates))
+        if not cands:
+            raise InvalidNodeError("candidate set must not be empty")
+        best = cands[0]
+        best_dist = self.distance(node, best)
+        for c in cands[1:]:
+            d = self.distance(node, c)
+            if d < best_dist:
+                best, best_dist = c, d
+        return best

@@ -1,0 +1,342 @@
+"""SCI (Scalable Coherent Interface) ring-of-rings substrate.
+
+The paper motivates hierarchical bus networks with SCI clusters: large SCI
+installations are composed of small unidirectional *ringlets* linked by
+*switches* (Figure 1).  Because SCI uses request--response transactions, a
+message between two stations of a ringlet effectively travels once around
+the whole ring, so -- as far as load accounting is concerned -- a ringlet
+behaves exactly like a bus shared by all its stations, and a tree-like
+connected ring network behaves like a hierarchical bus network (Figure 2).
+
+This module implements that substrate:
+
+* :class:`SCIFabric` describes processors, ringlets and switches and checks
+  that the ringlets are tree-like connected;
+* :meth:`SCIFabric.to_bus_network` performs the Figure 1 → Figure 2
+  conversion, returning a :class:`~repro.network.tree.HierarchicalBusNetwork`
+  together with the node-id mapping;
+* :func:`transaction_ring_load` computes the per-ringlet / per-switch load of
+  a set of end-to-end transactions in the ring model, which experiment E1
+  compares against the bus-model load of the converted network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InvalidNodeError, TopologyError
+from repro.network.tree import HierarchicalBusNetwork, NetworkBuilder
+
+__all__ = [
+    "SCIFabric",
+    "BusConversion",
+    "transaction_ring_load",
+    "ring_of_rings",
+]
+
+
+@dataclass(frozen=True)
+class _Ringlet:
+    """Internal description of one SCI ringlet."""
+
+    ringlet_id: int
+    name: str
+    bandwidth: float
+
+
+@dataclass(frozen=True)
+class _Switch:
+    """Internal description of one SCI switch linking two ringlets."""
+
+    switch_id: int
+    ringlet_a: int
+    ringlet_b: int
+    bandwidth: float
+
+
+@dataclass(frozen=True)
+class BusConversion:
+    """Result of converting an :class:`SCIFabric` to a bus network.
+
+    Attributes
+    ----------
+    network:
+        The equivalent hierarchical bus network.
+    processor_node:
+        Maps fabric processor ids to node ids in ``network``.
+    ringlet_node:
+        Maps ringlet ids to the bus node representing them.
+    switch_edge:
+        Maps switch ids to the edge id representing them.
+    """
+
+    network: HierarchicalBusNetwork
+    processor_node: Mapping[int, int]
+    ringlet_node: Mapping[int, int]
+    switch_edge: Mapping[int, int]
+
+
+class SCIFabric:
+    """A tree-like connected collection of SCI ringlets.
+
+    Example
+    -------
+    >>> fab = SCIFabric()
+    >>> top = fab.add_ringlet("top", bandwidth=2.0)
+    >>> left = fab.add_ringlet("left")
+    >>> right = fab.add_ringlet("right")
+    >>> _ = fab.add_switch(left, top)
+    >>> _ = fab.add_switch(right, top)
+    >>> ps = [fab.add_processor(left) for _ in range(3)]
+    >>> ps += [fab.add_processor(right) for _ in range(3)]
+    >>> conv = fab.to_bus_network()
+    >>> conv.network.n_buses, conv.network.n_processors
+    (3, 6)
+    """
+
+    def __init__(self) -> None:
+        self._ringlets: List[_Ringlet] = []
+        self._switches: List[_Switch] = []
+        self._processors: List[Tuple[int, str]] = []  # (ringlet_id, name)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ringlets(self) -> int:
+        """Number of ringlets added so far."""
+        return len(self._ringlets)
+
+    @property
+    def n_switches(self) -> int:
+        """Number of switches added so far."""
+        return len(self._switches)
+
+    @property
+    def n_processors(self) -> int:
+        """Number of processors added so far."""
+        return len(self._processors)
+
+    def add_ringlet(self, name: Optional[str] = None, bandwidth: float = 1.0) -> int:
+        """Add a ringlet and return its id."""
+        if bandwidth <= 0:
+            raise TopologyError("ringlet bandwidth must be positive")
+        rid = len(self._ringlets)
+        self._ringlets.append(
+            _Ringlet(rid, name if name is not None else f"ring{rid}", bandwidth)
+        )
+        return rid
+
+    def add_switch(self, ringlet_a: int, ringlet_b: int, bandwidth: float = 1.0) -> int:
+        """Connect two ringlets with an SCI switch and return the switch id."""
+        for r in (ringlet_a, ringlet_b):
+            if not 0 <= r < self.n_ringlets:
+                raise InvalidNodeError(f"unknown ringlet {r}")
+        if ringlet_a == ringlet_b:
+            raise TopologyError("a switch must connect two distinct ringlets")
+        if bandwidth <= 0:
+            raise TopologyError("switch bandwidth must be positive")
+        sid = len(self._switches)
+        self._switches.append(_Switch(sid, ringlet_a, ringlet_b, bandwidth))
+        return sid
+
+    def add_processor(self, ringlet: int, name: Optional[str] = None) -> int:
+        """Attach a processor station to ``ringlet`` and return its id."""
+        if not 0 <= ringlet < self.n_ringlets:
+            raise InvalidNodeError(f"unknown ringlet {ringlet}")
+        pid = len(self._processors)
+        self._processors.append(
+            (ringlet, name if name is not None else f"p{pid}")
+        )
+        return pid
+
+    def processor_ringlet(self, processor: int) -> int:
+        """Return the ringlet a processor station belongs to."""
+        if not 0 <= processor < self.n_processors:
+            raise InvalidNodeError(f"unknown processor {processor}")
+        return self._processors[processor][0]
+
+    def ringlet_processors(self, ringlet: int) -> List[int]:
+        """All processor ids attached to ``ringlet``."""
+        if not 0 <= ringlet < self.n_ringlets:
+            raise InvalidNodeError(f"unknown ringlet {ringlet}")
+        return [pid for pid, (rid, _name) in enumerate(self._processors) if rid == ringlet]
+
+    # ------------------------------------------------------------------ #
+    # validation / ring routing
+    # ------------------------------------------------------------------ #
+    def _ringlet_adjacency(self) -> List[List[Tuple[int, int]]]:
+        """Adjacency of the ringlet graph: per ringlet, (neighbour, switch id)."""
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(self.n_ringlets)]
+        for sw in self._switches:
+            adj[sw.ringlet_a].append((sw.ringlet_b, sw.switch_id))
+            adj[sw.ringlet_b].append((sw.ringlet_a, sw.switch_id))
+        return adj
+
+    def validate(self) -> None:
+        """Check that the ringlet graph is a tree and every ringlet is used."""
+        n = self.n_ringlets
+        if n == 0:
+            raise TopologyError("the fabric has no ringlets")
+        if len(self._switches) != n - 1:
+            raise TopologyError(
+                f"tree-like connected ringlets need exactly {n - 1} switches, "
+                f"got {len(self._switches)}"
+            )
+        adj = self._ringlet_adjacency()
+        seen = [False] * n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v, _sid in adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        if count != n:
+            raise TopologyError("the ringlet graph is not connected")
+        if self.n_processors < 2:
+            raise TopologyError("the fabric needs at least two processors")
+
+    def ringlet_path(self, src_ringlet: int, dst_ringlet: int) -> Tuple[List[int], List[int]]:
+        """Return ``(ringlets, switches)`` on the unique ringlet-tree path."""
+        self.validate()
+        adj = self._ringlet_adjacency()
+        parent = {src_ringlet: (-1, -1)}
+        stack = [src_ringlet]
+        while stack:
+            u = stack.pop()
+            if u == dst_ringlet:
+                break
+            for v, sid in adj[u]:
+                if v not in parent:
+                    parent[v] = (u, sid)
+                    stack.append(v)
+        if dst_ringlet not in parent:
+            raise TopologyError("ringlet graph is not connected")
+        ringlets: List[int] = []
+        switches: List[int] = []
+        cur = dst_ringlet
+        while cur != -1:
+            ringlets.append(cur)
+            prev, sid = parent[cur]
+            if sid >= 0:
+                switches.append(sid)
+            cur = prev
+        ringlets.reverse()
+        switches.reverse()
+        return ringlets, switches
+
+    # ------------------------------------------------------------------ #
+    # conversion (Figure 1 -> Figure 2)
+    # ------------------------------------------------------------------ #
+    def to_bus_network(self) -> BusConversion:
+        """Convert the fabric into the equivalent hierarchical bus network.
+
+        Every ringlet becomes a bus with the ringlet's bandwidth, every switch
+        becomes a bus--bus edge with the switch's bandwidth, and every
+        processor station becomes a processor leaf attached to its ringlet's
+        bus with a bandwidth-1 switch edge (the paper's "slowest part of the
+        system" assumption).
+        """
+        self.validate()
+        builder = NetworkBuilder()
+        ringlet_node: Dict[int, int] = {}
+        for ring in self._ringlets:
+            ringlet_node[ring.ringlet_id] = builder.add_bus(ring.name, ring.bandwidth)
+        processor_node: Dict[int, int] = {}
+        for pid, (rid, name) in enumerate(self._processors):
+            node = builder.add_processor(name)
+            builder.connect(node, ringlet_node[rid], bandwidth=1.0)
+            processor_node[pid] = node
+        switch_pairs: Dict[int, Tuple[int, int]] = {}
+        for sw in self._switches:
+            u = ringlet_node[sw.ringlet_a]
+            v = ringlet_node[sw.ringlet_b]
+            builder.connect(u, v, bandwidth=sw.bandwidth)
+            switch_pairs[sw.switch_id] = (u, v)
+        network = builder.build()
+        switch_edge = {
+            sid: network.edge_id(u, v) for sid, (u, v) in switch_pairs.items()
+        }
+        return BusConversion(
+            network=network,
+            processor_node=dict(processor_node),
+            ringlet_node=dict(ringlet_node),
+            switch_edge=dict(switch_edge),
+        )
+
+
+def transaction_ring_load(
+    fabric: SCIFabric,
+    transactions: Iterable[Tuple[int, int, int]],
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Per-ringlet and per-switch load of end-to-end transactions.
+
+    Parameters
+    ----------
+    fabric:
+        The SCI fabric.
+    transactions:
+        Iterable of ``(src_processor, dst_processor, count)`` triples.  Each
+        transaction is a request--response pair: it loads every ringlet on
+        the ringlet-tree path between the two stations by ``count`` (the
+        packet travels once around each ringlet) and every traversed switch
+        by ``count``.
+
+    Returns
+    -------
+    (ringlet_load, switch_load):
+        Dictionaries mapping ringlet / switch ids to integer loads.
+    """
+    ringlet_load: Dict[int, int] = {r: 0 for r in range(fabric.n_ringlets)}
+    switch_load: Dict[int, int] = {s: 0 for s in range(fabric.n_switches)}
+    for src, dst, count in transactions:
+        if count < 0:
+            raise ValueError("transaction count must be non-negative")
+        if count == 0:
+            continue
+        r_src = fabric.processor_ringlet(src)
+        r_dst = fabric.processor_ringlet(dst)
+        if src == dst:
+            # A local access does not use the interconnect at all.
+            continue
+        ringlets, switches = fabric.ringlet_path(r_src, r_dst)
+        for r in ringlets:
+            ringlet_load[r] += count
+        for s in switches:
+            switch_load[s] += count
+    return ringlet_load, switch_load
+
+
+def ring_of_rings(
+    n_leaf_rings: int,
+    processors_per_ring: int,
+    top_bandwidth: float = 1.0,
+    leaf_bandwidth: float = 1.0,
+    switch_bandwidth: float = 1.0,
+) -> SCIFabric:
+    """Build the Figure-1 topology: a top ringlet joining leaf ringlets.
+
+    Parameters
+    ----------
+    n_leaf_rings:
+        Number of leaf ringlets (each holding processors).
+    processors_per_ring:
+        Number of processor stations per leaf ringlet.
+    top_bandwidth, leaf_bandwidth, switch_bandwidth:
+        Bandwidths of the top ring, the leaf rings and the switches.
+    """
+    if n_leaf_rings < 1 or processors_per_ring < 1:
+        raise TopologyError("need at least one leaf ring and one processor per ring")
+    fab = SCIFabric()
+    top = fab.add_ringlet("top", bandwidth=top_bandwidth)
+    for i in range(n_leaf_rings):
+        ring = fab.add_ringlet(f"ring{i}", bandwidth=leaf_bandwidth)
+        fab.add_switch(ring, top, bandwidth=switch_bandwidth)
+        for _j in range(processors_per_ring):
+            fab.add_processor(ring)
+    return fab

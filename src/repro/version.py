@@ -1,0 +1,20 @@
+"""Version information for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = ["__version__", "PAPER", "version_info"]
+
+#: Package version.  Kept in sync with ``pyproject.toml`` manually.
+__version__ = "1.0.0"
+
+#: Bibliographic reference of the reproduced paper.
+PAPER = (
+    "F. Meyer auf der Heide, H. Raecke, M. Westermann: "
+    "Data Management in Hierarchical Bus Networks. SPAA 2000."
+)
+
+
+def version_info() -> tuple[int, int, int]:
+    """Return the version as an ``(major, minor, patch)`` tuple of ints."""
+    major, minor, patch = (int(part) for part in __version__.split("."))
+    return major, minor, patch

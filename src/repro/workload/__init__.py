@@ -1,0 +1,43 @@
+"""Workload model: access patterns and synthetic workload generators."""
+
+from repro.workload.access import AccessPattern
+from repro.workload.generators import (
+    hotspot_pattern,
+    random_sparse_pattern,
+    read_write_mix,
+    subtree_local_pattern,
+    uniform_pattern,
+    zipf_pattern,
+    zipf_weights,
+)
+from repro.workload.traces import (
+    producer_consumer_trace,
+    shared_counter_trace,
+    stencil_halo_trace,
+    web_cache_trace,
+)
+from repro.workload.adversarial import (
+    bisection_stress,
+    partition_like_pattern,
+    replication_trap,
+    write_conflict_pattern,
+)
+
+__all__ = [
+    "AccessPattern",
+    "uniform_pattern",
+    "zipf_pattern",
+    "hotspot_pattern",
+    "subtree_local_pattern",
+    "random_sparse_pattern",
+    "read_write_mix",
+    "zipf_weights",
+    "shared_counter_trace",
+    "producer_consumer_trace",
+    "stencil_halo_trace",
+    "web_cache_trace",
+    "bisection_stress",
+    "write_conflict_pattern",
+    "replication_trap",
+    "partition_like_pattern",
+]

@@ -1,0 +1,296 @@
+"""Access patterns: the read/write frequency matrices ``h_r`` and ``h_w``.
+
+The static data management problem (Section 1.1) is parameterised by a set
+``X`` of shared data objects and two functions
+``h_r, h_w : P × X -> N`` giving, for every processor and object, the number
+of read and write accesses.  :class:`AccessPattern` stores these functions as
+dense integer matrices indexed by *node id* (rows for buses are zero, since
+buses do not issue requests) and *object index*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.network.tree import HierarchicalBusNetwork
+
+__all__ = ["AccessPattern"]
+
+
+class AccessPattern:
+    """Read and write frequencies of every node for every shared object.
+
+    Parameters
+    ----------
+    reads, writes:
+        Integer arrays of shape ``(n_nodes, n_objects)``; ``reads[v, x]`` is
+        ``h_r(v, x)`` and ``writes[v, x]`` is ``h_w(v, x)``.
+    object_names:
+        Optional names of the shared objects (defaults to ``"x0", "x1", ...``).
+
+    Notes
+    -----
+    Frequencies must be non-negative integers.  Rows belonging to buses must
+    be zero; this is checked by :meth:`validate_for` against a concrete
+    network (the constructor cannot know which rows are buses).
+    """
+
+    __slots__ = ("_reads", "_writes", "_object_names")
+
+    def __init__(
+        self,
+        reads: np.ndarray,
+        writes: np.ndarray,
+        object_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        reads = np.asarray(reads)
+        writes = np.asarray(writes)
+        if reads.ndim != 2 or writes.ndim != 2:
+            raise WorkloadError("reads and writes must be 2-D (n_nodes, n_objects)")
+        if reads.shape != writes.shape:
+            raise WorkloadError(
+                f"reads shape {reads.shape} != writes shape {writes.shape}"
+            )
+        if reads.dtype.kind not in "iu" or writes.dtype.kind not in "iu":
+            if not (
+                np.all(np.equal(np.mod(reads, 1), 0))
+                and np.all(np.equal(np.mod(writes, 1), 0))
+            ):
+                raise WorkloadError("frequencies must be integers")
+        if np.any(reads < 0) or np.any(writes < 0):
+            raise WorkloadError("frequencies must be non-negative")
+        self._reads = reads.astype(np.int64)
+        self._writes = writes.astype(np.int64)
+        n_objects = reads.shape[1]
+        if object_names is None:
+            object_names = [f"x{i}" for i in range(n_objects)]
+        names = [str(n) for n in object_names]
+        if len(names) != n_objects:
+            raise WorkloadError(
+                f"expected {n_objects} object names, got {len(names)}"
+            )
+        if len(set(names)) != len(names):
+            raise WorkloadError("object names must be unique")
+        self._object_names: Tuple[str, ...] = tuple(names)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(
+        cls,
+        n_nodes: int,
+        n_objects: int,
+        object_names: Optional[Sequence[str]] = None,
+    ) -> "AccessPattern":
+        """An all-zero access pattern of the given shape."""
+        zeros = np.zeros((n_nodes, n_objects), dtype=np.int64)
+        return cls(zeros, zeros.copy(), object_names)
+
+    @classmethod
+    def from_requests(
+        cls,
+        network: HierarchicalBusNetwork,
+        n_objects: int,
+        requests: Iterable[Tuple[int, int, int, int]],
+        object_names: Optional[Sequence[str]] = None,
+    ) -> "AccessPattern":
+        """Build a pattern from ``(processor, object, n_reads, n_writes)`` tuples."""
+        reads = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+        writes = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+        for proc, obj, r, w in requests:
+            if not network.is_processor(proc):
+                raise WorkloadError(f"node {proc} is not a processor")
+            if not 0 <= obj < n_objects:
+                raise WorkloadError(f"object index {obj} out of range")
+            if r < 0 or w < 0:
+                raise WorkloadError("request counts must be non-negative")
+            reads[proc, obj] += int(r)
+            writes[proc, obj] += int(w)
+        pattern = cls(reads, writes, object_names)
+        pattern.validate_for(network)
+        return pattern
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of node rows (must equal the network's node count)."""
+        return int(self._reads.shape[0])
+
+    @property
+    def n_objects(self) -> int:
+        """Number of shared data objects ``|X|``."""
+        return int(self._reads.shape[1])
+
+    @property
+    def object_names(self) -> Tuple[str, ...]:
+        """Names of the shared objects."""
+        return self._object_names
+
+    @property
+    def reads(self) -> np.ndarray:
+        """Read-only view of the read-frequency matrix ``h_r``."""
+        view = self._reads.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Read-only view of the write-frequency matrix ``h_w``."""
+        view = self._writes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def totals(self) -> np.ndarray:
+        """Matrix ``h = h_r + h_w`` of total accesses per (node, object)."""
+        return self._reads + self._writes
+
+    def reads_of(self, node: int, obj: int) -> int:
+        """``h_r(node, obj)``."""
+        return int(self._reads[node, obj])
+
+    def writes_of(self, node: int, obj: int) -> int:
+        """``h_w(node, obj)``."""
+        return int(self._writes[node, obj])
+
+    def accesses_of(self, node: int, obj: int) -> int:
+        """``h(node, obj) = h_r + h_w``."""
+        return int(self._reads[node, obj] + self._writes[node, obj])
+
+    def object_index(self, name: str) -> int:
+        """Index of the object called ``name``."""
+        try:
+            return self._object_names.index(name)
+        except ValueError:
+            raise WorkloadError(f"no object named {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # derived per-object quantities
+    # ------------------------------------------------------------------ #
+    def write_contention(self, obj: int) -> int:
+        """The write contention ``κ_x = Σ_P h_w(P, x)`` of object ``obj``."""
+        return int(self._writes[:, obj].sum())
+
+    def total_requests(self, obj: int) -> int:
+        """Total number of requests ``h_x = Σ_P (h_r + h_w)(P, x)``."""
+        return int(self._reads[:, obj].sum() + self._writes[:, obj].sum())
+
+    def write_contentions(self) -> np.ndarray:
+        """Vector of ``κ_x`` for every object."""
+        return self._writes.sum(axis=0)
+
+    def total_requests_all(self) -> np.ndarray:
+        """Vector of total requests per object."""
+        return self._reads.sum(axis=0) + self._writes.sum(axis=0)
+
+    def requesters(self, obj: int) -> List[int]:
+        """Node ids with at least one request to ``obj``."""
+        mask = (self._reads[:, obj] + self._writes[:, obj]) > 0
+        return [int(i) for i in np.flatnonzero(mask)]
+
+    def object_weights(self, obj: int) -> np.ndarray:
+        """Per-node weight vector ``h(v) = r(v) + w(v)`` for object ``obj``."""
+        return (self._reads[:, obj] + self._writes[:, obj]).astype(np.int64)
+
+    def is_trivial(self, obj: int) -> bool:
+        """True if ``obj`` receives no requests at all."""
+        return self.total_requests(obj) == 0
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def restrict_objects(self, objects: Sequence[int]) -> "AccessPattern":
+        """Return a new pattern containing only the selected objects."""
+        objects = list(objects)
+        names = [self._object_names[i] for i in objects]
+        return AccessPattern(
+            self._reads[:, objects].copy(), self._writes[:, objects].copy(), names
+        )
+
+    def scaled(self, factor: int) -> "AccessPattern":
+        """Multiply every frequency by a positive integer factor."""
+        if factor <= 0 or int(factor) != factor:
+            raise WorkloadError("scale factor must be a positive integer")
+        return AccessPattern(
+            self._reads * int(factor), self._writes * int(factor), self._object_names
+        )
+
+    def combined_with(self, other: "AccessPattern") -> "AccessPattern":
+        """Concatenate the objects of two patterns over the same node set."""
+        if other.n_nodes != self.n_nodes:
+            raise WorkloadError("patterns must be over the same node set")
+        names = list(self._object_names)
+        for name in other.object_names:
+            names.append(name if name not in names else f"{name}'")
+        return AccessPattern(
+            np.concatenate([self._reads, other.reads], axis=1),
+            np.concatenate([self._writes, other.writes], axis=1),
+            names,
+        )
+
+    # ------------------------------------------------------------------ #
+    # validation & serialization
+    # ------------------------------------------------------------------ #
+    def validate_for(self, network: HierarchicalBusNetwork) -> None:
+        """Check compatibility with ``network``.
+
+        Raises :class:`~repro.errors.WorkloadError` if the row count differs
+        from the node count or if any bus row is non-zero (buses do not issue
+        requests in the hierarchical bus model).
+        """
+        if self.n_nodes != network.n_nodes:
+            raise WorkloadError(
+                f"pattern has {self.n_nodes} node rows, network has "
+                f"{network.n_nodes} nodes"
+            )
+        for bus in network.buses:
+            if self._reads[bus].any() or self._writes[bus].any():
+                raise WorkloadError(
+                    f"bus {bus} has non-zero frequencies; buses cannot issue requests"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode the pattern into a JSON-serialisable dictionary."""
+        return {
+            "format": "repro.workload/v1",
+            "object_names": list(self._object_names),
+            "reads": self._reads.tolist(),
+            "writes": self._writes.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AccessPattern":
+        """Decode a dictionary produced by :meth:`to_dict`."""
+        if data.get("format") != "repro.workload/v1":
+            raise WorkloadError(
+                f"unsupported workload format {data.get('format')!r}"
+            )
+        return cls(
+            np.asarray(data["reads"], dtype=np.int64),
+            np.asarray(data["writes"], dtype=np.int64),
+            data.get("object_names"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessPattern):
+            return NotImplemented
+        return (
+            np.array_equal(self._reads, other._reads)
+            and np.array_equal(self._writes, other._writes)
+            and self._object_names == other._object_names
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AccessPattern(n_nodes={self.n_nodes}, n_objects={self.n_objects}, "
+            f"total_reads={int(self._reads.sum())}, total_writes={int(self._writes.sum())})"
+        )

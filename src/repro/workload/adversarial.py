@@ -1,0 +1,198 @@
+"""Adversarial and stress workloads.
+
+These patterns are designed to be *hard* for placement heuristics:
+
+* :func:`bisection_stress` -- every object is shared by processor pairs on
+  opposite sides of the root bus, so all traffic must cross the top of the
+  hierarchy regardless of the placement.
+* :func:`write_conflict_pattern` -- each object is written heavily by two
+  far-apart processors; any placement loads the path between them and
+  replication only makes things worse.
+* :func:`replication_trap` -- objects that look read-mostly per processor
+  but have just enough writes that naive full replication explodes the
+  write-broadcast cost.
+* :func:`partition_like_pattern` -- a generalisation of the NP-hardness
+  gadget workload (Section 2) to arbitrary single-bus networks: one huge
+  object pins down one processor and many "item" objects must be split
+  evenly between two other processors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "bisection_stress",
+    "write_conflict_pattern",
+    "replication_trap",
+    "partition_like_pattern",
+]
+
+
+def bisection_stress(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    requests_per_pair: int = 32,
+    write_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """All traffic crosses the root bus.
+
+    Processors are split into the two "heaviest" subtrees below the root;
+    each object is accessed by one processor from each side, so every
+    placement must route across the root.  This measures how well strategies
+    balance an unavoidable load.
+    """
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    root = network.canonical_root()
+    rooted = network.rooted(root)
+    children = rooted.children(root)
+    if len(children) < 2:
+        raise WorkloadError("bisection stress needs a root with at least two subtrees")
+    procs_by_side = []
+    for child in children:
+        side = [p for p in network.processors if rooted.is_ancestor(child, p)]
+        procs_by_side.append(side)
+    procs_by_side.sort(key=len, reverse=True)
+    left, right = procs_by_side[0], procs_by_side[1]
+    if not left or not right:
+        raise WorkloadError("both sides of the bisection must contain processors")
+
+    reads = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    writes = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    n_writes = int(round(requests_per_pair * write_fraction))
+    n_reads = requests_per_pair - n_writes
+    for x in range(n_objects):
+        a = left[int(gen.integers(0, len(left)))]
+        b = right[int(gen.integers(0, len(right)))]
+        reads[a, x] += n_reads
+        writes[a, x] += n_writes
+        reads[b, x] += n_reads
+        writes[b, x] += n_writes
+    return AccessPattern(reads, writes)
+
+
+def write_conflict_pattern(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    writes_per_endpoint: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Each object is written heavily by two far-apart processors.
+
+    The pair for each object is chosen to (approximately) maximise the tree
+    distance, so the unavoidable per-object load is spread across long
+    paths.  Write-only traffic means replication never helps.
+    """
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    procs = list(network.processors)
+    if len(procs) < 2:
+        raise WorkloadError("need at least two processors")
+    rooted = network.rooted()
+    # Pre-compute a far partner for every processor.
+    far_partner = {}
+    for p in procs:
+        far_partner[p] = max(
+            (q for q in procs if q != p), key=lambda q: (rooted.distance(p, q), -q)
+        )
+    reads = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    writes = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    for x in range(n_objects):
+        a = procs[int(gen.integers(0, len(procs)))]
+        b = far_partner[a]
+        writes[a, x] += writes_per_endpoint
+        writes[b, x] += writes_per_endpoint
+    return AccessPattern(reads, writes)
+
+
+def replication_trap(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    reads_per_processor: int = 8,
+    writes_per_object: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Read-mostly objects with a thin stream of writes from one writer.
+
+    Full replication turns each of the ``writes_per_object`` writes into a
+    broadcast over *all* processor switch edges, so the congestion of the
+    full-replication baseline grows with the network size while a selective
+    placement keeps it constant.
+    """
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    procs = list(network.processors)
+    reads = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    writes = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    for x in range(n_objects):
+        for p in procs:
+            reads[p, x] += reads_per_processor
+        writer = procs[int(gen.integers(0, len(procs)))]
+        writes[writer, x] += writes_per_object
+    return AccessPattern(reads, writes)
+
+
+def partition_like_pattern(
+    network: HierarchicalBusNetwork,
+    item_sizes: Sequence[int],
+    anchor_processors: Optional[Sequence[int]] = None,
+) -> AccessPattern:
+    """The Section-2 gadget workload on an arbitrary single-bus network.
+
+    Parameters
+    ----------
+    network:
+        A network with at least four processors (the canonical instance is
+        :func:`repro.network.builders.hardness_gadget`).
+    item_sizes:
+        The PARTITION integers ``k_1, ..., k_n`` (must sum to an even value
+        for the decision question to be meaningful, but any positive values
+        are accepted).
+    anchor_processors:
+        The four distinguished processors ``(a, b, s, sbar)``.  Defaults to
+        the first four processors of the network.
+
+    Returns
+    -------
+    AccessPattern
+        Objects ``x_1 .. x_n`` and ``y`` with the frequencies of the
+        NP-hardness proof: ``h_w(a, y) = 4k + 1``, ``h_w(b, y) = 2k`` and
+        ``h_w(v, x_i) = k_i`` for every anchor ``v``.
+    """
+    sizes = [int(k) for k in item_sizes]
+    if not sizes or any(k <= 0 for k in sizes):
+        raise WorkloadError("item sizes must be positive integers")
+    procs = list(network.processors)
+    if anchor_processors is None:
+        if len(procs) < 4:
+            raise WorkloadError("need at least four processors")
+        anchor_processors = procs[:4]
+    anchors = [int(p) for p in anchor_processors]
+    if len(anchors) != 4 or len(set(anchors)) != 4:
+        raise WorkloadError("exactly four distinct anchor processors are required")
+    for p in anchors:
+        if not network.is_processor(p):
+            raise WorkloadError(f"anchor {p} is not a processor")
+    a, b, s, sbar = anchors
+    total = sum(sizes)
+    k = total // 2
+
+    n_objects = len(sizes) + 1
+    reads = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    writes = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    names = [f"x{i + 1}" for i in range(len(sizes))] + ["y"]
+    for i, ki in enumerate(sizes):
+        for v in (a, b, s, sbar):
+            writes[v, i] += ki
+    y = len(sizes)
+    writes[a, y] = 4 * k + 1
+    writes[b, y] = 2 * k
+    return AccessPattern(reads, writes, names)

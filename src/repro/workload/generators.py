@@ -1,0 +1,267 @@
+"""Synthetic workload generators.
+
+The paper's algorithms consume only the frequency matrices ``h_r`` and
+``h_w``; these generators produce the access-pattern regimes that the
+introduction motivates (global variables of parallel programs, pages of a
+virtual shared memory system, WWW pages):
+
+* :func:`uniform_pattern` -- every processor accesses every object with the
+  same expected frequency.
+* :func:`zipf_pattern` -- object popularity follows a Zipf law (WWW-style).
+* :func:`hotspot_pattern` -- a few processors generate most of the traffic.
+* :func:`subtree_local_pattern` -- each object is mostly accessed inside one
+  subtree of the bus hierarchy (data locality, the regime in which the
+  nibble strategy keeps traffic low in the hierarchy).
+* :func:`read_write_mix` -- rescale the read/write ratio of any pattern.
+* :func:`random_sparse_pattern` -- sparse random requests, useful for
+  property-based tests.
+
+All generators are deterministic given a :class:`numpy.random.Generator` or
+a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+
+__all__ = [
+    "uniform_pattern",
+    "zipf_pattern",
+    "hotspot_pattern",
+    "subtree_local_pattern",
+    "random_sparse_pattern",
+    "read_write_mix",
+    "zipf_weights",
+]
+
+
+def _rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def _scatter_to_processors(
+    network: HierarchicalBusNetwork, per_processor: np.ndarray
+) -> np.ndarray:
+    """Expand a ``(n_processors, n_objects)`` matrix to node-id indexed rows."""
+    out = np.zeros((network.n_nodes, per_processor.shape[1]), dtype=np.int64)
+    out[list(network.processors), :] = per_processor
+    return out
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf probabilities ``p_i ∝ 1 / (i+1)^exponent``."""
+    if n <= 0:
+        raise WorkloadError("need at least one item for a Zipf distribution")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-float(exponent)
+    return weights / weights.sum()
+
+
+def uniform_pattern(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    requests_per_processor: int = 32,
+    write_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Uniform access pattern.
+
+    Every processor issues ``requests_per_processor`` requests, each to a
+    uniformly random object; a request is a write with probability
+    ``write_fraction``.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise WorkloadError("write_fraction must be in [0, 1]")
+    gen = _rng(rng, seed)
+    n_p = network.n_processors
+    reads = np.zeros((n_p, n_objects), dtype=np.int64)
+    writes = np.zeros((n_p, n_objects), dtype=np.int64)
+    for p in range(n_p):
+        objs = gen.integers(0, n_objects, size=requests_per_processor)
+        is_write = gen.random(requests_per_processor) < write_fraction
+        np.add.at(writes[p], objs[is_write], 1)
+        np.add.at(reads[p], objs[~is_write], 1)
+    return AccessPattern(
+        _scatter_to_processors(network, reads),
+        _scatter_to_processors(network, writes),
+    )
+
+
+def zipf_pattern(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    requests_per_processor: int = 32,
+    exponent: float = 1.0,
+    write_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Zipf-popular objects (WWW-page style workload).
+
+    Object popularity follows a Zipf law with the given exponent; every
+    processor draws its requests independently from that popularity
+    distribution.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise WorkloadError("write_fraction must be in [0, 1]")
+    gen = _rng(rng, seed)
+    probs = zipf_weights(n_objects, exponent)
+    n_p = network.n_processors
+    reads = np.zeros((n_p, n_objects), dtype=np.int64)
+    writes = np.zeros((n_p, n_objects), dtype=np.int64)
+    for p in range(n_p):
+        objs = gen.choice(n_objects, size=requests_per_processor, p=probs)
+        is_write = gen.random(requests_per_processor) < write_fraction
+        np.add.at(writes[p], objs[is_write], 1)
+        np.add.at(reads[p], objs[~is_write], 1)
+    return AccessPattern(
+        _scatter_to_processors(network, reads),
+        _scatter_to_processors(network, writes),
+    )
+
+
+def hotspot_pattern(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    n_hot_processors: int = 2,
+    hot_requests: int = 128,
+    cold_requests: int = 8,
+    write_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """A few "hot" processors issue most of the requests.
+
+    This stresses the placement near the hot processors' switch edges, which
+    have bandwidth one and are the system bottleneck in the paper's model.
+    """
+    gen = _rng(rng, seed)
+    n_p = network.n_processors
+    if n_hot_processors < 0 or n_hot_processors > n_p:
+        raise WorkloadError("n_hot_processors out of range")
+    hot = set(gen.choice(n_p, size=n_hot_processors, replace=False).tolist())
+    reads = np.zeros((n_p, n_objects), dtype=np.int64)
+    writes = np.zeros((n_p, n_objects), dtype=np.int64)
+    for p in range(n_p):
+        budget = hot_requests if p in hot else cold_requests
+        if budget == 0:
+            continue
+        objs = gen.integers(0, n_objects, size=budget)
+        is_write = gen.random(budget) < write_fraction
+        np.add.at(writes[p], objs[is_write], 1)
+        np.add.at(reads[p], objs[~is_write], 1)
+    return AccessPattern(
+        _scatter_to_processors(network, reads),
+        _scatter_to_processors(network, writes),
+    )
+
+
+def subtree_local_pattern(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    requests_per_processor: int = 32,
+    locality: float = 0.9,
+    write_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Objects with an affinity to one region of the bus hierarchy.
+
+    Every object is assigned a *home bus*; processors below the home bus
+    access the object with probability proportional to ``locality``, all
+    other processors with probability proportional to ``1 - locality``.
+    With high locality, a good placement keeps almost all traffic inside the
+    home subtree, which is exactly the regime the hierarchical placement
+    strategies are designed for.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise WorkloadError("locality must be in [0, 1]")
+    gen = _rng(rng, seed)
+    rooted = network.rooted()
+    buses = list(network.buses) if network.buses else [network.canonical_root()]
+    processors = list(network.processors)
+    proc_index = {p: i for i, p in enumerate(processors)}
+    n_p = len(processors)
+
+    # membership[b_idx, p_idx] = 1 if processor p lies in the subtree of bus b
+    membership = np.zeros((len(buses), n_p), dtype=bool)
+    for bi, bus in enumerate(buses):
+        for p in processors:
+            if rooted.is_ancestor(bus, p):
+                membership[bi, proc_index[p]] = True
+    # Some buses (the root) contain every processor; that is fine.
+
+    reads = np.zeros((n_p, n_objects), dtype=np.int64)
+    writes = np.zeros((n_p, n_objects), dtype=np.int64)
+    home_buses = gen.integers(0, len(buses), size=n_objects)
+    for x in range(n_objects):
+        inside = membership[home_buses[x]]
+        weights = np.where(inside, locality, 1.0 - locality)
+        if weights.sum() == 0:
+            weights = np.ones(n_p)
+        probs = weights / weights.sum()
+        total = requests_per_processor * max(1, int(inside.sum()))
+        procs = gen.choice(n_p, size=total, p=probs)
+        is_write = gen.random(total) < write_fraction
+        np.add.at(writes[:, x], procs[is_write], 1)
+        np.add.at(reads[:, x], procs[~is_write], 1)
+    return AccessPattern(
+        _scatter_to_processors(network, reads),
+        _scatter_to_processors(network, writes),
+    )
+
+
+def random_sparse_pattern(
+    network: HierarchicalBusNetwork,
+    n_objects: int,
+    density: float = 0.3,
+    max_frequency: int = 10,
+    write_probability: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Sparse random frequencies, mainly for testing.
+
+    Each (processor, object) pair independently receives requests with
+    probability ``density``; the read and write counts are uniform in
+    ``[0, max_frequency]`` with writes enabled with ``write_probability``.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise WorkloadError("density must be in [0, 1]")
+    gen = _rng(rng, seed)
+    n_p = network.n_processors
+    active = gen.random((n_p, n_objects)) < density
+    reads = gen.integers(0, max_frequency + 1, size=(n_p, n_objects)) * active
+    write_mask = (gen.random((n_p, n_objects)) < write_probability) & active
+    writes = gen.integers(0, max_frequency + 1, size=(n_p, n_objects)) * write_mask
+    return AccessPattern(
+        _scatter_to_processors(network, reads.astype(np.int64)),
+        _scatter_to_processors(network, writes.astype(np.int64)),
+    )
+
+
+def read_write_mix(
+    pattern: AccessPattern,
+    read_weight: int = 1,
+    write_weight: int = 1,
+) -> AccessPattern:
+    """Rescale the read and write frequencies of a pattern by integer weights.
+
+    ``read_weight = 3, write_weight = 1`` triples all read frequencies while
+    leaving writes untouched, turning any base pattern into a read-mostly
+    variant without changing which (processor, object) pairs interact.
+    """
+    if read_weight < 0 or write_weight < 0:
+        raise WorkloadError("weights must be non-negative integers")
+    return AccessPattern(
+        pattern.reads * int(read_weight),
+        pattern.writes * int(write_weight),
+        pattern.object_names,
+    )

@@ -1,0 +1,182 @@
+"""Application-style synthetic traces.
+
+The introduction of the paper motivates the data management problem with
+shared objects of parallel programs (global variables, virtual-shared-memory
+pages) and of distributed information systems (WWW pages).  These builders
+produce frequency matrices shaped like such applications, so the benchmark
+harness can report congestion for recognisable workloads rather than only
+for abstract random matrices.
+
+* :func:`shared_counter_trace` -- a handful of global counters written by
+  everybody (high write contention, the hardest case for replication).
+* :func:`producer_consumer_trace` -- objects written by one producer and
+  read by a set of consumers.
+* :func:`stencil_halo_trace` -- neighbour-to-neighbour halo exchange of an
+  iterative 1-D stencil code mapped onto the processor order.
+* :func:`web_cache_trace` -- read-mostly Zipf-popular pages with a small
+  writer set (origin servers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.network.tree import HierarchicalBusNetwork
+from repro.workload.access import AccessPattern
+from repro.workload.generators import zipf_weights
+
+__all__ = [
+    "shared_counter_trace",
+    "producer_consumer_trace",
+    "stencil_halo_trace",
+    "web_cache_trace",
+]
+
+
+def _empty(network: HierarchicalBusNetwork, n_objects: int):
+    reads = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    writes = np.zeros((network.n_nodes, n_objects), dtype=np.int64)
+    return reads, writes
+
+
+def shared_counter_trace(
+    network: HierarchicalBusNetwork,
+    n_counters: int = 4,
+    increments_per_processor: int = 16,
+    reads_per_processor: int = 16,
+) -> AccessPattern:
+    """Global counters: every processor increments and reads every counter.
+
+    Every increment is a write, so the write contention ``κ_x`` equals the
+    total number of increments; replication cannot help and a good placement
+    concentrates each counter near the gravity centre of its requesters.
+    """
+    if n_counters < 1:
+        raise WorkloadError("need at least one counter")
+    reads, writes = _empty(network, n_counters)
+    for p in network.processors:
+        reads[p, :] += reads_per_processor
+        writes[p, :] += increments_per_processor
+    names = [f"counter{i}" for i in range(n_counters)]
+    return AccessPattern(reads, writes, names)
+
+
+def producer_consumer_trace(
+    network: HierarchicalBusNetwork,
+    n_channels: Optional[int] = None,
+    items_per_channel: int = 32,
+    consumers_per_channel: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Producer/consumer channels.
+
+    Each channel object is written ``items_per_channel`` times by a single
+    producer processor and read ``items_per_channel`` times by each of its
+    consumers.  Producers and consumers are drawn at random (deterministic
+    given the seed).
+    """
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    procs = list(network.processors)
+    if n_channels is None:
+        n_channels = len(procs)
+    if n_channels < 1:
+        raise WorkloadError("need at least one channel")
+    consumers_per_channel = min(consumers_per_channel, max(1, len(procs) - 1))
+    reads, writes = _empty(network, n_channels)
+    for x in range(n_channels):
+        producer = procs[int(gen.integers(0, len(procs)))]
+        others = [p for p in procs if p != producer]
+        if others:
+            chosen = gen.choice(len(others), size=consumers_per_channel, replace=False)
+            consumers = [others[int(i)] for i in chosen]
+        else:  # single-processor network
+            consumers = [producer]
+        writes[producer, x] += items_per_channel
+        for c in consumers:
+            reads[c, x] += items_per_channel
+    names = [f"channel{i}" for i in range(n_channels)]
+    return AccessPattern(reads, writes, names)
+
+
+def stencil_halo_trace(
+    network: HierarchicalBusNetwork,
+    iterations: int = 10,
+    halo_objects_per_boundary: int = 1,
+) -> AccessPattern:
+    """1-D stencil halo exchange mapped onto the processor order.
+
+    Processors are arranged in their id order as a logical 1-D chain; each
+    boundary between consecutive processors owns ``halo_objects_per_boundary``
+    halo objects.  Per iteration the left neighbour writes the halo once and
+    the right neighbour reads it once (and vice versa for the mirrored halo),
+    which yields the classic neighbour-communication pattern.  On a bus
+    hierarchy built with locality (consecutive processors under the same
+    bus), traffic should stay low in the tree.
+    """
+    procs = list(network.processors)
+    if len(procs) < 2:
+        raise WorkloadError("stencil trace needs at least two processors")
+    if iterations < 1:
+        raise WorkloadError("need at least one iteration")
+    n_boundaries = len(procs) - 1
+    n_objects = 2 * n_boundaries * halo_objects_per_boundary
+    reads, writes = _empty(network, n_objects)
+    names = []
+    obj = 0
+    for b in range(n_boundaries):
+        left, right = procs[b], procs[b + 1]
+        for k in range(halo_objects_per_boundary):
+            # halo written by the left processor, read by the right one
+            writes[left, obj] += iterations
+            reads[right, obj] += iterations
+            names.append(f"halo_l{b}_{k}")
+            obj += 1
+            # halo written by the right processor, read by the left one
+            writes[right, obj] += iterations
+            reads[left, obj] += iterations
+            names.append(f"halo_r{b}_{k}")
+            obj += 1
+    return AccessPattern(reads, writes, names)
+
+
+def web_cache_trace(
+    network: HierarchicalBusNetwork,
+    n_pages: int = 64,
+    requests_per_processor: int = 64,
+    zipf_exponent: float = 0.9,
+    update_fraction: float = 0.02,
+    n_origin_servers: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AccessPattern:
+    """Read-mostly WWW-page workload.
+
+    Pages have Zipf-distributed popularity; every processor reads pages it
+    draws from that distribution, and a small set of origin-server
+    processors occasionally update pages (writes).  This is the regime in
+    which aggressive replication pays off.
+    """
+    if n_pages < 1:
+        raise WorkloadError("need at least one page")
+    if not 0.0 <= update_fraction <= 1.0:
+        raise WorkloadError("update_fraction must be in [0, 1]")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    procs = list(network.processors)
+    probs = zipf_weights(n_pages, zipf_exponent)
+    reads, writes = _empty(network, n_pages)
+    origin = [procs[i % len(procs)] for i in range(max(1, n_origin_servers))]
+    for p in procs:
+        pages = gen.choice(n_pages, size=requests_per_processor, p=probs)
+        np.add.at(reads[p], pages, 1)
+    total_reads = int(reads.sum())
+    n_updates = int(round(total_reads * update_fraction))
+    for _ in range(n_updates):
+        server = origin[int(gen.integers(0, len(origin)))]
+        page = int(gen.choice(n_pages, p=probs))
+        writes[server, page] += 1
+    names = [f"page{i}" for i in range(n_pages)]
+    return AccessPattern(reads, writes, names)

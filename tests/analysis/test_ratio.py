@@ -1,0 +1,71 @@
+"""Tests for the approximation-ratio measurement harness."""
+
+import pytest
+
+from repro.analysis.ratio import (
+    APPROXIMATION_FACTOR,
+    measure_ratio,
+    ratio_study,
+    summarize_ratios,
+)
+from repro.network.builders import balanced_tree, single_bus
+from repro.workload.access import AccessPattern
+from repro.workload.generators import uniform_pattern
+
+
+class TestMeasureRatio:
+    def test_basic_record(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 8, seed=0)
+        rec = measure_ratio(net, pat, label="test")
+        assert rec.label == "test"
+        assert rec.n_nodes == net.n_nodes
+        assert rec.extended_congestion >= rec.lower_bound - 1e-9 or rec.lower_bound == 0
+        assert rec.ratio_vs_lower_bound >= 1.0 - 1e-9
+        assert rec.within_paper_bound
+        assert rec.ratio_vs_optimal is None
+
+    def test_with_exact_optimum(self):
+        net = single_bus(4)
+        pat = uniform_pattern(net, 3, requests_per_processor=6, seed=1)
+        rec = measure_ratio(net, pat, compute_exact=True)
+        assert rec.optimal_congestion is not None
+        assert rec.ratio_vs_optimal is not None
+        assert rec.ratio_vs_optimal <= APPROXIMATION_FACTOR + 1e-9
+
+    def test_empty_instance(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 2)
+        rec = measure_ratio(net, pat)
+        assert rec.lower_bound == 0.0
+        assert rec.ratio_vs_lower_bound == 1.0
+        assert rec.within_paper_bound
+
+    def test_as_dict_keys(self):
+        net = single_bus(3)
+        pat = uniform_pattern(net, 2, seed=2)
+        d = measure_ratio(net, pat).as_dict()
+        for key in ("instance", "extended", "lower_bound", "ratio_lb", "within_7x"):
+            assert key in d
+
+
+class TestStudy:
+    def test_ratio_study_and_summary(self):
+        instances = []
+        for seed in range(3):
+            net = balanced_tree(2, 2, 2)
+            pat = uniform_pattern(net, 6, seed=seed)
+            instances.append((f"inst{seed}", net, pat))
+        records = ratio_study(instances)
+        assert len(records) == 3
+        summary = summarize_ratios(records)
+        assert summary["instances"] == 3
+        assert summary["all_within_7x"] == 1.0
+        assert summary["max_ratio_vs_lower_bound"] >= summary["mean_ratio_vs_lower_bound"] - 1e-9
+
+    def test_summary_with_exact(self):
+        net = single_bus(3)
+        pat = uniform_pattern(net, 2, requests_per_processor=4, seed=0)
+        records = ratio_study([("tiny", net, pat)], compute_exact=True)
+        summary = summarize_ratios(records)
+        assert "max_ratio_vs_optimal" in summary

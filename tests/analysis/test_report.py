@@ -1,0 +1,55 @@
+"""Tests for the report/table formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import format_table, format_value, markdown_table, records_to_table
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(2.0) == "2"
+        assert format_value(float("nan")) == "nan"
+
+    def test_bool_and_str(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+
+    def test_precision(self):
+        assert format_value(1.23456, precision=1) == "1.2"
+
+
+class TestTables:
+    def test_plain_table_alignment(self):
+        text = format_table([[1, 2.5], [30, "x"]], headers=["a", "value"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "value" in lines[0]
+        assert all(len(line) <= len(lines[0]) + 10 for line in lines)
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table([[1, 2, 3]], headers=["a", "b"])
+
+    def test_markdown_table(self):
+        md = markdown_table([[1, 2]], headers=["x", "y"])
+        lines = md.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_records_to_table(self):
+        rows, headers = records_to_table(
+            [{"a": 1, "b": 2}, {"a": 3, "b": 4}], columns=["b", "a"]
+        )
+        assert headers == ["b", "a"]
+        assert rows == [[2, 1], [4, 3]]
+
+    def test_records_to_table_defaults(self):
+        rows, headers = records_to_table([{"a": 1, "b": 2}])
+        assert headers == ["a", "b"]
+        rows, headers = records_to_table([])
+        assert rows == [] and headers == []

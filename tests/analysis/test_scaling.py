@@ -1,0 +1,78 @@
+"""Tests for the runtime scaling sweeps."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    loglog_slope,
+    measure_runtime,
+    sweep_degree,
+    sweep_height,
+    sweep_network_size,
+    sweep_objects,
+)
+from repro.network.builders import single_bus
+from repro.workload.generators import uniform_pattern
+
+
+class TestMeasureRuntime:
+    def test_positive_runtime(self):
+        net = single_bus(4)
+        pat = uniform_pattern(net, 8, seed=0)
+        assert measure_runtime(net, pat) > 0
+
+
+class TestSweeps:
+    def test_sweep_objects_structure(self):
+        points = sweep_objects([4, 8])
+        assert len(points) == 2
+        assert points[0].parameter == "objects"
+        assert points[0].n_objects == 4 and points[1].n_objects == 8
+        assert all(p.seconds > 0 for p in points)
+
+    def test_sweep_height_structure(self):
+        points = sweep_height([2, 4], n_objects=4)
+        assert [p.parameter for p in points] == ["height", "height"]
+        assert points[1].height > points[0].height
+
+    def test_sweep_degree_structure(self):
+        points = sweep_degree([4, 8], n_objects=4)
+        assert points[1].max_degree > points[0].max_degree
+
+    def test_sweep_network_size_structure(self):
+        points = sweep_network_size([8, 16], n_objects=4)
+        assert points[1].n_nodes >= points[0].n_nodes
+
+    def test_runtime_grows_with_objects(self):
+        points = sweep_objects([4, 64], requests_per_processor=4)
+        assert points[1].seconds > points[0].seconds
+
+    def test_as_dict(self):
+        point = sweep_objects([4])[0]
+        d = point.as_dict()
+        assert d["parameter"] == "objects" and d["objects"] == 4
+
+
+class TestSlope:
+    def test_linear_data_gives_slope_one(self):
+        from repro.analysis.scaling import ScalingPoint
+
+        points = [
+            ScalingPoint("objects", x, 10, int(x), 2, 3, seconds=0.001 * x)
+            for x in (1, 2, 4, 8, 16)
+        ]
+        assert loglog_slope(points) == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_data_gives_slope_zero(self):
+        from repro.analysis.scaling import ScalingPoint
+
+        points = [
+            ScalingPoint("objects", x, 10, int(x), 2, 3, seconds=0.005)
+            for x in (1, 2, 4, 8)
+        ]
+        assert loglog_slope(points) == pytest.approx(0.0, abs=1e-6)
+
+    def test_needs_two_points(self):
+        from repro.analysis.scaling import ScalingPoint
+
+        with pytest.raises(ValueError):
+            loglog_slope([ScalingPoint("objects", 1, 1, 1, 1, 1, 0.1)])

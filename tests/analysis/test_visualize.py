@@ -1,0 +1,74 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.analysis.visualize import render_loads, render_placement_summary, render_tree
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.core.placement import Placement
+from repro.network.builders import single_bus, star_of_buses
+from repro.workload.generators import uniform_pattern
+
+
+@pytest.fixture
+def instance():
+    net = star_of_buses(2, 2)
+    pat = uniform_pattern(net, 6, requests_per_processor=8, seed=0)
+    return net, pat
+
+
+class TestRenderTree:
+    def test_every_node_appears(self, instance):
+        net, _ = instance
+        text = render_tree(net)
+        for v in net.nodes():
+            assert net.name(v) in text
+        # the root is on the first line without indentation
+        assert text.splitlines()[0].startswith("[bus")
+
+    def test_copy_annotation(self, instance):
+        net, pat = instance
+        result = extended_nibble(net, pat)
+        text = render_tree(net, result.placement)
+        assert "copies=" in text
+
+    def test_custom_root(self, instance):
+        net, _ = instance
+        leaf = net.processors[0]
+        text = render_tree(net, root=leaf)
+        assert text.splitlines()[0].startswith(f"({net.name(leaf)})")
+
+
+class TestRenderLoads:
+    def test_bars_and_congestion_line(self, instance):
+        net, pat = instance
+        placement = Placement.single_holder([net.processors[0]] * pat.n_objects)
+        profile = compute_loads(net, pat, placement)
+        text = render_loads(profile)
+        lines = text.splitlines()
+        assert len(lines) == net.n_edges + 1
+        assert lines[-1].startswith("congestion =")
+        assert any("#" in line for line in lines)
+
+    def test_zero_load_profile(self):
+        net = single_bus(3)
+        pat = uniform_pattern(net, 2, requests_per_processor=0, seed=0)
+        placement = Placement.single_holder([net.processors[0]] * 2)
+        profile = compute_loads(net, pat, placement)
+        text = render_loads(profile)
+        assert "congestion = 0" in text
+
+
+class TestRenderPlacementSummary:
+    def test_one_line_per_object(self, instance):
+        net, pat = instance
+        result = extended_nibble(net, pat)
+        text = render_placement_summary(net, result.placement, pat.object_names)
+        assert len(text.splitlines()) == pat.n_objects
+        assert pat.object_names[0] in text
+
+    def test_truncation(self, instance):
+        net, pat = instance
+        result = extended_nibble(net, pat)
+        text = render_placement_summary(net, result.placement, max_objects=2)
+        assert "more objects" in text

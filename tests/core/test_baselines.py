@@ -1,0 +1,136 @@
+"""Tests for the baseline placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    full_replication_placement,
+    greedy_congestion_placement,
+    median_leaf_placement,
+    owner_placement,
+    random_placement,
+)
+from repro.core.congestion import compute_loads, total_communication_load
+from repro.network.builders import balanced_tree, single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+from repro.workload.adversarial import replication_trap
+from repro.workload.generators import uniform_pattern
+
+ALL_BASELINES = [
+    owner_placement,
+    median_leaf_placement,
+    greedy_congestion_placement,
+    lambda net, pat: random_placement(net, pat, seed=0),
+    full_replication_placement,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_valid_leaf_only_placement(self, factory):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 8, seed=0)
+        placement = factory(net, pat)
+        placement.validate_for(net, pat, require_leaf_only=True)
+        assert placement.n_objects == pat.n_objects
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_handles_empty_pattern(self, factory):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 2)
+        placement = factory(net, pat)
+        placement.validate_for(net, pat, require_leaf_only=True)
+
+
+class TestOwnerPlacement:
+    def test_places_on_heaviest_requester(self):
+        net = single_bus(3)
+        p1, p2, p3 = net.processors
+        pat = AccessPattern.from_requests(
+            net, 2, [(p1, 0, 10, 0), (p2, 0, 1, 1), (p3, 1, 0, 7)]
+        )
+        placement = owner_placement(net, pat)
+        assert placement.holders(0) == frozenset({p1})
+        assert placement.holders(1) == frozenset({p3})
+
+    def test_tie_breaks_to_smallest_processor(self):
+        net = single_bus(3)
+        p1, p2, _ = net.processors
+        pat = AccessPattern.from_requests(net, 1, [(p1, 0, 5, 0), (p2, 0, 5, 0)])
+        assert owner_placement(net, pat).holders(0) == frozenset({min(p1, p2)})
+
+
+class TestMedianLeafPlacement:
+    def test_minimises_total_load(self):
+        net = star_of_buses(2, 2)
+        procs = list(net.processors)
+        # three requesters on one side, one on the other: the weighted median
+        # lies on the heavy side
+        pat = AccessPattern.from_requests(
+            net,
+            1,
+            [
+                (procs[0], 0, 4, 0),
+                (procs[1], 0, 4, 0),
+                (procs[3], 0, 1, 0),
+            ],
+        )
+        placement = median_leaf_placement(net, pat)
+        chosen = next(iter(placement.holders(0)))
+        best = min(
+            procs,
+            key=lambda leaf: total_communication_load(
+                net, pat, __import__("repro.core.placement", fromlist=["Placement"]).Placement.single_holder([leaf])
+            ),
+        )
+        assert total_communication_load(
+            net, pat, placement
+        ) == pytest.approx(
+            total_communication_load(
+                net,
+                pat,
+                __import__("repro.core.placement", fromlist=["Placement"]).Placement.single_holder([best]),
+            )
+        )
+        assert chosen in procs
+
+
+class TestGreedyPlacement:
+    def test_not_worse_than_owner_on_uniform(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 16, seed=1)
+        greedy = compute_loads(net, pat, greedy_congestion_placement(net, pat)).congestion
+        owner = compute_loads(net, pat, owner_placement(net, pat)).congestion
+        assert greedy <= owner + 1e-9
+
+    def test_respects_explicit_order(self):
+        net = single_bus(3)
+        pat = uniform_pattern(net, 4, seed=2)
+        p1 = greedy_congestion_placement(net, pat, object_order=[0, 1, 2, 3])
+        p2 = greedy_congestion_placement(net, pat, object_order=[3, 2, 1, 0])
+        # both must be valid; they may differ
+        p1.validate_for(net, pat)
+        p2.validate_for(net, pat)
+
+
+class TestRandomAndReplication:
+    def test_random_is_deterministic_given_seed(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 8, seed=3)
+        assert random_placement(net, pat, seed=42) == random_placement(net, pat, seed=42)
+
+    def test_full_replication_bad_under_writes(self):
+        net = single_bus(8)
+        pat = replication_trap(net, 8, reads_per_processor=2, writes_per_object=4, seed=0)
+        replicated = compute_loads(net, pat, full_replication_placement(net, pat)).congestion
+        single = compute_loads(net, pat, owner_placement(net, pat)).congestion
+        assert replicated > single
+
+    def test_full_replication_free_reads(self):
+        net = single_bus(4)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net, 1, [(p, 0, 5, 0) for p in procs]
+        )
+        profile = compute_loads(net, pat, full_replication_placement(net, pat))
+        assert profile.congestion == 0.0

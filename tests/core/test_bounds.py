@@ -1,0 +1,98 @@
+"""Tests for the congestion lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    congestion_lower_bound,
+    contention_lower_bound,
+    nibble_lower_bound,
+    per_edge_lower_bounds,
+)
+from repro.core.congestion import compute_loads
+from repro.core.nibble import nibble_placement
+from repro.core.optimal import optimal_nonredundant, optimal_redundant
+from repro.network.builders import random_tree, single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+from repro.workload.generators import random_sparse_pattern, uniform_pattern
+
+
+class TestNibbleLowerBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lower_bounds_exact_optimum(self, seed):
+        net = single_bus(4)
+        pat = random_sparse_pattern(net, 3, density=0.6, max_frequency=5, seed=seed)
+        lb = nibble_lower_bound(net, pat)
+        opt = optimal_redundant(net, pat).congestion
+        assert lb <= opt + 1e-9
+
+    def test_reuses_precomputed_nibble(self):
+        net = single_bus(4)
+        pat = uniform_pattern(net, 4, seed=0)
+        nib = nibble_placement(net, pat)
+        assert nibble_lower_bound(net, pat, nibble=nib) == pytest.approx(
+            nibble_lower_bound(net, pat)
+        )
+
+    def test_zero_for_empty_pattern(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 2)
+        assert nibble_lower_bound(net, pat) == 0.0
+
+
+class TestPerEdgeBounds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_per_edge_bounds_below_any_leaf_placement(self, seed):
+        net = random_tree(3, 5, seed=seed)
+        pat = random_sparse_pattern(net, 4, seed=seed)
+        bounds = per_edge_lower_bounds(net, pat)
+        rng = np.random.default_rng(seed)
+        procs = list(net.processors)
+        from repro.core.placement import Placement
+
+        for _ in range(10):
+            holders = [procs[int(rng.integers(0, len(procs)))] for _ in range(pat.n_objects)]
+            loads = compute_loads(net, pat, Placement.single_holder(holders)).edge_loads
+            assert np.all(bounds <= loads + 1e-9)
+
+
+class TestContentionBound:
+    def test_balanced_write_pair(self):
+        net = single_bus(2)
+        p1, p2 = net.processors
+        pat = AccessPattern.from_requests(net, 1, [(p1, 0, 0, 6), (p2, 0, 0, 6)])
+        bound = contention_lower_bound(net, pat)
+        opt = optimal_redundant(net, pat).congestion
+        assert bound <= opt + 1e-9
+        assert bound == 6.0
+
+    def test_no_affected_objects_gives_zero(self):
+        net = single_bus(3)
+        p1, _, _ = net.processors
+        # a single heavy requester: the nibble keeps the copy on the leaf
+        pat = AccessPattern.from_requests(net, 1, [(p1, 0, 10, 2)])
+        assert contention_lower_bound(net, pat) == 0.0
+
+    def test_explicit_affected_list(self):
+        net = single_bus(2)
+        p1, p2 = net.processors
+        pat = AccessPattern.from_requests(net, 1, [(p1, 0, 0, 3), (p2, 0, 0, 5)])
+        assert contention_lower_bound(net, pat, affected_objects=[0]) == min(8.0, 4.0)
+        assert contention_lower_bound(net, pat, affected_objects=[]) == 0.0
+
+
+class TestCombinedReport:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_best_is_max_of_components(self, seed):
+        net = random_tree(3, 6, seed=seed)
+        pat = random_sparse_pattern(net, 5, seed=seed)
+        report = congestion_lower_bound(net, pat)
+        assert report.best == max(report.nibble_congestion, report.contention_bound)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_report_components_below_exact_optimum(self, seed):
+        net = single_bus(4)
+        pat = random_sparse_pattern(net, 3, density=0.6, max_frequency=4, seed=seed)
+        report = congestion_lower_bound(net, pat)
+        opt = optimal_redundant(net, pat).congestion
+        assert report.best <= opt + 1e-9

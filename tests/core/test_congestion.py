@@ -1,0 +1,171 @@
+"""Tests for the load / congestion cost model of Section 1.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import (
+    compute_loads,
+    congestion,
+    object_edge_loads,
+    total_communication_load,
+)
+from repro.core.placement import Placement, RequestAssignment
+from repro.network.builders import single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+
+
+def bus3_instance():
+    """Single bus (node 0) with processors 1, 2, 3 and a hand-made pattern."""
+    net = single_bus(3)
+    p1, p2, p3 = net.processors
+    pattern = AccessPattern.from_requests(
+        net,
+        1,
+        [
+            (p1, 0, 5, 0),   # p1: 5 reads
+            (p2, 0, 3, 1),   # p2: 3 reads, 1 write
+            (p3, 0, 0, 2),   # p3: 2 writes
+        ],
+    )
+    return net, pattern, (p1, p2, p3)
+
+
+class TestSingleCopyLoads:
+    def test_hand_computed_loads(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        placement = Placement.single_holder([p1])
+        profile = compute_loads(net, pattern, placement)
+        # requests from p2 (4) and p3 (2) travel to p1; p1's reads are local
+        assert profile.edge_load(p2, net.buses[0]) == 4
+        assert profile.edge_load(p3, net.buses[0]) == 2
+        assert profile.edge_load(p1, net.buses[0]) == 6
+        # bus load is half the sum of incident edge loads
+        assert profile.bus_load(net.buses[0]) == (6 + 4 + 2) / 2
+        # all bandwidths are 1, so the bus dominates
+        assert profile.congestion == 6.0
+        assert profile.max_edge_load == 6.0
+        assert profile.total_load == 12.0
+
+    def test_local_placement_has_minimal_traffic(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        # placing on p2 moves the 6 local requests of p1 onto the wire
+        c1 = congestion(net, pattern, Placement.single_holder([p1]))
+        c2 = congestion(net, pattern, Placement.single_holder([p2]))
+        assert c1 < c2
+
+    def test_bottleneck_reporting(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        profile = compute_loads(net, pattern, Placement.single_holder([p1]))
+        eid = profile.bottleneck_edge()
+        assert eid == net.edge_id(p1, net.buses[0])
+        assert profile.bottleneck_bus() == net.buses[0]
+
+
+class TestRedundantLoads:
+    def test_write_broadcast_over_steiner_tree(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        placement = Placement([[p1, p2]])
+        profile = compute_loads(net, pattern, placement)
+        # hand-computed (see the derivation in the test module docstring):
+        # e_p1 = p3's 2 writes travelling to p1 + 3 broadcast units = 5
+        # e_p2 = 3 broadcast units (from the 3 total writes)
+        # e_p3 = its own 2 writes
+        assert profile.edge_load(p1, net.buses[0]) == 5
+        assert profile.edge_load(p2, net.buses[0]) == 3
+        assert profile.edge_load(p3, net.buses[0]) == 2
+        assert profile.congestion == 5.0
+
+    def test_full_replication_write_cost(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        placement = Placement.full_replication(net, 1)
+        profile = compute_loads(net, pattern, placement)
+        # reads are free; every write is broadcast over all three switch edges
+        kappa = pattern.write_contention(0)
+        for p in (p1, p2, p3):
+            assert profile.edge_load(p, net.buses[0]) == kappa
+        assert profile.congestion == pytest.approx(1.5 * kappa)  # bus load dominates
+
+
+class TestBandwidths:
+    def test_relative_loads_use_bandwidths(self):
+        net = single_bus(3, bus_bandwidth=10.0)
+        p1, p2, p3 = net.processors
+        pattern = AccessPattern.from_requests(net, 1, [(p2, 0, 4, 0)])
+        profile = compute_loads(net, pattern, Placement.single_holder([p1]))
+        # bus has load 4 but bandwidth 10, edges have load 4 and bandwidth 1
+        assert profile.congestion == 4.0
+        assert profile.bus_relative_loads[net.buses[0]] == pytest.approx(0.4)
+
+    def test_bus_can_be_the_bottleneck(self):
+        net = single_bus(4, bus_bandwidth=1.0)
+        procs = list(net.processors)
+        # every processor sends 2 reads to a distinct remote holder: edge
+        # loads stay at 2+2=4, but the bus sees all 8 messages -> load 8
+        pattern = AccessPattern.from_requests(
+            net,
+            4,
+            [
+                (procs[0], 0, 2, 0),
+                (procs[1], 1, 2, 0),
+                (procs[2], 2, 2, 0),
+                (procs[3], 3, 2, 0),
+            ],
+        )
+        placement = Placement.single_holder(
+            [procs[1], procs[2], procs[3], procs[0]]
+        )
+        profile = compute_loads(net, pattern, placement)
+        assert profile.max_edge_load == 4.0
+        assert profile.bus_load(net.buses[0]) == 8.0
+        assert profile.congestion == 8.0
+
+
+class TestPerObjectDecomposition:
+    def test_object_loads_sum_to_total(self):
+        net = star_of_buses(2, 2)
+        procs = list(net.processors)
+        pattern = AccessPattern.from_requests(
+            net,
+            3,
+            [
+                (procs[0], 0, 2, 1),
+                (procs[1], 1, 0, 2),
+                (procs[2], 2, 3, 0),
+                (procs[3], 0, 1, 1),
+            ],
+        )
+        placement = Placement([[procs[0]], [procs[1], procs[2]], [procs[3]]])
+        total = compute_loads(net, pattern, placement)
+        summed = np.zeros(net.n_edges)
+        for obj in range(pattern.n_objects):
+            summed += object_edge_loads(net, pattern, placement, obj)
+        assert np.allclose(summed, total.edge_loads)
+
+    def test_zero_request_object_zero_load(self):
+        net = single_bus(3)
+        pattern = AccessPattern.empty(net.n_nodes, 1)
+        placement = Placement.single_holder([net.processors[0]])
+        assert congestion(net, pattern, placement) == 0.0
+
+
+class TestAssignments:
+    def test_explicit_assignment_changes_loads(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        placement = Placement([[p1, p2]])
+        # force p3's requests to the copy on p2 instead of the nearest (p1)
+        reference = {(p1, 0): p1, (p2, 0): p2, (p3, 0): p2}
+        assignment = RequestAssignment.single_reference(pattern, reference)
+        profile = compute_loads(net, pattern, placement, assignment=assignment)
+        assert profile.edge_load(p2, net.buses[0]) == 3 + 2  # broadcast + p3's writes
+        assert profile.edge_load(p1, net.buses[0]) == 3  # broadcast only
+
+    def test_total_communication_load(self):
+        net, pattern, (p1, p2, p3) = bus3_instance()
+        placement = Placement.single_holder([p1])
+        assert total_communication_load(net, pattern, placement) == 12.0
+
+    def test_validation_toggle(self):
+        net, pattern, _ = bus3_instance()
+        bad = Placement.single_holder([999])
+        with pytest.raises(Exception):
+            compute_loads(net, pattern, bad)

@@ -1,0 +1,180 @@
+"""Tests for the mapping algorithm (Step 3, Figures 5/6, Lemma 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import compute_loads
+from repro.core.deletion import apply_deletion, copies_to_placement
+from repro.core.mapping import directed_basic_loads, map_copies_to_leaves
+from repro.core.nibble import nibble_placement
+from repro.network.builders import balanced_tree, path_of_buses, random_tree, single_bus
+from repro.workload.access import AccessPattern
+from repro.workload.generators import uniform_pattern
+
+
+def prepared_instance(seed, n_objects=6):
+    net = random_tree(4, 7, seed=seed)
+    pat = uniform_pattern(net, n_objects, requests_per_processor=10, seed=seed)
+    nib = nibble_placement(net, pat)
+    copies = apply_deletion(net, pat, nib.placement)
+    return net, pat, nib, copies
+
+
+class TestBasicLoads:
+    def test_directed_loads_sum_to_undirected_path_lengths(self):
+        net = single_bus(3)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(net, 1, [(procs[1], 0, 3, 0)])
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        rooted = net.rooted()
+        up, down = directed_basic_loads(net, rooted, copies[0].copies)
+        # the only copy is on procs[1] itself (local), so no basic load at all
+        assert up.sum() == 0 and down.sum() == 0
+
+    def test_remote_request_creates_basic_load(self):
+        net = single_bus(3)
+        procs = list(net.processors)
+        # all writes -> single copy at the gravity center
+        pat = AccessPattern.from_requests(
+            net, 1, [(procs[0], 0, 0, 5), (procs[1], 0, 0, 3)]
+        )
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        rooted = net.rooted()
+        up, down = directed_basic_loads(net, rooted, copies[0].copies)
+        # basic requests point from the serving copy towards the requesting leaf
+        assert up.sum() + down.sum() > 0
+
+
+class TestMappingCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_copies_end_on_processors(self, seed):
+        net, pat, nib, copies = prepared_instance(seed)
+        map_copies_to_leaves(net, copies)
+        for oc in copies:
+            for copy in oc.copies:
+                assert net.is_processor(copy.node)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_served_requests_preserved(self, seed):
+        net, pat, nib, copies = prepared_instance(seed)
+        before = [oc.total_served for oc in copies]
+        map_copies_to_leaves(net, copies)
+        after = [oc.total_served for oc in copies]
+        assert before == after
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unaffected_objects_untouched(self, seed):
+        net, pat, nib, copies = prepared_instance(seed)
+        before = {
+            oc.obj: [(c.node, tuple(sorted(c.served))) for c in oc.copies]
+            for oc in copies
+            if not oc.has_bus_copy(net)
+        }
+        map_copies_to_leaves(net, copies)
+        for oc in copies:
+            if oc.obj in before:
+                now = [(c.node, tuple(sorted(c.served))) for c in oc.copies]
+                assert now == before[oc.obj]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_result_reports_affected_objects(self, seed):
+        net, pat, nib, copies = prepared_instance(seed)
+        affected_before = {oc.obj for oc in copies if oc.has_bus_copy(net)}
+        result = map_copies_to_leaves(net, copies)
+        assert set(result.affected_objects) == affected_before
+
+    def test_tau_max_definition(self):
+        net, pat, nib, copies = prepared_instance(0)
+        kappa = {oc.obj: oc.kappa for oc in copies}
+        affected = {oc.obj for oc in copies if oc.has_bus_copy(net)}
+        expected = max(
+            (c.s + kappa[oc.obj] for oc in copies if oc.obj in affected for c in oc.copies),
+            default=0,
+        )
+        result = map_copies_to_leaves(net, copies)
+        assert result.tau_max == expected
+
+    def test_empty_instance(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 0)
+        result = map_copies_to_leaves(net, [])
+        assert result.tau_max == 0
+        assert result.moves_up == 0 and result.moves_down == 0
+
+    def test_explicit_root_choice(self):
+        net, pat, nib, copies = prepared_instance(1)
+        leaf_root = net.processors[0]
+        result = map_copies_to_leaves(net, copies, root=leaf_root)
+        assert result.root == leaf_root
+        for oc in copies:
+            for copy in oc.copies:
+                assert net.is_processor(copy.node)
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_upward_mapping_load_never_exceeds_acceptable(self, seed):
+        net, pat, nib, copies = prepared_instance(seed)
+        result = map_copies_to_leaves(net, copies)
+        # The upwards phase only moves while L_map + tau <= L_acc, so the
+        # final upward mapping load never exceeds the (clamped) acceptable load.
+        assert np.all(result.up_mapping_load <= result.up_acceptable_load + 1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_downward_mapping_load_within_tau_of_acceptable(self, seed):
+        net, pat, nib, copies = prepared_instance(seed)
+        result = map_copies_to_leaves(net, copies)
+        # Observation 3.3: either L_map <= L_acc + tau_max, or nothing was
+        # moved along the edge.
+        slack = result.down_acceptable_load + result.tau_max - result.down_mapping_load
+        moved = result.down_mapping_load > 0
+        assert np.all(slack[moved] >= -1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_final_congestion_within_7x_of_nibble(self, seed):
+        """Lemmas 4.4-4.6: the mapped placement stays within 7x of optimal."""
+        net, pat, nib, copies = prepared_instance(seed)
+        nibble_congestion = compute_loads(net, pat, nib.placement).congestion
+        map_copies_to_leaves(net, copies)
+        fallback = list(net.processors)[:1] * pat.n_objects
+        placement, assignment = copies_to_placement(copies, pat, fallback)
+        final = compute_loads(net, pat, placement, assignment=assignment).congestion
+        if nibble_congestion > 0:
+            assert final <= 7 * nibble_congestion + 1e-9
+
+
+class TestDeepAndDegenerateTopologies:
+    def test_deep_path_topology(self):
+        net = path_of_buses(6, leaves_per_bus=1)
+        pat = uniform_pattern(net, 8, requests_per_processor=6, seed=2)
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        map_copies_to_leaves(net, copies)
+        for oc in copies:
+            for c in oc.copies:
+                assert net.is_processor(c.node)
+
+    def test_wide_bus_topology(self):
+        net = single_bus(16)
+        pat = uniform_pattern(net, 12, requests_per_processor=4, seed=3)
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        result = map_copies_to_leaves(net, copies)
+        assert result.moves_down >= 0
+        for oc in copies:
+            for c in oc.copies:
+                assert net.is_processor(c.node)
+
+    def test_single_processor_network(self):
+        from repro.network.node import ProcessorSpec
+        from repro.network.tree import HierarchicalBusNetwork
+
+        net = HierarchicalBusNetwork([ProcessorSpec("p")], [])
+        pat = AccessPattern.from_requests(net, 1, [(0, 0, 3, 2)])
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        result = map_copies_to_leaves(net, copies)
+        assert result.moves_up == 0 and result.moves_down == 0
+        assert copies[0].copies[0].node == 0

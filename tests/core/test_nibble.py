@@ -1,0 +1,208 @@
+"""Tests for the nibble strategy (Step 1, Theorem 3.1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import compute_loads, object_edge_loads
+from repro.core.nibble import (
+    center_of_gravity,
+    gravity_candidates,
+    nibble_holders_for_object,
+    nibble_placement,
+)
+from repro.core.placement import Placement
+from repro.errors import AlgorithmError
+from repro.network.builders import balanced_tree, random_tree, single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+from repro.workload.generators import uniform_pattern
+
+
+class TestCenterOfGravity:
+    def test_balanced_weights_pick_the_bus(self):
+        net = single_bus(2)
+        bus = net.buses[0]
+        weights = np.zeros(net.n_nodes, dtype=int)
+        weights[list(net.processors)] = 5
+        cands = gravity_candidates(net, weights)
+        assert bus in cands
+        assert center_of_gravity(net, weights) == min(cands)
+
+    def test_heavy_leaf_is_the_center(self):
+        net = single_bus(3)
+        p = net.processors[0]
+        weights = np.zeros(net.n_nodes, dtype=int)
+        weights[p] = 10
+        weights[net.processors[1]] = 1
+        assert center_of_gravity(net, weights) == p
+
+    def test_zero_weights_every_node_qualifies(self):
+        net = single_bus(3)
+        weights = np.zeros(net.n_nodes, dtype=int)
+        assert gravity_candidates(net, weights) == list(net.nodes())
+        assert center_of_gravity(net, weights) == 0
+
+    def test_candidate_components_at_most_half(self):
+        net = balanced_tree(2, 3, 2)
+        rng = np.random.default_rng(0)
+        weights = np.zeros(net.n_nodes, dtype=int)
+        weights[list(net.processors)] = rng.integers(0, 10, size=net.n_processors)
+        total = weights.sum()
+        rooted = net.rooted(0)
+        subtree = rooted.subtree_sums(weights)
+        for v in gravity_candidates(net, weights):
+            comps = [subtree[c] for c in rooted.children(v)]
+            comps.append(total - subtree[v])
+            assert max(comps, default=0) <= total / 2
+
+    def test_negative_weights_rejected(self):
+        net = single_bus(2)
+        weights = np.zeros(net.n_nodes, dtype=int)
+        weights[1] = -1
+        with pytest.raises(AlgorithmError):
+            gravity_candidates(net, weights)
+
+    def test_wrong_length_rejected(self):
+        net = single_bus(2)
+        with pytest.raises(AlgorithmError):
+            gravity_candidates(net, np.zeros(net.n_nodes + 1, dtype=int))
+
+
+class TestNibblePlacementStructure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_copies_form_connected_subtree_containing_center(self, seed):
+        net = random_tree(5, 8, seed=seed)
+        pat = uniform_pattern(net, 6, requests_per_processor=10, seed=seed)
+        result = nibble_placement(net, pat)
+        rooted = net.rooted()
+        for obj in range(pat.n_objects):
+            holders = result.placement.holders(obj)
+            center = result.centers[obj]
+            assert center in holders
+            # connected: the Steiner tree over the holders contains no other nodes
+            steiner_nodes = set(rooted.steiner_node_ids(holders))
+            assert steiner_nodes == set(holders)
+
+    def test_read_only_object_replicated_at_requesters(self):
+        net = star_of_buses(2, 2)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net, 1, [(procs[0], 0, 5, 0), (procs[3], 0, 5, 0)]
+        )
+        result = nibble_placement(net, pat)
+        holders = result.placement.holders(0)
+        # with zero write contention every requester can afford its own copy
+        assert procs[0] in holders and procs[3] in holders
+        # and the placement induces zero load
+        profile = compute_loads(net, pat, result.placement)
+        assert profile.congestion == 0.0
+
+    def test_write_only_object_single_copy(self):
+        net = single_bus(3)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net, 1, [(procs[0], 0, 0, 4), (procs[1], 0, 0, 4)]
+        )
+        result = nibble_placement(net, pat)
+        # h(T(v)) can never exceed w(T) when all requests are writes,
+        # so only the gravity center holds a copy
+        assert len(result.placement.holders(0)) == 1
+
+    def test_trivial_object_gets_center_only(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 1)
+        result = nibble_placement(net, pat)
+        assert len(result.placement.holders(0)) == 1
+
+
+class TestTheorem31LoadProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_kappa_bound_on_every_edge(self, seed):
+        net = random_tree(4, 7, seed=seed)
+        pat = uniform_pattern(net, 5, requests_per_processor=8, seed=seed)
+        result = nibble_placement(net, pat)
+        for obj in range(pat.n_objects):
+            kappa = pat.write_contention(obj)
+            loads = object_edge_loads(net, pat, result.placement, obj)
+            assert loads.max(initial=0.0) <= kappa + 1e-9 or kappa == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_load_inside_copy_subtree_equals_kappa(self, seed):
+        net = random_tree(4, 7, seed=seed)
+        pat = uniform_pattern(net, 5, requests_per_processor=8, seed=seed)
+        result = nibble_placement(net, pat)
+        rooted = net.rooted()
+        for obj in range(pat.n_objects):
+            kappa = pat.write_contention(obj)
+            holders = result.placement.holders(obj)
+            if len(holders) < 2 or kappa == 0:
+                continue
+            loads = object_edge_loads(net, pat, result.placement, obj)
+            for eid in rooted.steiner_edge_ids(holders):
+                assert loads[eid] == pytest.approx(kappa)
+
+    def test_per_edge_optimality_against_exhaustive_single_object(self):
+        """Theorem 3.1: nibble minimises the load on every edge.
+
+        For a single object on a tiny network we enumerate *all* placements
+        (every non-empty holder subset over all nodes, nearest-copy
+        assignment) and check the nibble loads are a per-edge lower bound.
+        """
+        net = star_of_buses(2, 2)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net,
+            1,
+            [
+                (procs[0], 0, 3, 2),
+                (procs[1], 0, 1, 0),
+                (procs[2], 0, 0, 4),
+                (procs[3], 0, 2, 1),
+            ],
+        )
+        nib = nibble_placement(net, pat)
+        nib_loads = object_edge_loads(net, pat, nib.placement, 0)
+
+        nodes = list(net.nodes())
+        for r in range(1, len(nodes) + 1):
+            for subset in itertools.combinations(nodes, r):
+                placement = Placement([list(subset)])
+                loads = object_edge_loads(net, pat, placement, 0)
+                assert np.all(nib_loads <= loads + 1e-9), (
+                    f"nibble not edge-optimal against holders {subset}"
+                )
+
+    def test_congestion_is_a_lower_bound_for_leaf_only_placements(self):
+        net = single_bus(4)
+        pat = uniform_pattern(net, 4, requests_per_processor=10, seed=3)
+        nib = nibble_placement(net, pat)
+        nib_congestion = compute_loads(net, pat, nib.placement).congestion
+        procs = list(net.processors)
+        # sample a few leaf-only placements; none may beat the nibble congestion
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            holders = [procs[int(rng.integers(0, len(procs)))] for _ in range(4)]
+            c = compute_loads(net, pat, Placement.single_holder(holders)).congestion
+            assert c >= nib_congestion - 1e-9
+
+
+class TestPerObjectIndependence:
+    def test_holders_depend_only_on_that_object(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 4, requests_per_processor=6, seed=0)
+        full = nibble_placement(net, pat)
+        for obj in range(pat.n_objects):
+            single = pat.restrict_objects([obj])
+            alone = nibble_placement(net, single)
+            assert alone.placement.holders(0) == full.placement.holders(obj)
+            assert alone.centers[0] == full.centers[obj]
+
+    def test_helper_matches_full_run(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 3, seed=1)
+        full = nibble_placement(net, pat)
+        for obj in range(pat.n_objects):
+            holders, center = nibble_holders_for_object(net, pat, obj)
+            assert holders == full.placement.holders(obj)
+            assert center == full.centers[obj]

@@ -1,0 +1,120 @@
+"""Tests for the exact solvers (branch and bound, exhaustive search)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import compute_loads
+from repro.core.optimal import (
+    optimal_nonredundant,
+    optimal_redundant,
+    placement_decision,
+)
+from repro.core.placement import Placement
+from repro.errors import InfeasibleError
+from repro.network.builders import single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+from repro.workload.generators import random_sparse_pattern
+
+
+def brute_force_nonredundant(net, pat):
+    """Independent exhaustive reference implementation."""
+    procs = list(net.processors)
+    best = float("inf")
+    for combo in itertools.product(procs, repeat=pat.n_objects):
+        c = compute_loads(net, pat, Placement.single_holder(list(combo))).congestion
+        best = min(best, c)
+    return best
+
+
+class TestOptimalNonredundant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exhaustive_reference(self, seed):
+        net = single_bus(3)
+        pat = random_sparse_pattern(net, 3, density=0.7, max_frequency=6, seed=seed)
+        result = optimal_nonredundant(net, pat)
+        assert result.congestion == pytest.approx(brute_force_nonredundant(net, pat))
+        # the returned placement actually achieves the reported congestion
+        assert compute_loads(net, pat, result.placement).congestion == pytest.approx(
+            result.congestion
+        )
+
+    def test_upper_bound_pruning_preserves_optimum(self):
+        net = single_bus(3)
+        pat = random_sparse_pattern(net, 3, density=0.8, max_frequency=6, seed=9)
+        base = optimal_nonredundant(net, pat)
+        pruned = optimal_nonredundant(net, pat, upper_bound=base.congestion + 1)
+        assert pruned.congestion == pytest.approx(base.congestion)
+        assert pruned.explored <= base.explored + 5
+
+    def test_node_limit(self):
+        net = single_bus(6)
+        pat = random_sparse_pattern(net, 6, density=0.9, max_frequency=6, seed=0)
+        with pytest.raises(InfeasibleError):
+            optimal_nonredundant(net, pat, max_nodes=3)
+
+    def test_empty_pattern(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 2)
+        result = optimal_nonredundant(net, pat)
+        assert result.congestion == 0.0
+
+
+class TestOptimalRedundant:
+    def test_never_worse_than_nonredundant(self):
+        net = single_bus(3)
+        pat = random_sparse_pattern(net, 2, density=0.8, max_frequency=4, seed=1)
+        non = optimal_nonredundant(net, pat).congestion
+        red = optimal_redundant(net, pat).congestion
+        assert red <= non + 1e-9
+
+    def test_redundancy_helps_read_heavy_objects(self):
+        net = star_of_buses(2, 1)
+        procs = list(net.processors)
+        # one object read heavily from both sides of the hierarchy and never
+        # written: two copies drop the congestion to zero
+        pat = AccessPattern.from_requests(
+            net, 1, [(procs[0], 0, 6, 0), (procs[1], 0, 6, 0)]
+        )
+        non = optimal_nonredundant(net, pat).congestion
+        red = optimal_redundant(net, pat).congestion
+        assert red == 0.0
+        assert non > 0.0
+
+    def test_combination_limit(self):
+        net = single_bus(5)
+        pat = random_sparse_pattern(net, 6, seed=2)
+        with pytest.raises(InfeasibleError):
+            optimal_redundant(net, pat, max_combinations=10)
+
+    def test_write_only_redundancy_never_helps(self):
+        """The paper's remark: with only writes, optima are non-redundant."""
+        net = single_bus(3)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net, 2, [(procs[0], 0, 0, 3), (procs[1], 0, 0, 2), (procs[2], 1, 0, 4)]
+        )
+        non = optimal_nonredundant(net, pat).congestion
+        red = optimal_redundant(net, pat).congestion
+        assert red == pytest.approx(non)
+
+
+class TestDecision:
+    def test_threshold_behaviour(self):
+        net = single_bus(3)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(net, 1, [(procs[0], 0, 0, 4), (procs[1], 0, 0, 4)])
+        opt = optimal_nonredundant(net, pat).congestion
+        assert placement_decision(net, pat, opt)
+        assert placement_decision(net, pat, opt + 1)
+        assert not placement_decision(net, pat, opt - 0.5)
+
+    def test_redundant_decision(self):
+        net = star_of_buses(2, 1)
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net, 1, [(procs[0], 0, 6, 0), (procs[1], 0, 6, 0)]
+        )
+        assert placement_decision(net, pat, 0.0, redundant=True)
+        assert not placement_decision(net, pat, 0.0, redundant=False)

@@ -1,0 +1,100 @@
+"""Tests for convergecast, downcast and pipelined convergecast."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.aggregation import convergecast, downcast, pipelined_convergecast
+from repro.errors import SimulationError
+from repro.network.builders import balanced_tree, path_of_buses, single_bus
+
+
+class TestConvergecast:
+    def test_subtree_sums_match_sequential(self):
+        net = balanced_tree(2, 3, 2)
+        root = net.canonical_root()
+        values = {v: v + 1 for v in net.nodes()}
+        outcome = convergecast(net, values, lambda a, b: a + b, root=root)
+        rooted = net.rooted(root)
+        expected = rooted.subtree_sums(np.array([v + 1 for v in net.nodes()]))
+        for v in net.nodes():
+            assert outcome.values[v] == expected[v]
+
+    def test_round_count_is_height_bounded(self):
+        net = path_of_buses(5, leaves_per_bus=1)
+        values = {v: 1 for v in net.nodes()}
+        outcome = convergecast(net, values, lambda a, b: a + b)
+        assert outcome.stats.rounds <= net.height() + 2
+
+    def test_one_message_per_edge(self):
+        net = balanced_tree(2, 2, 2)
+        values = {v: 1 for v in net.nodes()}
+        outcome = convergecast(net, values, lambda a, b: a + b)
+        assert outcome.stats.total_messages == net.n_edges
+
+    def test_min_combiner(self):
+        net = single_bus(4)
+        values = {v: 10 - v for v in net.nodes()}
+        outcome = convergecast(net, values, min)
+        root = net.canonical_root()
+        assert outcome.values[root] == min(values.values())
+
+
+class TestDowncast:
+    def test_every_node_receives_root_value(self):
+        net = balanced_tree(2, 3, 2)
+        outcome = downcast(net, "payload")
+        assert all(v == "payload" for v in outcome.values.values())
+
+    def test_transform_applied_per_edge(self):
+        net = single_bus(3)
+        outcome = downcast(net, 0, transform=lambda parent, child, value: value + child)
+        for p in net.processors:
+            assert outcome.values[p] == p
+
+    def test_one_message_per_edge(self):
+        net = balanced_tree(2, 2, 2)
+        outcome = downcast(net, 1)
+        assert outcome.stats.total_messages == net.n_edges
+
+    def test_rounds_bounded_by_height(self):
+        net = path_of_buses(6, leaves_per_bus=1)
+        outcome = downcast(net, 1)
+        assert outcome.stats.rounds <= net.height() + 2
+
+
+class TestPipelinedConvergecast:
+    def test_matches_sequential_subtree_sums(self):
+        net = balanced_tree(2, 2, 2)
+        root = net.canonical_root()
+        n_items = 5
+        rng = np.random.default_rng(0)
+        local = {v: [int(x) for x in rng.integers(0, 10, size=n_items)] for v in net.nodes()}
+        outcome = pipelined_convergecast(net, local, root=root)
+        rooted = net.rooted(root)
+        for item in range(n_items):
+            expected = rooted.subtree_sums(
+                np.array([local[v][item] for v in net.nodes()])
+            )
+            for v in net.nodes():
+                assert outcome.values[v][item] == expected[v]
+
+    def test_pipelining_round_bound(self):
+        """Rounds grow like O(items + height), not O(items * height)."""
+        net = path_of_buses(6, leaves_per_bus=1)
+        height = net.height()
+        n_items = 12
+        local = {v: [1] * n_items for v in net.nodes()}
+        outcome = pipelined_convergecast(net, local)
+        assert outcome.stats.rounds <= n_items + 2 * height + 4
+        assert outcome.stats.rounds < n_items * height  # no naive restart per item
+
+    def test_mismatched_vector_lengths_rejected(self):
+        net = single_bus(2)
+        local = {0: [1, 2], 1: [1], 2: [1, 2]}
+        with pytest.raises(SimulationError):
+            pipelined_convergecast(net, local)
+
+    def test_missing_vector_rejected(self):
+        net = single_bus(2)
+        with pytest.raises(SimulationError):
+            pipelined_convergecast(net, {0: [1]})

@@ -1,0 +1,97 @@
+"""Tests for the synchronous round-based tree simulator."""
+
+import pytest
+
+from repro.distributed.engine import Message, NodeProcess, TreeSimulator
+from repro.errors import SimulationError
+from repro.network.builders import single_bus, star_of_buses
+
+
+class EchoOnce(NodeProcess):
+    """Every processor sends one message to its neighbour in round 0."""
+
+    def __init__(self, node, network):
+        super().__init__(node)
+        self.network = network
+        self.sent = False
+        self.received = []
+
+    def on_start(self, ctx):
+        if self.network.is_processor(self.node):
+            self.sent = True
+            neighbour = self.network.neighbors(self.node)[0]
+            return [Message(self.node, neighbour, f"hello from {self.node}")]
+        return []
+
+    def on_round(self, ctx, inbox):
+        self.received.extend(msg.payload for msg in inbox)
+        return []
+
+    def is_done(self, ctx):
+        return True
+
+
+class TestBasicDelivery:
+    def test_messages_delivered_next_round(self):
+        net = single_bus(3)
+        procs = {v: EchoOnce(v, net) for v in net.nodes()}
+        sim = TreeSimulator(net, procs)
+        stats = sim.run()
+        bus = net.buses[0]
+        assert len(procs[bus].received) == 3
+        assert stats.total_messages == 3
+        assert stats.rounds >= 1
+        assert stats.max_edge_units == 1
+
+    def test_missing_process_rejected(self):
+        net = single_bus(2)
+        with pytest.raises(SimulationError):
+            TreeSimulator(net, {0: NodeProcess(0)})
+
+    def test_non_neighbour_message_rejected(self):
+        net = star_of_buses(2, 1)
+
+        class Bad(NodeProcess):
+            def on_start(self, ctx):
+                if self.node == ctx.network.processors[0]:
+                    far = ctx.network.processors[-1]
+                    return [Message(self.node, far, "too far")]
+                return []
+
+        procs = {v: Bad(v) for v in net.nodes()}
+        with pytest.raises(SimulationError):
+            TreeSimulator(net, procs).run()
+
+    def test_round_limit(self):
+        net = single_bus(2)
+
+        class Chatter(NodeProcess):
+            def on_start(self, ctx):
+                if ctx.network.is_processor(self.node):
+                    return [Message(self.node, ctx.network.buses[0], "x")]
+                return []
+
+            def on_round(self, ctx, inbox):
+                # bounce every message back forever
+                return [Message(self.node, m.src, m.payload) for m in inbox]
+
+        procs = {v: Chatter(v) for v in net.nodes()}
+        with pytest.raises(SimulationError):
+            TreeSimulator(net, procs).run(max_rounds=5)
+
+    def test_idle_network_terminates_immediately(self):
+        net = single_bus(2)
+        procs = {v: NodeProcess(v) for v in net.nodes()}
+        stats = TreeSimulator(net, procs).run()
+        assert stats.rounds == 0
+        assert stats.total_messages == 0
+
+    def test_per_edge_accounting(self):
+        net = single_bus(3)
+        procs = {v: EchoOnce(v, net) for v in net.nodes()}
+        sim = TreeSimulator(net, procs)
+        stats = sim.run()
+        for p in net.processors:
+            eid = net.edge_id(p, net.buses[0])
+            assert stats.edge_units(eid) == 1
+        assert stats.total_units == 3

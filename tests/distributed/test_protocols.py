@@ -1,0 +1,87 @@
+"""Tests for the distributed nibble / extended-nibble protocols."""
+
+import pytest
+
+from repro.core.nibble import nibble_placement
+from repro.distributed.protocols import distributed_extended_nibble, distributed_nibble
+from repro.network.builders import balanced_tree, path_of_buses, random_tree, single_bus
+from repro.workload.access import AccessPattern
+from repro.workload.generators import random_sparse_pattern, uniform_pattern
+from repro.workload.traces import shared_counter_trace
+
+
+class TestDistributedNibble:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_sequential_nibble(self, seed):
+        net = random_tree(4, 7, seed=seed)
+        pat = random_sparse_pattern(net, 6, seed=seed)
+        dist = distributed_nibble(net, pat)
+        seq = nibble_placement(net, pat)
+        assert dist.result.placement == seq.placement
+        assert dist.result.centers == seq.centers
+
+    def test_round_count_scales_with_objects_plus_height(self):
+        net = balanced_tree(2, 3, 2)
+        small = distributed_nibble(net, uniform_pattern(net, 4, seed=0))
+        large = distributed_nibble(net, uniform_pattern(net, 32, seed=0))
+        # pipelining: 8x the objects should cost far less than 8x the rounds
+        assert large.rounds < 8 * small.rounds
+
+    def test_deeper_trees_need_more_rounds(self):
+        shallow = path_of_buses(2, leaves_per_bus=2)
+        deep = path_of_buses(10, leaves_per_bus=2)
+        pat_s = uniform_pattern(shallow, 4, seed=1)
+        pat_d = uniform_pattern(deep, 4, seed=1)
+        assert distributed_nibble(deep, pat_d).rounds > distributed_nibble(shallow, pat_s).rounds
+
+    def test_empty_pattern(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 0)
+        report = distributed_nibble(net, pat)
+        assert report.rounds == 0
+        assert report.messages == 0
+
+    def test_message_counts_positive(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 4, seed=2)
+        report = distributed_nibble(net, pat)
+        assert report.messages > 0
+        assert report.message_units >= report.messages * 0  # units recorded
+
+
+class TestDistributedExtendedNibble:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_placement_matches_sequential(self, seed):
+        net = random_tree(4, 7, seed=seed)
+        pat = random_sparse_pattern(net, 6, seed=seed)
+        report = distributed_extended_nibble(net, pat)
+        from repro.core.extended_nibble import extended_nibble
+
+        seq = extended_nibble(net, pat)
+        assert report.result.placement == seq.placement
+
+    def test_round_breakdown(self):
+        net = balanced_tree(2, 3, 2)
+        pat = shared_counter_trace(net, 4, 8, 8)
+        report = distributed_extended_nibble(net, pat)
+        assert report.nibble_rounds > 0
+        assert report.mapping_rounds == 2 * net.height()  # counters need mapping
+        assert report.total_rounds == (
+            report.nibble_rounds + report.deletion_rounds + report.mapping_rounds
+        )
+
+    def test_no_mapping_rounds_when_nothing_to_map(self):
+        net = single_bus(3)
+        procs = list(net.processors)
+        # a single requester per object keeps every copy on a leaf
+        pat = AccessPattern.from_requests(
+            net, 2, [(procs[0], 0, 5, 1), (procs[1], 1, 4, 2)]
+        )
+        report = distributed_extended_nibble(net, pat)
+        assert report.mapping_rounds == 0
+
+    def test_total_messages_positive_for_nontrivial_instances(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 8, seed=3)
+        report = distributed_extended_nibble(net, pat)
+        assert report.total_messages > 0

@@ -1,0 +1,103 @@
+"""Tests for the store-and-forward request-replay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import owner_placement
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.core.placement import Placement
+from repro.distributed.request_sim import replay_requests
+from repro.errors import SimulationError
+from repro.network.builders import balanced_tree, single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+from repro.workload.generators import uniform_pattern
+from repro.workload.traces import shared_counter_trace
+
+
+class TestBasicBehaviour:
+    def test_empty_pattern_zero_makespan(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 1)
+        placement = Placement.single_holder([net.processors[0]])
+        result = replay_requests(net, pat, placement)
+        assert result.makespan == 0
+        assert result.total_traversals == 0
+        assert result.congestion == 0.0
+
+    def test_single_remote_read(self):
+        net = single_bus(3)
+        p1, p2, _ = net.processors
+        pat = AccessPattern.from_requests(net, 1, [(p2, 0, 1, 0)])
+        placement = Placement.single_holder([p1])
+        result = replay_requests(net, pat, placement)
+        # one message over two edges, forwarded one hop per round
+        assert result.total_traversals == 2
+        assert result.makespan == 2
+        assert result.dilation == 2
+
+    def test_traffic_matches_congestion_model(self):
+        net = star_of_buses(2, 2)
+        pat = uniform_pattern(net, 8, requests_per_processor=6, seed=0)
+        placement = owner_placement(net, pat)
+        result = replay_requests(net, pat, placement)
+        model = compute_loads(net, pat, placement)
+        assert np.allclose(result.per_edge_traffic, model.edge_loads)
+        assert result.congestion == pytest.approx(model.congestion)
+
+    def test_makespan_at_least_congestion(self):
+        net = balanced_tree(2, 2, 2)
+        pat = uniform_pattern(net, 12, requests_per_processor=8, seed=1)
+        placement = owner_placement(net, pat)
+        result = replay_requests(net, pat, placement)
+        assert result.makespan >= result.congestion - 1e-9
+        assert result.slowdown >= 1.0
+
+    def test_makespan_bounded_by_congestion_plus_dilation_factor(self):
+        net = balanced_tree(2, 3, 2)
+        pat = uniform_pattern(net, 16, requests_per_processor=8, seed=2)
+        res = extended_nibble(net, pat)
+        result = replay_requests(net, pat, res.placement, assignment=res.assignment)
+        # greedy store-and-forward on a tree stays within a small factor of
+        # congestion + dilation
+        assert result.makespan <= 4 * (result.congestion + result.dilation) + 5
+
+
+class TestBatchingAndBandwidth:
+    def test_batching_reduces_traffic_proportionally(self):
+        net = single_bus(4)
+        pat = shared_counter_trace(net, 2, 8, 8)
+        placement = owner_placement(net, pat)
+        full = replay_requests(net, pat, placement, batch=1)
+        batched = replay_requests(net, pat, placement, batch=4)
+        assert batched.total_traversals < full.total_traversals
+        assert batched.makespan <= full.makespan
+
+    def test_invalid_batch(self):
+        net = single_bus(3)
+        pat = AccessPattern.empty(net.n_nodes, 1)
+        placement = Placement.single_holder([net.processors[0]])
+        with pytest.raises(SimulationError):
+            replay_requests(net, pat, placement, batch=0)
+
+    def test_higher_bus_bandwidth_speeds_up_delivery(self):
+        slow = single_bus(6, bus_bandwidth=1.0)
+        fast = single_bus(6, bus_bandwidth=8.0)
+        pat_slow = shared_counter_trace(slow, 4, 6, 6)
+        pat_fast = shared_counter_trace(fast, 4, 6, 6)
+        placement_slow = owner_placement(slow, pat_slow)
+        placement_fast = owner_placement(fast, pat_fast)
+        r_slow = replay_requests(slow, pat_slow, placement_slow)
+        r_fast = replay_requests(fast, pat_fast, placement_fast)
+        assert r_fast.makespan <= r_slow.makespan
+
+    def test_better_placement_delivers_faster(self):
+        net = balanced_tree(2, 3, 2)
+        pat = uniform_pattern(net, 16, requests_per_processor=8, seed=3)
+        good = extended_nibble(net, pat)
+        good_replay = replay_requests(net, pat, good.placement, assignment=good.assignment)
+        from repro.core.baselines import random_placement
+
+        bad = random_placement(net, pat, seed=7)
+        bad_replay = replay_requests(net, pat, bad)
+        assert good_replay.makespan <= bad_replay.makespan

@@ -1,0 +1,135 @@
+"""Tests for the online strategies and their cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.core.placement import Placement
+from repro.dynamic.online import EdgeCounterManager, OnlineCostAccount, StaticPlacementManager
+from repro.dynamic.sequence import RequestEvent, RequestSequence, sequence_from_pattern
+from repro.errors import PlacementError, WorkloadError
+from repro.network.builders import balanced_tree, single_bus, star_of_buses
+from repro.workload.access import AccessPattern
+from repro.workload.generators import uniform_pattern
+
+
+class TestCostAccount:
+    def test_path_and_steiner_charging(self):
+        net = star_of_buses(2, 2)
+        rooted = net.rooted()
+        account = OnlineCostAccount(net)
+        p, q = net.processors[0], net.processors[-1]
+        account.charge_path(rooted, p, q, amount=2.0)
+        assert account.total_load == 2.0 * rooted.distance(p, q)
+        account.charge_steiner(rooted, [p, q], amount=1.0, management=True)
+        assert account.management_units > 0
+        assert account.congestion > 0
+
+    def test_zero_amount_ignored(self):
+        net = single_bus(3)
+        rooted = net.rooted()
+        account = OnlineCostAccount(net)
+        account.charge_path(rooted, net.processors[0], net.processors[1], amount=0)
+        account.charge_path(rooted, net.processors[0], net.processors[0], amount=5)
+        assert account.total_load == 0.0
+
+
+class TestStaticPlacementManager:
+    def test_matches_static_congestion_model(self):
+        """Serving a shuffled pattern from a fixed placement reproduces the
+        static cost model's loads exactly (nearest-copy assignment)."""
+        net = balanced_tree(2, 2, 2)
+        pattern = uniform_pattern(net, 8, requests_per_processor=8, seed=0)
+        seq = sequence_from_pattern(net, pattern, seed=1)
+        result = extended_nibble(net, pattern)
+        manager = StaticPlacementManager(net, result.placement)
+        account = manager.run(seq)
+        static = compute_loads(net, pattern, result.placement)
+        assert np.allclose(account.edge_loads, static.edge_loads)
+        assert account.congestion == pytest.approx(static.congestion)
+
+    def test_rejects_bus_holders(self):
+        net = single_bus(3)
+        with pytest.raises(PlacementError):
+            StaticPlacementManager(net, Placement.single_holder([net.buses[0]]))
+
+    def test_holders_are_fixed(self):
+        net = single_bus(3)
+        placement = Placement.single_holder([net.processors[0], net.processors[1]])
+        manager = StaticPlacementManager(net, placement)
+        seq = RequestSequence(
+            [RequestEvent(net.processors[2], 0, "read")] * 5, n_objects=2
+        )
+        manager.run(seq)
+        assert manager.holders(0) == {net.processors[0]}
+
+
+class TestEdgeCounterManager:
+    def test_first_touch_places_object_locally(self):
+        net = single_bus(3)
+        manager = EdgeCounterManager(net, 1, object_size=3)
+        p = net.processors[0]
+        manager.serve(RequestEvent(p, 0, "read"))
+        assert manager.holders(0) == {p}
+        # a local read costs nothing
+        assert manager.account.total_load == 0.0
+
+    def test_repeated_remote_reads_trigger_replication(self):
+        net = single_bus(3)
+        p_owner, p_reader, _ = net.processors
+        manager = EdgeCounterManager(net, 1, object_size=3)
+        manager.serve(RequestEvent(p_owner, 0, "write"))
+        for _ in range(3):
+            manager.serve(RequestEvent(p_reader, 0, "read"))
+        assert p_reader in manager.holders(0)
+        # afterwards, reads from the replica are free
+        before = manager.account.total_load
+        manager.serve(RequestEvent(p_reader, 0, "read"))
+        assert manager.account.total_load == before
+
+    def test_writes_invalidate_unused_replicas(self):
+        net = single_bus(3)
+        p_owner, p_reader, _ = net.processors
+        manager = EdgeCounterManager(net, 1, object_size=2, invalidation_patience=2)
+        manager.serve(RequestEvent(p_owner, 0, "write"))
+        for _ in range(2):
+            manager.serve(RequestEvent(p_reader, 0, "read"))
+        assert p_reader in manager.holders(0)
+        for _ in range(3):
+            manager.serve(RequestEvent(p_owner, 0, "write"))
+        assert p_reader not in manager.holders(0)
+        assert len(manager.holders(0)) >= 1
+
+    def test_persistent_remote_writer_attracts_migration(self):
+        net = single_bus(3)
+        p_owner, p_writer, _ = net.processors
+        manager = EdgeCounterManager(net, 1, object_size=2)
+        manager.serve(RequestEvent(p_owner, 0, "read"))
+        for _ in range(4):
+            manager.serve(RequestEvent(p_writer, 0, "write"))
+        assert manager.holders(0) == {p_writer}
+
+    def test_invalid_parameters(self):
+        net = single_bus(3)
+        with pytest.raises(WorkloadError):
+            EdgeCounterManager(net, 1, object_size=0)
+        with pytest.raises(WorkloadError):
+            EdgeCounterManager(net, 1, invalidation_patience=0)
+        with pytest.raises(PlacementError):
+            EdgeCounterManager(
+                net, 2, initial_placement=Placement.single_holder([net.processors[0]])
+            )
+
+    def test_initial_placement_respected(self):
+        net = single_bus(3)
+        placement = Placement.single_holder([net.processors[1]])
+        manager = EdgeCounterManager(net, 1, initial_placement=placement)
+        assert manager.holders(0) == {net.processors[1]}
+
+    def test_sequence_with_too_many_objects_rejected(self):
+        net = single_bus(3)
+        manager = EdgeCounterManager(net, 1)
+        seq = RequestSequence([RequestEvent(net.processors[0], 1, "read")], 2)
+        with pytest.raises(WorkloadError):
+            manager.run(seq)

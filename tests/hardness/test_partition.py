@@ -1,0 +1,107 @@
+"""Tests for the PARTITION solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.hardness.partition import (
+    PartitionInstance,
+    random_partition_instance,
+    solve_partition_bruteforce,
+    solve_partition_dp,
+)
+
+
+class TestInstance:
+    def test_basic_properties(self):
+        inst = PartitionInstance((3, 1, 2, 2))
+        assert inst.total == 8
+        assert inst.half == 4
+        assert inst.n == 4
+
+    def test_invalid_values(self):
+        with pytest.raises(ReproError):
+            PartitionInstance(())
+        with pytest.raises(ReproError):
+            PartitionInstance((1, 0))
+        with pytest.raises(ReproError):
+            PartitionInstance((1, -2))
+
+    def test_is_balanced_subset(self):
+        inst = PartitionInstance((3, 1, 2, 2))
+        assert inst.is_balanced_subset([0, 1])  # 3 + 1 == 4
+        assert not inst.is_balanced_subset([0])
+        odd = PartitionInstance((1, 2))
+        assert not odd.is_balanced_subset([0])
+
+
+class TestSolvers:
+    KNOWN_YES = [
+        (3, 1, 2, 2),
+        (1, 1),
+        (5, 5, 10),
+        (4, 4, 4, 4),
+        (7, 3, 2, 2, 2, 2, 2),
+    ]
+    KNOWN_NO = [
+        (1, 2),          # odd total
+        (5, 1, 1, 1),    # even but unbalanced
+        (10, 2, 2, 2),
+        (3,),
+    ]
+
+    @pytest.mark.parametrize("sizes", KNOWN_YES)
+    def test_dp_finds_witness_on_yes_instances(self, sizes):
+        inst = PartitionInstance(sizes)
+        subset = solve_partition_dp(inst)
+        assert subset is not None
+        assert inst.is_balanced_subset(subset)
+
+    @pytest.mark.parametrize("sizes", KNOWN_NO)
+    def test_dp_rejects_no_instances(self, sizes):
+        assert solve_partition_dp(PartitionInstance(sizes)) is None
+
+    @pytest.mark.parametrize("sizes", KNOWN_YES + KNOWN_NO)
+    def test_dp_agrees_with_bruteforce(self, sizes):
+        inst = PartitionInstance(sizes)
+        dp = solve_partition_dp(inst)
+        bf = solve_partition_bruteforce(inst)
+        assert (dp is None) == (bf is None)
+        if bf is not None:
+            assert inst.is_balanced_subset(bf)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dp_agrees_with_bruteforce_random(self, seed):
+        rng = np.random.default_rng(seed)
+        sizes = tuple(int(v) for v in rng.integers(1, 12, size=int(rng.integers(2, 9))))
+        inst = PartitionInstance(sizes)
+        dp = solve_partition_dp(inst)
+        bf = solve_partition_bruteforce(inst)
+        assert (dp is None) == (bf is None)
+        if dp is not None:
+            assert inst.is_balanced_subset(dp)
+
+    def test_bruteforce_size_limit(self):
+        inst = PartitionInstance(tuple([1] * 30))
+        with pytest.raises(ReproError):
+            solve_partition_bruteforce(inst)
+
+
+class TestRandomInstances:
+    def test_force_yes(self):
+        for seed in range(5):
+            inst = random_partition_instance(6, force_yes=True, seed=seed)
+            assert solve_partition_dp(inst) is not None
+
+    def test_force_no(self):
+        for seed in range(5):
+            inst = random_partition_instance(4, force_yes=False, seed=seed)
+            assert solve_partition_dp(inst) is None
+
+    def test_unconstrained(self):
+        inst = random_partition_instance(5, seed=1)
+        assert inst.n == 5
+
+    def test_invalid_n(self):
+        with pytest.raises(ReproError):
+            random_partition_instance(0)

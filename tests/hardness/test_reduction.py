@@ -1,0 +1,109 @@
+"""Tests for the Theorem 2.1 reduction (PARTITION -> placement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import compute_loads
+from repro.core.optimal import optimal_nonredundant
+from repro.errors import ReproError
+from repro.hardness.partition import PartitionInstance, random_partition_instance, solve_partition_dp
+from repro.hardness.reduction import (
+    build_reduction_instance,
+    placement_from_subset,
+    verify_reduction,
+)
+
+
+class TestInstanceConstruction:
+    def test_structure(self):
+        inst = build_reduction_instance(PartitionInstance((3, 1, 2, 2)))
+        assert inst.network.n_processors == 4
+        assert inst.pattern.n_objects == 5  # x_1..x_4 and y
+        assert inst.threshold == 16  # 4k with k = 4
+        assert inst.n_items == 4
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(ReproError):
+            build_reduction_instance(PartitionInstance((1, 2)))
+
+    def test_frequencies(self):
+        partition = PartitionInstance((2, 2))
+        inst = build_reduction_instance(partition)
+        a, b, s, sbar = inst.anchors
+        k = partition.half
+        assert inst.pattern.writes_of(a, 2) == 4 * k + 1
+        assert inst.pattern.writes_of(b, 2) == 2 * k
+        for i in range(2):
+            for v in inst.anchors:
+                assert inst.pattern.writes_of(v, i) == 2
+
+
+class TestWitnessPlacement:
+    def test_witness_achieves_exactly_4k(self):
+        """The forward direction of the proof: congestion == 4k on YES instances."""
+        partition = PartitionInstance((3, 1, 2, 2))
+        inst = build_reduction_instance(partition)
+        subset = solve_partition_dp(partition)
+        placement = placement_from_subset(inst, subset)
+        profile = compute_loads(inst.network, inst.pattern, placement)
+        assert profile.congestion == pytest.approx(inst.threshold)
+        # the proof's load accounting: edges e_a and e_b carry exactly 4k
+        a, b, s, sbar = inst.anchors
+        bus = inst.network.buses[0]
+        assert profile.edge_load(a, bus) == pytest.approx(4 * partition.half)
+        assert profile.edge_load(b, bus) == pytest.approx(4 * partition.half)
+        assert profile.edge_load(s, bus) == pytest.approx(4 * partition.half)
+        assert profile.edge_load(sbar, bus) == pytest.approx(4 * partition.half)
+
+    def test_unbalanced_subset_exceeds_4k(self):
+        partition = PartitionInstance((3, 1, 2, 2))
+        inst = build_reduction_instance(partition)
+        # put every x_i on s: the load on e_s becomes 2k + 2*sum = 3*2k > 4k
+        placement = placement_from_subset(inst, range(partition.n))
+        profile = compute_loads(inst.network, inst.pattern, placement)
+        assert profile.congestion > inst.threshold
+
+    def test_misplacing_y_exceeds_4k(self):
+        partition = PartitionInstance((3, 1, 2, 2))
+        inst = build_reduction_instance(partition)
+        subset = solve_partition_dp(partition)
+        placement = placement_from_subset(inst, subset)
+        # move y from a to b
+        from repro.core.placement import Placement
+
+        holders = [sorted(placement.holders(x))[0] for x in range(inst.pattern.n_objects)]
+        holders[-1] = inst.anchors[1]
+        moved = Placement.single_holder(holders)
+        profile = compute_loads(inst.network, inst.pattern, moved)
+        assert profile.congestion > inst.threshold
+
+
+class TestEquivalence:
+    YES_INSTANCES = [(3, 1, 2, 2), (1, 1), (2, 2, 2, 2), (4, 3, 1, 2, 2)]
+    NO_INSTANCES = [(5, 1, 1, 1), (10, 2, 2, 2), (7, 1, 1, 1, 1, 1)]
+
+    @pytest.mark.parametrize("sizes", YES_INSTANCES)
+    def test_yes_instances(self, sizes):
+        report = verify_reduction(PartitionInstance(sizes))
+        assert report.partition_solvable
+        assert report.witness_congestion == pytest.approx(report.instance.threshold)
+        assert report.optimal_congestion <= report.instance.threshold + 1e-9
+        assert report.equivalence_holds
+
+    @pytest.mark.parametrize("sizes", NO_INSTANCES)
+    def test_no_instances(self, sizes):
+        report = verify_reduction(PartitionInstance(sizes))
+        assert not report.partition_solvable
+        assert report.witness_congestion is None
+        assert report.optimal_congestion > report.instance.threshold
+        assert report.equivalence_holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        inst = random_partition_instance(5, max_value=8, seed=seed)
+        if inst.total % 2 != 0:
+            inst = PartitionInstance(tuple(list(inst.sizes) + [1]))
+        if inst.total % 2 != 0:
+            pytest.skip("could not make the total even")
+        report = verify_reduction(inst)
+        assert report.equivalence_holds

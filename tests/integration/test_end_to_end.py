@@ -1,0 +1,102 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the workflow a user of the library would follow: build a
+topology (possibly from the SCI substrate), generate a workload, run the
+placement strategies, evaluate congestion against the lower bound and
+baselines, replay the requests, and serialize the artefacts.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratio import measure_ratio
+from repro.core.baselines import greedy_congestion_placement, owner_placement
+from repro.core.bounds import congestion_lower_bound, nibble_lower_bound
+from repro.core.congestion import compute_loads
+from repro.core.extended_nibble import extended_nibble
+from repro.core.optimal import optimal_nonredundant
+from repro.distributed.protocols import distributed_extended_nibble
+from repro.distributed.request_sim import replay_requests
+from repro.network.sci import ring_of_rings
+from repro.network.serialization import load_network, save_network
+from repro.network.builders import balanced_tree
+from repro.workload.access import AccessPattern
+from repro.workload.generators import zipf_pattern
+from repro.workload.traces import web_cache_trace
+
+
+class TestSCIClusterWorkflow:
+    """Model an SCI cluster (Figure 1), convert it (Figure 2) and place data."""
+
+    def test_full_pipeline(self, tmp_path):
+        fabric = ring_of_rings(n_leaf_rings=3, processors_per_ring=3, top_bandwidth=4.0)
+        conversion = fabric.to_bus_network()
+        net = conversion.network
+
+        # persist and reload the topology
+        path = tmp_path / "cluster.json"
+        save_network(net, path)
+        net = load_network(path)
+
+        pattern = web_cache_trace(net, n_pages=24, seed=1)
+        result = extended_nibble(net, pattern)
+        result.placement.validate_for(net, pattern, require_leaf_only=True)
+
+        lb = nibble_lower_bound(net, pattern)
+        congestion = result.congestion(net, pattern)
+        assert lb == 0 or congestion <= 7 * lb + 1e-9
+
+        # the strategy should not lose to the naive owner placement
+        owner_congestion = compute_loads(net, pattern, owner_placement(net, pattern)).congestion
+        assert congestion <= owner_congestion + 1e-9 or congestion <= 7 * lb
+
+        replay = replay_requests(net, pattern, result.placement, result.assignment, batch=4)
+        assert replay.makespan >= replay.congestion - 1e-9
+
+
+class TestBalancedClusterComparison:
+    def test_strategy_ordering_on_locality_workload(self):
+        net = balanced_tree(2, 3, 2)
+        pattern = zipf_pattern(net, 32, requests_per_processor=16, seed=5)
+
+        ext = extended_nibble(net, pattern)
+        ext_congestion = ext.congestion(net, pattern)
+        greedy_congestion = compute_loads(
+            net, pattern, greedy_congestion_placement(net, pattern)
+        ).congestion
+        report = congestion_lower_bound(net, pattern)
+
+        assert report.best <= ext_congestion + 1e-9
+        assert ext_congestion <= 7 * report.nibble_congestion + 1e-9
+        # both congestion-aware strategies should be within 7x of the bound
+        assert greedy_congestion <= 20 * report.nibble_congestion
+
+    def test_distributed_and_sequential_agree_end_to_end(self):
+        net = balanced_tree(2, 2, 3)
+        pattern = zipf_pattern(net, 12, seed=7)
+        sequential = extended_nibble(net, pattern)
+        distributed = distributed_extended_nibble(net, pattern)
+        assert distributed.result.placement == sequential.placement
+        assert distributed.total_rounds > 0
+
+
+class TestSmallInstanceOptimality:
+    def test_measure_ratio_against_exact_optimum(self):
+        net = ring_of_rings(2, 2).to_bus_network().network
+        pattern = AccessPattern.from_requests(
+            net,
+            3,
+            [
+                (net.processors[0], 0, 4, 2),
+                (net.processors[1], 1, 1, 3),
+                (net.processors[2], 2, 5, 0),
+                (net.processors[3], 0, 2, 2),
+            ],
+        )
+        record = measure_ratio(net, pattern, compute_exact=True)
+        assert record.optimal_congestion is not None
+        assert record.within_paper_bound
+        # the non-redundant optimum itself respects the lower bound
+        assert record.lower_bound <= record.optimal_congestion + 1e-9

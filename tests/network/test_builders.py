@@ -1,0 +1,146 @@
+"""Tests for the ready-made topology builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.builders import (
+    balanced_tree,
+    caterpillar,
+    fat_tree,
+    hardness_gadget,
+    path_of_buses,
+    random_tree,
+    single_bus,
+    star_of_buses,
+)
+
+
+class TestSingleBus:
+    def test_shape(self):
+        net = single_bus(5, bus_bandwidth=3.0)
+        assert net.n_processors == 5
+        assert net.n_buses == 1
+        assert net.height() == 1
+        assert net.bus_bandwidth(net.buses[0]) == 3.0
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            single_bus(1)
+
+
+class TestBalancedTree:
+    def test_counts(self):
+        net = balanced_tree(arity=2, depth=3, leaves_per_bus=2)
+        assert net.n_buses == 1 + 2 + 4
+        assert net.n_processors == 4 * 2
+        assert net.height() == 3
+
+    def test_depth_one(self):
+        net = balanced_tree(arity=3, depth=1, leaves_per_bus=4)
+        assert net.n_buses == 1
+        assert net.n_processors == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            balanced_tree(0, 2)
+        with pytest.raises(TopologyError):
+            balanced_tree(2, 0)
+        with pytest.raises(TopologyError):
+            balanced_tree(2, 1, leaves_per_bus=0)
+
+    def test_trunk_bandwidth(self):
+        net = balanced_tree(2, 2, 1, trunk_bandwidth=5.0)
+        root = net.canonical_root()
+        child_bus = [b for b in net.buses if b != root][0]
+        assert net.edge_bandwidth(root, child_bus) == 5.0
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_and_deterministic(self, seed):
+        net1 = random_tree(5, 8, seed=seed)
+        net2 = random_tree(5, 8, seed=seed)
+        assert net1 == net2
+        net1.validate()
+        assert net1.n_buses == 5
+        assert net1.n_processors >= 8  # fix-up may add processors
+
+    def test_different_seeds_differ(self):
+        nets = {random_tree(5, 8, seed=s) for s in range(10)}
+        assert len(nets) > 1
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            random_tree(0, 5)
+        with pytest.raises(TopologyError):
+            random_tree(3, 1)
+
+
+class TestPathAndCaterpillar:
+    def test_path_height(self):
+        net = path_of_buses(4, leaves_per_bus=1)
+        assert net.n_buses == 4
+        assert net.height() >= 4
+
+    def test_single_bus_path(self):
+        net = path_of_buses(1, leaves_per_bus=1)
+        # a single bus needs two processors to be valid
+        assert net.n_processors >= 2
+
+    def test_caterpillar(self):
+        net = caterpillar(3, legs=3)
+        assert net.n_buses == 3
+        assert net.n_processors == 9
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            path_of_buses(0)
+        with pytest.raises(TopologyError):
+            caterpillar(3, legs=0)
+
+
+class TestStarAndFatTree:
+    def test_star_shape(self):
+        net = star_of_buses(3, 2, root_bandwidth=8.0)
+        assert net.n_buses == 4
+        assert net.n_processors == 6
+        assert net.bus_bandwidth(net.node_by_name("root")) == 8.0
+
+    def test_star_single_child(self):
+        net = star_of_buses(1, 2)
+        net.validate()
+
+    def test_star_invalid(self):
+        with pytest.raises(TopologyError):
+            star_of_buses(0, 2)
+        with pytest.raises(TopologyError):
+            star_of_buses(1, 1)
+
+    def test_fat_tree_bandwidth_grows_towards_root(self):
+        net = fat_tree(2, 3, leaves_per_bus=2, base_bandwidth=1.0, fatness=2.0)
+        root = net.canonical_root()
+        leaf_level_buses = [
+            b for b in net.buses if any(net.is_processor(n) for n in net.neighbors(b))
+        ]
+        assert net.bus_bandwidth(root) > net.bus_bandwidth(leaf_level_buses[0])
+
+    def test_fat_tree_invalid(self):
+        with pytest.raises(TopologyError):
+            fat_tree(2, 2, fatness=0)
+        with pytest.raises(TopologyError):
+            fat_tree(0, 2)
+
+
+class TestHardnessGadget:
+    def test_shape_and_names(self):
+        net = hardness_gadget()
+        assert net.n_processors == 4
+        assert net.n_buses == 1
+        names = {net.name(p) for p in net.processors}
+        assert names == {"a", "b", "s", "sbar"}
+        # the bus bandwidth is effectively unconstrained
+        assert net.bus_bandwidth(net.buses[0]) >= 1e6
+        # processor switch edges have bandwidth one
+        for p in net.processors:
+            assert net.edge_bandwidth(p, net.buses[0]) == 1.0

@@ -1,0 +1,54 @@
+"""Tests for network structural metrics."""
+
+import pytest
+
+from repro.network.builders import balanced_tree, path_of_buses, single_bus
+from repro.network.metrics import compute_metrics, diameter, eccentricity
+from repro.network.tree import HierarchicalBusNetwork
+from repro.network.node import ProcessorSpec
+
+
+class TestDiameter:
+    def test_single_bus(self):
+        assert diameter(single_bus(4)) == 2
+
+    def test_path(self):
+        net = path_of_buses(3, leaves_per_bus=1)
+        # leaf - b0 - b1 - b2 - leaf
+        assert diameter(net) == 4
+
+    def test_single_node(self):
+        net = HierarchicalBusNetwork([ProcessorSpec("p")], [])
+        assert diameter(net) == 0
+
+    def test_eccentricity_bounds_diameter(self):
+        net = balanced_tree(2, 3, 2)
+        diam = diameter(net)
+        assert max(eccentricity(net, v) for v in net.nodes()) == diam
+
+
+class TestComputeMetrics:
+    def test_fields(self):
+        net = balanced_tree(2, 2, 3, bus_bandwidth=2.0)
+        m = compute_metrics(net)
+        assert m.n_nodes == net.n_nodes
+        assert m.n_processors == net.n_processors
+        assert m.n_buses == net.n_buses
+        assert m.n_edges == net.n_edges
+        assert m.height == net.height()
+        assert m.max_degree == net.max_degree()
+        assert m.diameter == diameter(net)
+        assert m.min_bus_bandwidth == 2.0
+        assert m.max_bus_bandwidth == 2.0
+        assert m.min_edge_bandwidth == 1.0
+
+    def test_as_dict(self):
+        net = single_bus(3)
+        d = compute_metrics(net).as_dict()
+        assert d["n_processors"] == 3
+        assert "diameter" in d and "mean_bus_degree" in d
+
+    def test_mean_bus_degree(self):
+        net = single_bus(5)
+        m = compute_metrics(net)
+        assert m.mean_bus_degree == 5.0

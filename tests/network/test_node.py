@@ -1,0 +1,46 @@
+"""Tests for node kinds and node specifications."""
+
+import pytest
+
+from repro.errors import BandwidthError
+from repro.network.node import BusSpec, NodeKind, NodeSpec, ProcessorSpec
+
+
+class TestNodeKind:
+    def test_values_stable(self):
+        assert int(NodeKind.PROCESSOR) == 0
+        assert int(NodeKind.BUS) == 1
+
+    def test_predicates(self):
+        assert NodeKind.PROCESSOR.is_processor
+        assert not NodeKind.PROCESSOR.is_bus
+        assert NodeKind.BUS.is_bus
+        assert not NodeKind.BUS.is_processor
+
+
+class TestSpecs:
+    def test_processor_spec(self):
+        spec = ProcessorSpec("cpu0")
+        assert spec.is_processor and not spec.is_bus
+        assert spec.name == "cpu0"
+
+    def test_bus_spec_bandwidth(self):
+        spec = BusSpec("ring", bandwidth=2.5)
+        assert spec.is_bus
+        assert spec.bandwidth == 2.5
+
+    def test_bus_spec_invalid_bandwidth(self):
+        with pytest.raises(BandwidthError):
+            BusSpec("ring", bandwidth=0.0)
+        with pytest.raises(BandwidthError):
+            BusSpec("ring", bandwidth=-1.0)
+
+    def test_processor_ignores_bandwidth_check(self):
+        # processor bandwidth field is irrelevant; even 0 must not raise
+        spec = NodeSpec(kind=NodeKind.PROCESSOR, bandwidth=0.0)
+        assert spec.is_processor
+
+    def test_frozen(self):
+        spec = ProcessorSpec("p")
+        with pytest.raises(Exception):
+            spec.name = "q"  # type: ignore[misc]

@@ -1,0 +1,205 @@
+"""Tests for the rooted tree view: paths, levels, subtree sums, Steiner trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidNodeError
+from repro.network.builders import balanced_tree, path_of_buses, star_of_buses
+
+
+@pytest.fixture
+def star():
+    # root bus with 2 child buses, 2 processors per child bus
+    return star_of_buses(2, 2)
+
+
+class TestStructure:
+    def test_parent_child_consistency(self, star):
+        rooted = star.rooted(star.canonical_root())
+        for v in star.nodes():
+            for c in rooted.children(v):
+                assert rooted.parent(c) == v
+                assert rooted.depth(c) == rooted.depth(v) + 1
+
+    def test_root_has_no_parent(self, star):
+        root = star.canonical_root()
+        rooted = star.rooted(root)
+        assert rooted.parent(root) == -1
+        assert rooted.parent_edge_id(root) == -1
+        assert rooted.depth(root) == 0
+
+    def test_level_convention(self, star):
+        rooted = star.rooted()
+        # root level == height, deepest node level == 0
+        assert rooted.level(rooted.root) == rooted.height
+        assert min(rooted.level(v) for v in star.nodes()) == 0
+
+    def test_preorder_postorder(self, star):
+        rooted = star.rooted()
+        pre = rooted.preorder
+        post = rooted.postorder
+        assert sorted(pre) == sorted(star.nodes())
+        assert list(reversed(pre)) == list(post)
+        # parents appear before children in preorder
+        position = {v: i for i, v in enumerate(pre)}
+        for v in star.nodes():
+            p = rooted.parent(v)
+            if p >= 0:
+                assert position[p] < position[v]
+
+    def test_nodes_by_level_partition(self, star):
+        rooted = star.rooted()
+        groups = rooted.nodes_by_level()
+        all_nodes = sorted(n for nodes in groups.values() for n in nodes)
+        assert all_nodes == sorted(star.nodes())
+
+    def test_subtree_size(self, star):
+        rooted = star.rooted()
+        assert rooted.subtree_size(rooted.root) == star.n_nodes
+        for p in star.processors:
+            assert rooted.subtree_size(p) == 1
+
+    def test_is_ancestor(self, star):
+        rooted = star.rooted()
+        root = rooted.root
+        for v in star.nodes():
+            assert rooted.is_ancestor(root, v)
+            assert rooted.is_ancestor(v, v)
+        p = star.processors[0]
+        q = star.processors[-1]
+        assert not rooted.is_ancestor(p, q)
+
+    def test_invalid_root(self, star):
+        with pytest.raises(InvalidNodeError):
+            star.rooted(999)
+
+
+class TestPaths:
+    def test_path_endpoints(self, star):
+        rooted = star.rooted()
+        p, q = star.processors[0], star.processors[-1]
+        path = rooted.path_nodes(p, q)
+        assert path[0] == p and path[-1] == q
+        # consecutive nodes are adjacent
+        for a, b in zip(path, path[1:]):
+            assert star.has_edge(a, b)
+
+    def test_path_edges_match_nodes(self, star):
+        rooted = star.rooted()
+        p, q = star.processors[0], star.processors[-1]
+        nodes = rooted.path_nodes(p, q)
+        edges = rooted.path_edge_ids(p, q)
+        assert len(edges) == len(nodes) - 1
+        for (a, b), eid in zip(zip(nodes, nodes[1:]), edges):
+            assert star.edge_id(a, b) == eid
+
+    def test_path_to_self_empty(self, star):
+        rooted = star.rooted()
+        p = star.processors[0]
+        assert rooted.path_edge_ids(p, p) == []
+        assert rooted.path_nodes(p, p) == [p]
+        assert rooted.distance(p, p) == 0
+
+    def test_distance_symmetry(self, star):
+        rooted = star.rooted()
+        for p in star.processors:
+            for q in star.processors:
+                assert rooted.distance(p, q) == rooted.distance(q, p)
+
+    def test_lca(self, star):
+        rooted = star.rooted(star.canonical_root())
+        # two processors under different child buses meet at the root
+        procs_by_bus = {}
+        for p in star.processors:
+            bus = star.neighbors(p)[0]
+            procs_by_bus.setdefault(bus, []).append(p)
+        buses = sorted(procs_by_bus)
+        if len(buses) >= 2:
+            a = procs_by_bus[buses[0]][0]
+            b = procs_by_bus[buses[1]][0]
+            assert rooted.lca(a, b) == star.canonical_root()
+        # two processors under the same bus meet at that bus
+        same = procs_by_bus[buses[0]]
+        if len(same) >= 2:
+            assert rooted.lca(same[0], same[1]) == buses[0]
+
+    def test_distance_on_path_topology(self):
+        net = path_of_buses(3, leaves_per_bus=1)
+        rooted = net.rooted()
+        procs = list(net.processors)
+        # processors at the two ends of the spine are far apart
+        dmax = max(rooted.distance(p, q) for p in procs for q in procs)
+        assert dmax == 4  # leaf - bus - bus - bus - leaf
+
+
+class TestAggregation:
+    def test_subtree_sums_total(self, star):
+        rooted = star.rooted()
+        values = np.arange(star.n_nodes)
+        sums = rooted.subtree_sums(values)
+        assert sums[rooted.root] == values.sum()
+        for p in star.processors:
+            assert sums[p] == values[p]
+
+    def test_subtree_sums_additivity(self, star):
+        rooted = star.rooted()
+        values = np.ones(star.n_nodes, dtype=np.int64)
+        sums = rooted.subtree_sums(values)
+        for v in star.nodes():
+            expected = values[v] + sum(sums[c] for c in rooted.children(v))
+            assert sums[v] == expected
+
+    def test_subtree_sums_wrong_shape(self, star):
+        rooted = star.rooted()
+        with pytest.raises(ValueError):
+            rooted.subtree_sums(np.ones(star.n_nodes + 1))
+
+
+class TestSteiner:
+    def test_empty_and_singleton(self, star):
+        rooted = star.rooted()
+        assert rooted.steiner_edge_ids([]) == []
+        assert rooted.steiner_edge_ids([star.processors[0]]) == []
+        assert rooted.steiner_node_ids([]) == []
+        assert rooted.steiner_node_ids([star.processors[0]]) == [star.processors[0]]
+
+    def test_pair_equals_path(self, star):
+        rooted = star.rooted()
+        p, q = star.processors[0], star.processors[-1]
+        assert sorted(rooted.steiner_edge_ids([p, q])) == sorted(
+            rooted.path_edge_ids(p, q)
+        )
+
+    def test_all_leaves_spans_tree(self, star):
+        rooted = star.rooted()
+        edges = rooted.steiner_edge_ids(star.processors)
+        # connecting all leaves requires every edge of the tree
+        assert sorted(edges) == list(range(star.n_edges))
+
+    def test_invalid_terminal(self, star):
+        rooted = star.rooted()
+        with pytest.raises(InvalidNodeError):
+            rooted.steiner_edge_ids([999])
+
+    def test_nearest_in_set(self, star):
+        rooted = star.rooted()
+        p = star.processors[0]
+        assert rooted.nearest_in_set(p, [p, star.processors[-1]]) == p
+        with pytest.raises(InvalidNodeError):
+            rooted.nearest_in_set(p, [])
+
+    def test_nearest_tie_breaks_to_smallest_id(self):
+        net = balanced_tree(2, 2, 2)
+        rooted = net.rooted()
+        procs = list(net.processors)
+        # candidates equidistant from a processor in another subtree
+        root = net.canonical_root()
+        target_bus = rooted.children(root)[0]
+        far_procs = [p for p in procs if not rooted.is_ancestor(target_bus, p)]
+        candidates = [p for p in procs if rooted.is_ancestor(target_bus, p)]
+        if len(candidates) >= 2 and far_procs:
+            src = far_procs[0]
+            d0 = rooted.distance(src, candidates[0])
+            d1 = rooted.distance(src, candidates[1])
+            if d0 == d1:
+                assert rooted.nearest_in_set(src, candidates) == min(candidates)

@@ -1,0 +1,148 @@
+"""Tests for the SCI ring-of-rings substrate and its bus-network conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidNodeError, TopologyError
+from repro.network.sci import SCIFabric, ring_of_rings, transaction_ring_load
+
+
+def small_fabric():
+    fab = SCIFabric()
+    top = fab.add_ringlet("top", bandwidth=2.0)
+    left = fab.add_ringlet("left")
+    right = fab.add_ringlet("right")
+    fab.add_switch(left, top, bandwidth=1.5)
+    fab.add_switch(right, top)
+    for _ in range(2):
+        fab.add_processor(left)
+    for _ in range(2):
+        fab.add_processor(right)
+    return fab
+
+
+class TestFabricConstruction:
+    def test_counts(self):
+        fab = small_fabric()
+        assert fab.n_ringlets == 3
+        assert fab.n_switches == 2
+        assert fab.n_processors == 4
+        fab.validate()
+
+    def test_invalid_switch(self):
+        fab = SCIFabric()
+        r = fab.add_ringlet()
+        with pytest.raises(TopologyError):
+            fab.add_switch(r, r)
+        with pytest.raises(InvalidNodeError):
+            fab.add_switch(r, 99)
+
+    def test_invalid_processor_ringlet(self):
+        fab = SCIFabric()
+        with pytest.raises(InvalidNodeError):
+            fab.add_processor(0)
+
+    def test_validate_rejects_cycle(self):
+        fab = SCIFabric()
+        a = fab.add_ringlet()
+        b = fab.add_ringlet()
+        fab.add_switch(a, b)
+        fab.add_switch(a, b)
+        fab.add_processor(a)
+        fab.add_processor(b)
+        with pytest.raises(TopologyError):
+            fab.validate()
+
+    def test_validate_needs_processors(self):
+        fab = SCIFabric()
+        fab.add_ringlet()
+        with pytest.raises(TopologyError):
+            fab.validate()
+
+    def test_ringlet_processors(self):
+        fab = small_fabric()
+        assert fab.ringlet_processors(1) == [0, 1]
+        assert fab.processor_ringlet(2) == 2
+
+
+class TestConversion:
+    def test_figure_1_to_figure_2(self):
+        fab = small_fabric()
+        conv = fab.to_bus_network()
+        net = conv.network
+        # ringlets become buses, processors become leaves
+        assert net.n_buses == 3
+        assert net.n_processors == 4
+        # bandwidths carried over
+        assert net.bus_bandwidth(conv.ringlet_node[0]) == 2.0
+        sid = 0
+        eid = conv.switch_edge[sid]
+        assert net.edge_bandwidth(eid) == 1.5
+        # every processor's switch edge has bandwidth 1
+        for pid, node in conv.processor_node.items():
+            bus = conv.ringlet_node[fab.processor_ringlet(pid)]
+            assert net.edge_bandwidth(node, bus) == 1.0
+
+    def test_ring_of_rings_builder(self):
+        fab = ring_of_rings(3, 2, top_bandwidth=4.0)
+        conv = fab.to_bus_network()
+        assert conv.network.n_buses == 4
+        assert conv.network.n_processors == 6
+        assert conv.network.bus_bandwidth(conv.ringlet_node[0]) == 4.0
+
+    def test_ring_of_rings_invalid(self):
+        with pytest.raises(TopologyError):
+            ring_of_rings(0, 2)
+
+
+class TestTransactionLoad:
+    def test_local_transactions_are_free(self):
+        fab = small_fabric()
+        ring_load, switch_load = transaction_ring_load(fab, [(0, 0, 5)])
+        assert all(v == 0 for v in ring_load.values())
+        assert all(v == 0 for v in switch_load.values())
+
+    def test_same_ringlet_transaction(self):
+        fab = small_fabric()
+        ring_load, switch_load = transaction_ring_load(fab, [(0, 1, 3)])
+        assert ring_load[1] == 3  # ringlet "left"
+        assert ring_load[0] == 0 and ring_load[2] == 0
+        assert all(v == 0 for v in switch_load.values())
+
+    def test_cross_ringlet_transaction(self):
+        fab = small_fabric()
+        ring_load, switch_load = transaction_ring_load(fab, [(0, 2, 2)])
+        # path: left -> top -> right, through both switches
+        assert ring_load[1] == 2 and ring_load[0] == 2 and ring_load[2] == 2
+        assert switch_load[0] == 2 and switch_load[1] == 2
+
+    def test_negative_count_rejected(self):
+        fab = small_fabric()
+        with pytest.raises(ValueError):
+            transaction_ring_load(fab, [(0, 1, -1)])
+
+    def test_equivalence_with_bus_model(self):
+        """The paper's modelling step: ring loads == bus loads (Figure 1 vs 2)."""
+        fab = ring_of_rings(3, 3)
+        conv = fab.to_bus_network()
+        net = conv.network
+        rng = np.random.default_rng(0)
+        transactions = []
+        for _ in range(100):
+            a, b = rng.integers(0, fab.n_processors, size=2)
+            if a != b:
+                transactions.append((int(a), int(b), 1))
+        ring_load, switch_load = transaction_ring_load(fab, transactions)
+
+        rooted = net.rooted()
+        edge_load = np.zeros(net.n_edges)
+        for src, dst, count in transactions:
+            for eid in rooted.path_edge_ids(
+                conv.processor_node[src], conv.processor_node[dst]
+            ):
+                edge_load[eid] += count
+        for ring_id, bus in conv.ringlet_node.items():
+            incident = list(net.incident_edge_ids(bus))
+            assert ring_load[ring_id] == pytest.approx(edge_load[incident].sum() / 2)
+        for switch_id, eid in conv.switch_edge.items():
+            assert switch_load[switch_id] == pytest.approx(edge_load[eid])

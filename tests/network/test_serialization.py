@@ -1,0 +1,117 @@
+"""Tests for JSON (de)serialization of networks."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.network.builders import balanced_tree, fat_tree, random_tree, single_bus
+from repro.network.serialization import (
+    FORMAT_TAG,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "net",
+        [
+            single_bus(3),
+            balanced_tree(2, 2, 2),
+            fat_tree(2, 2, 2, fatness=2.0),
+            random_tree(4, 6, seed=7),
+        ],
+        ids=["single_bus", "balanced", "fat_tree", "random"],
+    )
+    def test_dict_round_trip(self, net):
+        data = network_to_dict(net)
+        restored = network_from_dict(data)
+        assert restored == net
+        # names survive the round trip too
+        for v in net.nodes():
+            assert restored.name(v) == net.name(v)
+
+    def test_file_round_trip(self, tmp_path):
+        net = balanced_tree(2, 2, 2, bus_bandwidth=3.0)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        restored = load_network(path)
+        assert restored == net
+        # file is valid JSON with the expected format tag
+        data = json.loads(path.read_text())
+        assert data["format"] == FORMAT_TAG
+
+
+class TestErrors:
+    def test_wrong_format_tag(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"format": "something-else", "nodes": [], "edges": []})
+
+    def test_not_a_mapping(self):
+        with pytest.raises(SerializationError):
+            network_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_missing_keys(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"format": FORMAT_TAG, "nodes": []})
+
+    def test_bad_node_kind(self):
+        data = {
+            "format": FORMAT_TAG,
+            "nodes": [{"id": 0, "kind": "router"}],
+            "edges": [],
+        }
+        with pytest.raises(SerializationError):
+            network_from_dict(data)
+
+    def test_non_dense_ids(self):
+        data = {
+            "format": FORMAT_TAG,
+            "nodes": [{"id": 5, "kind": "processor"}],
+            "edges": [],
+        }
+        with pytest.raises(SerializationError):
+            network_from_dict(data)
+
+    def test_duplicate_ids(self):
+        data = {
+            "format": FORMAT_TAG,
+            "nodes": [
+                {"id": 0, "kind": "processor"},
+                {"id": 0, "kind": "processor"},
+            ],
+            "edges": [],
+        }
+        with pytest.raises(SerializationError):
+            network_from_dict(data)
+
+    def test_invalid_topology_rewrapped(self):
+        # two disconnected processors: decodes to an invalid tree
+        data = {
+            "format": FORMAT_TAG,
+            "nodes": [
+                {"id": 0, "kind": "processor"},
+                {"id": 1, "kind": "processor"},
+            ],
+            "edges": [],
+        }
+        with pytest.raises(SerializationError):
+            network_from_dict(data)
+
+    def test_malformed_edge(self):
+        data = {
+            "format": FORMAT_TAG,
+            "nodes": [{"id": 0, "kind": "processor"}],
+            "edges": [{"u": 0}],
+        }
+        with pytest.raises(SerializationError):
+            network_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_network(path)

@@ -1,0 +1,128 @@
+"""Property-based tests of the placement algorithms (hypothesis).
+
+These are the machine-checkable versions of the paper's statements, tested
+over randomly drawn hierarchical bus networks and access patterns:
+
+* Theorem 3.1 -- nibble copies form a connected subtree and respect the
+  ``κ_x`` per-edge bound;
+* Observation 3.2 -- after the deletion step every copy of an object with
+  positive write contention serves between ``κ_x`` and ``2κ_x`` requests,
+  and no request is lost;
+* Theorem 4.3 -- the extended-nibble placement is leaf-only and its
+  congestion is at most ``7 ×`` the nibble lower bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bounds import nibble_lower_bound
+from repro.core.congestion import compute_loads, object_edge_loads
+from repro.core.deletion import apply_deletion
+from repro.core.extended_nibble import extended_nibble
+from repro.core.nibble import nibble_placement
+from repro.core.placement import Placement, RequestAssignment
+from tests.conftest import instances
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestNibbleProperties:
+    @given(inst=instances())
+    @settings(**SETTINGS)
+    def test_holders_connected_and_contain_center(self, inst):
+        net, pat = inst
+        result = nibble_placement(net, pat)
+        rooted = net.rooted()
+        for obj in range(pat.n_objects):
+            holders = result.placement.holders(obj)
+            assert result.centers[obj] in holders
+            assert set(rooted.steiner_node_ids(holders)) == set(holders)
+
+    @given(inst=instances())
+    @settings(**SETTINGS)
+    def test_kappa_edge_bound(self, inst):
+        net, pat = inst
+        result = nibble_placement(net, pat)
+        for obj in range(pat.n_objects):
+            kappa = pat.write_contention(obj)
+            loads = object_edge_loads(net, pat, result.placement, obj)
+            if loads.size:
+                assert loads.max() <= max(kappa, 0) + 1e-9
+
+
+class TestDeletionProperties:
+    @given(inst=instances())
+    @settings(**SETTINGS)
+    def test_copy_service_window_and_conservation(self, inst):
+        net, pat = inst
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        for oc in copies:
+            assert oc.total_served == pat.total_requests(oc.obj)
+            if oc.kappa > 0:
+                for copy in oc.copies:
+                    assert oc.kappa <= copy.s <= 2 * oc.kappa
+            assert oc.holder_nodes <= nib.placement.holders(oc.obj)
+
+
+class TestExtendedNibbleProperties:
+    @given(inst=instances())
+    @settings(**SETTINGS)
+    def test_leaf_only_and_within_factor_seven(self, inst):
+        net, pat = inst
+        result = extended_nibble(net, pat)
+        result.placement.validate_for(net, pat, require_leaf_only=True)
+        result.assignment.validate_for(net, pat, result.placement)
+        congestion = result.congestion(net, pat)
+        lower = nibble_lower_bound(net, pat)
+        if lower > 0:
+            assert congestion <= 7 * lower + 1e-9
+        else:
+            assert congestion == 0.0
+
+
+class TestCongestionModelProperties:
+    @given(inst=instances(), data=st.data())
+    @settings(**SETTINGS)
+    def test_congestion_monotone_in_frequencies(self, inst, data):
+        """Scaling all frequencies by k scales every load by exactly k."""
+        net, pat = inst
+        k = data.draw(st.integers(min_value=2, max_value=5))
+        procs = list(net.processors)
+        holders = [
+            procs[data.draw(st.integers(0, len(procs) - 1))]
+            for _ in range(pat.n_objects)
+        ]
+        placement = Placement.single_holder(holders)
+        base = compute_loads(net, pat, placement)
+        scaled = compute_loads(net, pat.scaled(k), placement)
+        assert np.allclose(scaled.edge_loads, k * base.edge_loads)
+        assert scaled.congestion == pytest.approx(k * base.congestion)
+
+    @given(inst=instances())
+    @settings(**SETTINGS)
+    def test_nearest_assignment_never_beaten_by_nibble_bound(self, inst):
+        """The nibble congestion never exceeds the congestion of any
+        single-holder placement (per-edge optimality, aggregated)."""
+        net, pat = inst
+        lb = nibble_lower_bound(net, pat)
+        procs = list(net.processors)
+        placement = Placement.single_holder([procs[0]] * pat.n_objects)
+        assert lb <= compute_loads(net, pat, placement).congestion + 1e-9
+
+    @given(inst=instances())
+    @settings(**SETTINGS)
+    def test_per_object_decomposition_consistent(self, inst):
+        net, pat = inst
+        procs = list(net.processors)
+        placement = Placement.single_holder([procs[-1]] * pat.n_objects)
+        total = compute_loads(net, pat, placement).edge_loads
+        summed = np.zeros(net.n_edges)
+        for obj in range(pat.n_objects):
+            summed += object_edge_loads(net, pat, placement, obj)
+        assert np.allclose(total, summed)

@@ -1,0 +1,84 @@
+"""Property-based tests of the NP-hardness machinery (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.congestion import compute_loads
+from repro.hardness.partition import (
+    PartitionInstance,
+    solve_partition_bruteforce,
+    solve_partition_dp,
+)
+from repro.hardness.reduction import (
+    build_reduction_instance,
+    placement_from_subset,
+    verify_reduction,
+)
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_partitions = st.lists(
+    st.integers(min_value=1, max_value=9), min_size=2, max_size=7
+).map(tuple)
+
+
+class TestPartitionSolvers:
+    @given(sizes=small_partitions)
+    @settings(**SETTINGS)
+    def test_dp_matches_bruteforce(self, sizes):
+        inst = PartitionInstance(sizes)
+        dp = solve_partition_dp(inst)
+        bf = solve_partition_bruteforce(inst)
+        assert (dp is None) == (bf is None)
+        if dp is not None:
+            assert inst.is_balanced_subset(dp)
+
+    @given(sizes=small_partitions)
+    @settings(**SETTINGS)
+    def test_witness_is_a_valid_subset(self, sizes):
+        inst = PartitionInstance(sizes)
+        witness = solve_partition_dp(inst)
+        if witness is not None:
+            assert len(set(witness)) == len(witness)
+            assert all(0 <= i < inst.n for i in witness)
+
+
+class TestReductionProperties:
+    @given(sizes=small_partitions)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_theorem_21_equivalence(self, sizes):
+        """Congestion ≤ 4k is achievable iff the PARTITION instance is solvable."""
+        inst = PartitionInstance(sizes)
+        if inst.total % 2 != 0:
+            return  # reduction defined for even totals only
+        report = verify_reduction(inst)
+        assert report.equivalence_holds
+        if report.partition_solvable:
+            assert report.witness_congestion == pytest.approx(report.instance.threshold)
+            assert report.optimal_congestion <= report.instance.threshold + 1e-9
+        else:
+            assert report.optimal_congestion > report.instance.threshold
+
+    @given(sizes=small_partitions, data=st.data())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_balanced_subsets_always_give_4k(self, sizes, data):
+        """Any balanced subset (not just the DP witness) achieves exactly 4k."""
+        inst = PartitionInstance(sizes)
+        if inst.total % 2 != 0:
+            return
+        witness = solve_partition_dp(inst)
+        if witness is None:
+            return
+        reduction = build_reduction_instance(inst)
+        # also try the complement subset, which is balanced as well
+        complement = [i for i in range(inst.n) if i not in set(witness)]
+        for subset in (witness, complement):
+            placement = placement_from_subset(reduction, subset)
+            congestion = compute_loads(
+                reduction.network, reduction.pattern, placement
+            ).congestion
+            assert congestion == pytest.approx(reduction.threshold)

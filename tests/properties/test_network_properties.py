@@ -1,0 +1,73 @@
+"""Property-based tests of the network substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.serialization import network_from_dict, network_to_dict
+from tests.conftest import instances, networks
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestTreeInvariants:
+    @given(net=networks())
+    @settings(**SETTINGS)
+    def test_tree_edge_count(self, net):
+        assert net.n_edges == net.n_nodes - 1
+        assert net.n_processors + net.n_buses == net.n_nodes
+
+    @given(net=networks())
+    @settings(**SETTINGS)
+    def test_leaves_are_exactly_the_processors(self, net):
+        for v in net.nodes():
+            if net.is_processor(v):
+                assert net.degree(v) == 1
+            else:
+                assert net.degree(v) >= 2
+
+    @given(net=networks())
+    @settings(**SETTINGS)
+    def test_serialization_round_trip(self, net):
+        assert network_from_dict(network_to_dict(net)) == net
+
+    @given(net=networks())
+    @settings(**SETTINGS)
+    def test_path_symmetry_and_triangle_inequality(self, net):
+        rooted = net.rooted()
+        procs = list(net.processors)
+        a, b = procs[0], procs[-1]
+        c = procs[len(procs) // 2]
+        assert rooted.distance(a, b) == rooted.distance(b, a)
+        assert rooted.distance(a, b) <= rooted.distance(a, c) + rooted.distance(c, b)
+
+    @given(net=networks())
+    @settings(**SETTINGS)
+    def test_subtree_sums_root_equals_total(self, net):
+        rooted = net.rooted()
+        values = np.arange(net.n_nodes, dtype=np.int64)
+        sums = rooted.subtree_sums(values)
+        assert sums[rooted.root] == values.sum()
+
+    @given(net=networks(), data=st.data())
+    @settings(**SETTINGS)
+    def test_steiner_tree_contains_terminal_paths(self, net, data):
+        procs = list(net.processors)
+        k = data.draw(st.integers(min_value=1, max_value=min(4, len(procs))))
+        terminals = data.draw(
+            st.lists(st.sampled_from(procs), min_size=k, max_size=k, unique=True)
+        )
+        rooted = net.rooted()
+        steiner = set(rooted.steiner_edge_ids(terminals))
+        # the path between any two terminals is contained in the Steiner tree
+        for i in range(len(terminals)):
+            for j in range(i + 1, len(terminals)):
+                path = set(rooted.path_edge_ids(terminals[i], terminals[j]))
+                assert path <= steiner
+
+    @given(net=networks())
+    @settings(**SETTINGS)
+    def test_level_plus_depth_is_height(self, net):
+        rooted = net.rooted()
+        for v in net.nodes():
+            assert rooted.level(v) + rooted.depth(v) == rooted.height

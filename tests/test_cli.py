@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args):
+    stream = io.StringIO()
+    code = main(args, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+
+class TestGenerateAndInfo:
+    def test_generate_balanced_network_and_info(self, tmp_path):
+        out = tmp_path / "net.json"
+        code, text = run_cli(
+            [
+                "generate-network",
+                "--topology",
+                "balanced",
+                "--arity",
+                "2",
+                "--depth",
+                "2",
+                "--leaves-per-bus",
+                "2",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "balanced network" in text
+
+        code, text = run_cli(["info", str(out)])
+        assert code == 0
+        assert "n_processors" in text
+
+    @pytest.mark.parametrize(
+        "topology", ["single-bus", "star", "path", "fat-tree", "random"]
+    )
+    def test_all_topologies(self, tmp_path, topology):
+        out = tmp_path / f"{topology}.json"
+        code, _ = run_cli(
+            ["generate-network", "--topology", topology, "-o", str(out)]
+        )
+        assert code == 0 and out.exists()
+
+
+class TestWorkloadAndPlace:
+    @pytest.fixture
+    def instance_files(self, tmp_path):
+        net_path = tmp_path / "net.json"
+        wl_path = tmp_path / "wl.json"
+        run_cli(
+            ["generate-network", "--topology", "balanced", "--depth", "2", "-o", str(net_path)]
+        )
+        run_cli(
+            [
+                "generate-workload",
+                "--network",
+                str(net_path),
+                "--kind",
+                "zipf",
+                "--objects",
+                "8",
+                "--requests",
+                "16",
+                "-o",
+                str(wl_path),
+            ]
+        )
+        return net_path, wl_path
+
+    def test_generate_workload_kinds(self, tmp_path):
+        net_path = tmp_path / "net.json"
+        run_cli(["generate-network", "--topology", "single-bus", "-o", str(net_path)])
+        for kind in ("uniform", "hotspot", "local", "counter", "web"):
+            out = tmp_path / f"{kind}.json"
+            code, text = run_cli(
+                [
+                    "generate-workload",
+                    "--network",
+                    str(net_path),
+                    "--kind",
+                    kind,
+                    "--objects",
+                    "6",
+                    "-o",
+                    str(out),
+                ]
+            )
+            assert code == 0
+            data = json.loads(out.read_text())
+            assert data["format"] == "repro.workload/v1"
+
+    def test_place_extended_nibble(self, instance_files, tmp_path):
+        net_path, wl_path = instance_files
+        out = tmp_path / "placement.json"
+        code, text = run_cli(
+            [
+                "place",
+                "--network",
+                str(net_path),
+                "--workload",
+                str(wl_path),
+                "--strategy",
+                "extended-nibble",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "congestion" in text and "lower bound" in text
+        data = json.loads(out.read_text())
+        assert data["strategy"] == "extended-nibble"
+        assert len(data["holders"]) == 8
+
+    @pytest.mark.parametrize("strategy", ["owner", "greedy", "full-replication"])
+    def test_place_baselines(self, instance_files, strategy):
+        net_path, wl_path = instance_files
+        code, text = run_cli(
+            [
+                "place",
+                "--network",
+                str(net_path),
+                "--workload",
+                str(wl_path),
+                "--strategy",
+                strategy,
+            ]
+        )
+        assert code == 0
+        assert strategy in text
+
+
+class TestExperimentCommand:
+    def test_experiment_e1(self):
+        code, text = run_cli(["experiment", "E1"])
+        assert code == 0
+        assert "experiment E1" in text
+        assert "ringlet" in text
+
+    def test_experiment_e5_small(self):
+        code, text = run_cli(["experiment", "E5", "--small"])
+        assert code == 0
+        assert "ratio_lb" in text

@@ -1,0 +1,205 @@
+"""Tests for the AccessPattern frequency matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.network.builders import single_bus
+from repro.workload.access import AccessPattern
+
+
+@pytest.fixture
+def net():
+    return single_bus(3)
+
+
+def make_pattern(net):
+    procs = list(net.processors)
+    return AccessPattern.from_requests(
+        net,
+        2,
+        [
+            (procs[0], 0, 3, 1),
+            (procs[1], 0, 0, 2),
+            (procs[2], 1, 5, 0),
+        ],
+        object_names=["alpha", "beta"],
+    )
+
+
+class TestConstruction:
+    def test_from_requests(self, net):
+        pat = make_pattern(net)
+        procs = list(net.processors)
+        assert pat.n_objects == 2
+        assert pat.reads_of(procs[0], 0) == 3
+        assert pat.writes_of(procs[1], 0) == 2
+        assert pat.accesses_of(procs[2], 1) == 5
+        assert pat.object_names == ("alpha", "beta")
+
+    def test_from_requests_accumulates(self, net):
+        procs = list(net.processors)
+        pat = AccessPattern.from_requests(
+            net, 1, [(procs[0], 0, 1, 1), (procs[0], 0, 2, 3)]
+        )
+        assert pat.reads_of(procs[0], 0) == 3
+        assert pat.writes_of(procs[0], 0) == 4
+
+    def test_empty(self, net):
+        pat = AccessPattern.empty(net.n_nodes, 3)
+        assert pat.n_objects == 3
+        assert pat.total_requests(0) == 0
+        assert pat.is_trivial(0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            AccessPattern(np.zeros((3, 2), dtype=int), np.zeros((3, 3), dtype=int))
+
+    def test_negative_rejected(self):
+        reads = np.zeros((3, 1), dtype=int)
+        writes = np.zeros((3, 1), dtype=int)
+        reads[0, 0] = -1
+        with pytest.raises(WorkloadError):
+            AccessPattern(reads, writes)
+
+    def test_non_integer_rejected(self):
+        reads = np.full((3, 1), 0.5)
+        with pytest.raises(WorkloadError):
+            AccessPattern(reads, np.zeros((3, 1)))
+
+    def test_integer_valued_floats_accepted(self):
+        reads = np.full((3, 1), 2.0)
+        pat = AccessPattern(reads, np.zeros((3, 1)))
+        assert pat.reads[0, 0] == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            AccessPattern(
+                np.zeros((3, 2), dtype=int),
+                np.zeros((3, 2), dtype=int),
+                object_names=["a", "a"],
+            )
+
+    def test_wrong_name_count(self):
+        with pytest.raises(WorkloadError):
+            AccessPattern(
+                np.zeros((3, 2), dtype=int),
+                np.zeros((3, 2), dtype=int),
+                object_names=["a"],
+            )
+
+    def test_1d_rejected(self):
+        with pytest.raises(WorkloadError):
+            AccessPattern(np.zeros(3, dtype=int), np.zeros(3, dtype=int))
+
+    def test_request_for_bus_rejected(self, net):
+        bus = net.buses[0]
+        with pytest.raises(WorkloadError):
+            AccessPattern.from_requests(net, 1, [(bus, 0, 1, 0)])
+
+    def test_request_out_of_range_object(self, net):
+        procs = list(net.processors)
+        with pytest.raises(WorkloadError):
+            AccessPattern.from_requests(net, 1, [(procs[0], 5, 1, 0)])
+
+
+class TestDerivedQuantities:
+    def test_write_contention(self, net):
+        pat = make_pattern(net)
+        assert pat.write_contention(0) == 3
+        assert pat.write_contention(1) == 0
+        assert list(pat.write_contentions()) == [3, 0]
+
+    def test_total_requests(self, net):
+        pat = make_pattern(net)
+        assert pat.total_requests(0) == 6
+        assert pat.total_requests(1) == 5
+        assert list(pat.total_requests_all()) == [6, 5]
+
+    def test_requesters(self, net):
+        pat = make_pattern(net)
+        procs = list(net.processors)
+        assert pat.requesters(0) == sorted([procs[0], procs[1]])
+        assert pat.requesters(1) == [procs[2]]
+
+    def test_object_weights(self, net):
+        pat = make_pattern(net)
+        weights = pat.object_weights(0)
+        assert weights.sum() == 6
+
+    def test_object_index(self, net):
+        pat = make_pattern(net)
+        assert pat.object_index("beta") == 1
+        with pytest.raises(WorkloadError):
+            pat.object_index("gamma")
+
+    def test_totals_matrix(self, net):
+        pat = make_pattern(net)
+        assert np.array_equal(pat.totals, pat.reads + pat.writes)
+
+
+class TestTransformations:
+    def test_restrict_objects(self, net):
+        pat = make_pattern(net)
+        sub = pat.restrict_objects([1])
+        assert sub.n_objects == 1
+        assert sub.object_names == ("beta",)
+        assert sub.total_requests(0) == 5
+
+    def test_scaled(self, net):
+        pat = make_pattern(net)
+        scaled = pat.scaled(3)
+        assert scaled.total_requests(0) == 18
+        with pytest.raises(WorkloadError):
+            pat.scaled(0)
+
+    def test_combined_with(self, net):
+        pat = make_pattern(net)
+        combo = pat.combined_with(pat)
+        assert combo.n_objects == 4
+        # names deduplicated
+        assert len(set(combo.object_names)) == 4
+
+    def test_combined_with_mismatched_nodes(self, net):
+        pat = make_pattern(net)
+        other = AccessPattern.empty(net.n_nodes + 1, 1)
+        with pytest.raises(WorkloadError):
+            pat.combined_with(other)
+
+
+class TestValidationAndSerialization:
+    def test_validate_for(self, net):
+        pat = make_pattern(net)
+        pat.validate_for(net)  # does not raise
+
+    def test_validate_wrong_node_count(self, net):
+        pat = AccessPattern.empty(net.n_nodes + 2, 1)
+        with pytest.raises(WorkloadError):
+            pat.validate_for(net)
+
+    def test_validate_bus_requests(self, net):
+        reads = np.zeros((net.n_nodes, 1), dtype=int)
+        reads[net.buses[0], 0] = 1
+        pat = AccessPattern(reads, np.zeros_like(reads))
+        with pytest.raises(WorkloadError):
+            pat.validate_for(net)
+
+    def test_dict_round_trip(self, net):
+        pat = make_pattern(net)
+        restored = AccessPattern.from_dict(pat.to_dict())
+        assert restored == pat
+
+    def test_from_dict_bad_format(self):
+        with pytest.raises(WorkloadError):
+            AccessPattern.from_dict({"format": "nope"})
+
+    def test_readonly_views(self, net):
+        pat = make_pattern(net)
+        with pytest.raises(ValueError):
+            pat.reads[0, 0] = 7
+        with pytest.raises(ValueError):
+            pat.writes[0, 0] = 7
+
+    def test_equality(self, net):
+        assert make_pattern(net) == make_pattern(net)
+        assert make_pattern(net) != AccessPattern.empty(net.n_nodes, 2)

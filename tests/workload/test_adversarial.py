@@ -1,0 +1,128 @@
+"""Tests for the adversarial / stress workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.network.builders import balanced_tree, hardness_gadget, single_bus, star_of_buses
+from repro.workload.adversarial import (
+    bisection_stress,
+    partition_like_pattern,
+    replication_trap,
+    write_conflict_pattern,
+)
+
+
+class TestBisectionStress:
+    def test_pairs_cross_the_root(self):
+        net = star_of_buses(2, 3)
+        pat = bisection_stress(net, 10, seed=0)
+        pat.validate_for(net)
+        rooted = net.rooted()
+        root = net.canonical_root()
+        children = rooted.children(root)
+        for x in range(pat.n_objects):
+            sides = set()
+            for p in pat.requesters(x):
+                for ci, c in enumerate(children):
+                    if rooted.is_ancestor(c, p):
+                        sides.add(ci)
+            assert len(sides) == 2
+
+    def test_requires_branching_root(self):
+        # a root with a single subtree cannot be bisected
+        net = single_bus(4)
+        pat = bisection_stress(net, 4, seed=0)  # single bus root has >=2 children
+        pat.validate_for(net)
+
+    def test_write_fraction(self):
+        net = star_of_buses(2, 2)
+        pat = bisection_stress(net, 6, requests_per_pair=10, write_fraction=0.0, seed=0)
+        assert pat.writes.sum() == 0
+
+
+class TestWriteConflict:
+    def test_two_writers_per_object(self):
+        net = balanced_tree(2, 2, 2)
+        pat = write_conflict_pattern(net, 8, writes_per_endpoint=5, seed=0)
+        pat.validate_for(net)
+        assert pat.reads.sum() == 0
+        for x in range(pat.n_objects):
+            writers = pat.requesters(x)
+            assert len(writers) == 2
+            assert pat.write_contention(x) == 10
+
+    def test_partners_are_far(self):
+        net = balanced_tree(2, 3, 2)
+        pat = write_conflict_pattern(net, 16, seed=1)
+        rooted = net.rooted()
+        diameter_procs = max(
+            rooted.distance(p, q) for p in net.processors for q in net.processors
+        )
+        for x in range(pat.n_objects):
+            a, b = pat.requesters(x)
+            assert rooted.distance(a, b) == diameter_procs
+
+    def test_needs_two_processors(self):
+        net = single_bus(2)
+        pat = write_conflict_pattern(net, 2, seed=0)
+        pat.validate_for(net)
+
+
+class TestReplicationTrap:
+    def test_all_processors_read(self):
+        net = single_bus(5)
+        pat = replication_trap(net, 4, reads_per_processor=3, writes_per_object=2, seed=0)
+        pat.validate_for(net)
+        for x in range(4):
+            for p in net.processors:
+                assert pat.reads_of(p, x) == 3
+            assert pat.write_contention(x) == 2
+
+
+class TestPartitionLike:
+    def test_frequencies_match_the_proof(self):
+        net = hardness_gadget()
+        sizes = [3, 1, 2, 2]
+        pat = partition_like_pattern(net, sizes)
+        a = net.node_by_name("a")
+        b = net.node_by_name("b")
+        s = net.node_by_name("s")
+        sbar = net.node_by_name("sbar")
+        k = sum(sizes) // 2
+        # x_i objects: every anchor writes k_i
+        for i, ki in enumerate(sizes):
+            for v in (a, b, s, sbar):
+                assert pat.writes_of(v, i) == ki
+                assert pat.reads_of(v, i) == 0
+        # y object
+        y = len(sizes)
+        assert pat.writes_of(a, y) == 4 * k + 1
+        assert pat.writes_of(b, y) == 2 * k
+        assert pat.writes_of(s, y) == 0 and pat.writes_of(sbar, y) == 0
+        assert pat.object_names[-1] == "y"
+
+    def test_default_anchors(self):
+        net = single_bus(5)
+        pat = partition_like_pattern(net, [2, 2])
+        assert pat.n_objects == 3
+
+    def test_invalid_sizes(self):
+        net = hardness_gadget()
+        with pytest.raises(WorkloadError):
+            partition_like_pattern(net, [])
+        with pytest.raises(WorkloadError):
+            partition_like_pattern(net, [0, 2])
+
+    def test_invalid_anchor_count(self):
+        net = single_bus(5)
+        procs = list(net.processors)
+        with pytest.raises(WorkloadError):
+            partition_like_pattern(net, [1, 1], anchor_processors=procs[:3])
+
+    def test_anchor_must_be_processor(self):
+        net = hardness_gadget()
+        bus = net.buses[0]
+        procs = list(net.processors)
+        with pytest.raises(WorkloadError):
+            partition_like_pattern(net, [1, 1], anchor_processors=[bus] + procs[:3])

@@ -1,0 +1,162 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.network.builders import balanced_tree, single_bus
+from repro.workload.generators import (
+    hotspot_pattern,
+    random_sparse_pattern,
+    read_write_mix,
+    subtree_local_pattern,
+    uniform_pattern,
+    zipf_pattern,
+    zipf_weights,
+)
+
+
+@pytest.fixture
+def net():
+    return balanced_tree(2, 2, 2)
+
+
+ALL_GENERATORS = [
+    lambda net, seed: uniform_pattern(net, 8, seed=seed),
+    lambda net, seed: zipf_pattern(net, 8, seed=seed),
+    lambda net, seed: hotspot_pattern(net, 8, seed=seed),
+    lambda net, seed: subtree_local_pattern(net, 8, seed=seed),
+    lambda net, seed: random_sparse_pattern(net, 8, seed=seed),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_valid_for_network(self, net, make):
+        pat = make(net, 0)
+        pat.validate_for(net)
+        assert pat.n_objects == 8
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, net, make):
+        assert make(net, 123) == make(net, 123)
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_different_seeds_differ(self, net, make):
+        patterns = [make(net, s) for s in range(5)]
+        assert any(patterns[0] != p for p in patterns[1:])
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_non_negative_integer_frequencies(self, net, make):
+        pat = make(net, 1)
+        assert (pat.reads >= 0).all() and (pat.writes >= 0).all()
+        assert pat.reads.dtype.kind == "i" and pat.writes.dtype.kind == "i"
+
+
+class TestZipf:
+    def test_weights_normalised_and_decreasing(self):
+        w = zipf_weights(10, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(len(w) - 1))
+
+    def test_weights_invalid(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+
+    def test_popularity_skew(self, net):
+        pat = zipf_pattern(net, 32, requests_per_processor=200, exponent=1.2, seed=0)
+        totals = pat.total_requests_all()
+        # the most popular object gets far more traffic than the median one
+        assert totals.max() > 3 * np.median(totals[totals > 0])
+
+    def test_write_fraction_bounds(self, net):
+        with pytest.raises(WorkloadError):
+            zipf_pattern(net, 4, write_fraction=1.5)
+
+
+class TestUniform:
+    def test_total_request_budget(self, net):
+        pat = uniform_pattern(net, 8, requests_per_processor=10, seed=0)
+        assert pat.totals.sum() == 10 * net.n_processors
+
+    def test_write_fraction_extremes(self, net):
+        read_only = uniform_pattern(net, 4, write_fraction=0.0, seed=0)
+        assert read_only.writes.sum() == 0
+        write_only = uniform_pattern(net, 4, write_fraction=1.0, seed=0)
+        assert write_only.reads.sum() == 0
+
+    def test_invalid_fraction(self, net):
+        with pytest.raises(WorkloadError):
+            uniform_pattern(net, 4, write_fraction=-0.1)
+
+
+class TestHotspot:
+    def test_hot_processors_dominate(self, net):
+        pat = hotspot_pattern(
+            net, 8, n_hot_processors=1, hot_requests=100, cold_requests=1, seed=0
+        )
+        per_proc = pat.totals.sum(axis=1)
+        hot = per_proc.max()
+        cold = sorted(per_proc[p] for p in net.processors)[0]
+        assert hot == 100 and cold == 1
+
+    def test_invalid_hot_count(self, net):
+        with pytest.raises(WorkloadError):
+            hotspot_pattern(net, 4, n_hot_processors=net.n_processors + 1)
+
+    def test_zero_cold_requests(self, net):
+        pat = hotspot_pattern(net, 4, n_hot_processors=1, cold_requests=0, seed=1)
+        pat.validate_for(net)
+
+
+class TestSubtreeLocal:
+    def test_locality_concentrates_traffic(self):
+        net = balanced_tree(2, 3, 2)
+        pat = subtree_local_pattern(net, 16, locality=0.99, seed=0)
+        rooted = net.rooted()
+        # for most objects, one child subtree of the root should carry the
+        # large majority of the requests
+        root = net.canonical_root()
+        children = rooted.children(root)
+        concentrated = 0
+        for x in range(pat.n_objects):
+            weights = pat.object_weights(x)
+            per_child = [
+                sum(int(weights[p]) for p in net.processors if rooted.is_ancestor(c, p))
+                for c in children
+            ]
+            total = sum(per_child)
+            if total > 0 and max(per_child) >= 0.8 * total:
+                concentrated += 1
+        assert concentrated >= pat.n_objects // 2
+
+    def test_invalid_locality(self):
+        net = balanced_tree(2, 2, 2)
+        with pytest.raises(WorkloadError):
+            subtree_local_pattern(net, 4, locality=1.5)
+
+
+class TestSparseAndMix:
+    def test_density_zero_is_empty(self):
+        net = single_bus(4)
+        pat = random_sparse_pattern(net, 5, density=0.0, seed=0)
+        assert pat.totals.sum() == 0
+
+    def test_density_bounds(self):
+        net = single_bus(4)
+        with pytest.raises(WorkloadError):
+            random_sparse_pattern(net, 5, density=2.0)
+
+    def test_read_write_mix_scales(self):
+        net = single_bus(4)
+        pat = uniform_pattern(net, 4, seed=0)
+        mixed = read_write_mix(pat, read_weight=3, write_weight=0)
+        assert np.array_equal(mixed.reads, pat.reads * 3)
+        assert mixed.writes.sum() == 0
+        assert mixed.object_names == pat.object_names
+
+    def test_read_write_mix_invalid(self):
+        net = single_bus(4)
+        pat = uniform_pattern(net, 4, seed=0)
+        with pytest.raises(WorkloadError):
+            read_write_mix(pat, read_weight=-1)

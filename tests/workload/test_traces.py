@@ -1,0 +1,109 @@
+"""Tests for the application-style trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.network.builders import balanced_tree, single_bus
+from repro.workload.traces import (
+    producer_consumer_trace,
+    shared_counter_trace,
+    stencil_halo_trace,
+    web_cache_trace,
+)
+
+
+@pytest.fixture
+def net():
+    return balanced_tree(2, 2, 2)
+
+
+class TestSharedCounter:
+    def test_every_processor_touches_every_counter(self, net):
+        pat = shared_counter_trace(net, n_counters=3, increments_per_processor=5, reads_per_processor=2)
+        pat.validate_for(net)
+        assert pat.n_objects == 3
+        for p in net.processors:
+            for x in range(3):
+                assert pat.writes_of(p, x) == 5
+                assert pat.reads_of(p, x) == 2
+
+    def test_write_contention(self, net):
+        pat = shared_counter_trace(net, n_counters=1, increments_per_processor=4, reads_per_processor=0)
+        assert pat.write_contention(0) == 4 * net.n_processors
+
+    def test_invalid(self, net):
+        with pytest.raises(WorkloadError):
+            shared_counter_trace(net, n_counters=0)
+
+
+class TestProducerConsumer:
+    def test_single_writer_per_channel(self, net):
+        pat = producer_consumer_trace(net, n_channels=6, items_per_channel=10, seed=0)
+        pat.validate_for(net)
+        for x in range(pat.n_objects):
+            writers = [p for p in net.processors if pat.writes_of(p, x) > 0]
+            assert len(writers) == 1
+            assert pat.write_contention(x) == 10
+
+    def test_consumer_count(self, net):
+        pat = producer_consumer_trace(
+            net, n_channels=4, items_per_channel=5, consumers_per_channel=2, seed=1
+        )
+        for x in range(pat.n_objects):
+            readers = [p for p in net.processors if pat.reads_of(p, x) > 0]
+            assert len(readers) == 2
+
+    def test_default_channel_count(self, net):
+        pat = producer_consumer_trace(net, seed=0)
+        assert pat.n_objects == net.n_processors
+
+    def test_deterministic(self, net):
+        assert producer_consumer_trace(net, seed=5) == producer_consumer_trace(net, seed=5)
+
+    def test_invalid(self, net):
+        with pytest.raises(WorkloadError):
+            producer_consumer_trace(net, n_channels=0)
+
+
+class TestStencil:
+    def test_neighbour_structure(self):
+        net = single_bus(4)
+        pat = stencil_halo_trace(net, iterations=3)
+        pat.validate_for(net)
+        procs = list(net.processors)
+        assert pat.n_objects == 2 * (len(procs) - 1)
+        # object 0: written by procs[0], read by procs[1]
+        assert pat.writes_of(procs[0], 0) == 3
+        assert pat.reads_of(procs[1], 0) == 3
+        # exactly one writer and one reader per halo object
+        for x in range(pat.n_objects):
+            assert sum(1 for p in procs if pat.writes_of(p, x) > 0) == 1
+            assert sum(1 for p in procs if pat.reads_of(p, x) > 0) == 1
+
+    def test_invalid(self):
+        net = single_bus(4)
+        with pytest.raises(WorkloadError):
+            stencil_halo_trace(net, iterations=0)
+
+
+class TestWebCache:
+    def test_read_mostly(self, net):
+        pat = web_cache_trace(net, n_pages=32, update_fraction=0.05, seed=0)
+        pat.validate_for(net)
+        assert pat.reads.sum() > 5 * pat.writes.sum()
+
+    def test_zero_updates(self, net):
+        pat = web_cache_trace(net, n_pages=8, update_fraction=0.0, seed=0)
+        assert pat.writes.sum() == 0
+
+    def test_origin_servers_are_only_writers(self, net):
+        pat = web_cache_trace(net, n_pages=8, n_origin_servers=1, update_fraction=0.1, seed=0)
+        writers = {p for p in net.processors if pat.writes[p].sum() > 0}
+        assert len(writers) <= 1
+
+    def test_invalid(self, net):
+        with pytest.raises(WorkloadError):
+            web_cache_trace(net, n_pages=0)
+        with pytest.raises(WorkloadError):
+            web_cache_trace(net, update_fraction=2.0)

@@ -9,8 +9,7 @@ at most 7, and typical ratios are far smaller (≈ 1--2).
 import pytest
 
 from repro.analysis.experiments import experiment_approximation_ratio
-from repro.analysis.ratio import measure_ratio, summarize_ratios, ratio_study
-from repro.analysis.experiments import standard_instance_suite
+from repro.analysis.ratio import summarize_ratios, ratio_study
 from repro.core.extended_nibble import extended_nibble
 from repro.network.builders import balanced_tree, single_bus
 from repro.workload.generators import uniform_pattern, zipf_pattern

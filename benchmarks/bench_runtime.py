@@ -6,6 +6,10 @@ log-log slopes; the expected shape is near-linear growth in |X| and clearly
 sub-quadratic growth in the structural parameters.
 """
 
+import os
+import time
+
+import numpy as np
 import pytest
 
 from repro.analysis.scaling import (
@@ -14,14 +18,22 @@ from repro.analysis.scaling import (
     sweep_height,
     sweep_objects,
 )
+from repro.core.baselines import random_placement
+from repro.core.congestion import _reference_compute_loads, compute_loads
 from repro.core.extended_nibble import extended_nibble
 from repro.network.builders import balanced_tree, path_of_buses, single_bus
 from repro.workload.generators import uniform_pattern
 
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+OBJECT_COUNTS = (8, 16) if QUICK else (8, 16, 32, 64)
+HEIGHTS = (2, 4, 8) if QUICK else (2, 4, 8, 16)
+DEGREES = (4, 8, 16) if QUICK else (4, 8, 16, 32)
+
 
 @pytest.mark.benchmark(group="E6-runtime")
 def test_e6_object_scaling(benchmark, report_table):
-    points = benchmark(sweep_objects, (8, 16, 32, 64), 3, 3, 3, 8, 0, 1)
+    points = benchmark(sweep_objects, OBJECT_COUNTS, 3, 3, 3, 8, 0, 1)
     slope = loglog_slope(points)
     report_table("E6: runtime vs |X|", [p.as_dict() for p in points])
     print(f"\nE6 |X| log-log slope: {slope:.2f} (bound predicts ~1)")
@@ -30,7 +42,7 @@ def test_e6_object_scaling(benchmark, report_table):
 
 @pytest.mark.benchmark(group="E6-runtime")
 def test_e6_height_scaling(benchmark, report_table):
-    points = benchmark(sweep_height, (2, 4, 8, 16), 24, 2, 8, 0, 1)
+    points = benchmark(sweep_height, HEIGHTS, 24, 2, 8, 0, 1)
     slope = loglog_slope(points)
     report_table("E6: runtime vs height(T)", [p.as_dict() for p in points])
     print(f"\nE6 height log-log slope: {slope:.2f}")
@@ -40,11 +52,41 @@ def test_e6_height_scaling(benchmark, report_table):
 
 @pytest.mark.benchmark(group="E6-runtime")
 def test_e6_degree_scaling(benchmark, report_table):
-    points = benchmark(sweep_degree, (4, 8, 16, 32), 24, 8, 0, 1)
+    points = benchmark(sweep_degree, DEGREES, 24, 8, 0, 1)
     slope = loglog_slope(points)
     report_table("E6: runtime vs degree(T)", [p.as_dict() for p in points])
     print(f"\nE6 degree log-log slope: {slope:.2f}")
     assert slope <= 2.5
+
+
+@pytest.mark.benchmark(group="E6-runtime")
+def test_e6_vectorized_congestion_speedup(benchmark):
+    """The path-incidence engine beats the scalar reference by >= 5x.
+
+    Measured on the largest network the seed benchmark sweeps exercise
+    (balanced 3-ary tree of depth 3 with 3 leaves per bus, 64 objects).
+    """
+    net = balanced_tree(3, 3, 3)
+    pattern = uniform_pattern(net, 64, requests_per_processor=8, seed=0)
+    placement = random_placement(net, pattern, seed=1)
+    net.rooted().path_matrix()  # warm the cached incidence structure
+
+    vec = benchmark(compute_loads, net, pattern, placement, validate=False)
+    ref = _reference_compute_loads(net, pattern, placement, validate=False)
+    assert np.array_equal(vec.edge_loads, ref.edge_loads)
+
+    reps = 3 if QUICK else 7
+    ref_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        _reference_compute_loads(net, pattern, placement, validate=False)
+        ref_times.append(time.perf_counter() - start)
+    ref_median = float(np.median(ref_times))
+    vec_median = float(benchmark.stats.stats.median)
+    speedup = ref_median / vec_median
+    print(f"\nE6 vectorized congestion speedup: {speedup:.1f}x "
+          f"(vec {vec_median * 1e3:.3f} ms, ref {ref_median * 1e3:.3f} ms)")
+    assert speedup >= 5.0
 
 
 @pytest.mark.benchmark(group="E6-runtime")

@@ -11,9 +11,28 @@ reproduces the rows recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import random
+import sys
+from pathlib import Path
+
+# Bare-checkout bootstrap (kept in sync with tests/conftest.py): make
+# ``import repro`` work without an installed package or PYTHONPATH=src.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
 import pytest
 
 from repro.analysis.report import format_table, records_to_table
+
+
+# Deterministic seeding (kept in sync with tests/conftest.py).
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    """Reset the global RNGs before every benchmark for stable inputs."""
+    random.seed(0)
+    np.random.seed(0)
 
 
 def print_records(title: str, records, columns=None) -> None:

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for CI.
+
+Compares the median runtimes of a fresh pytest-benchmark JSON report
+against the checked-in baseline and exits non-zero when any benchmark's
+median regressed by more than the threshold (default 30%).
+
+Because CI runners and developer machines differ in absolute speed, the
+default mode first *calibrates*: baseline medians are rescaled by the
+median of the per-benchmark (current / baseline) ratios, which cancels a
+uniform machine-speed factor while still flagging benchmarks that regressed
+relative to the rest of the suite.  Pass ``--no-calibrate`` for a raw
+comparison (useful when current and baseline come from the same machine).
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_1.json \
+        benchmarks/BENCH_baseline.json --threshold 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def load_medians(path: Path) -> dict:
+    """Map ``fullname`` -> median seconds from a pytest-benchmark report."""
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: float(bench["stats"]["median"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh pytest-benchmark JSON")
+    parser.add_argument("baseline", type=Path, help="checked-in baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated relative median regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip machine-speed calibration (compare raw medians)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.current)
+    baseline = load_medians(args.baseline)
+    if not current:
+        print("error: current report contains no benchmarks", file=sys.stderr)
+        return 2
+    if not baseline:
+        print("error: baseline report contains no benchmarks", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("error: no benchmarks in common with the baseline", file=sys.stderr)
+        return 2
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: new benchmark not in baseline (skipped): {name}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"note: baseline benchmark missing from this run: {name}")
+
+    scale = 1.0
+    if not args.no_calibrate:
+        ratios = [current[name] / baseline[name] for name in shared]
+        scale = statistics.median(ratios)
+        print(f"calibration: machine-speed factor {scale:.3f} "
+              f"(median current/baseline ratio over {len(shared)} benchmarks)")
+
+    failures = []
+    for name in shared:
+        allowed = baseline[name] * scale * (1.0 + args.threshold)
+        ratio = current[name] / (baseline[name] * scale)
+        status = "FAIL" if current[name] > allowed else "ok"
+        print(
+            f"{status:4}  {ratio:6.2f}x  "
+            f"{current[name] * 1e3:10.3f} ms (baseline {baseline[name] * scale * 1e3:10.3f} ms)  {name}"
+        )
+        if current[name] > allowed:
+            failures.append(name)
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs the baseline:",
+            file=sys.stderr,
+        )
+        for name in failures:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} benchmarks within {args.threshold:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

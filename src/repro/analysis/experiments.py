@@ -21,13 +21,12 @@ plain-dict records (one row of the result table) so the benchmarks and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.ratio import RatioRecord, measure_ratio
+from repro.analysis.ratio import measure_ratio
 from repro.analysis.scaling import (
-    ScalingPoint,
     loglog_slope,
     sweep_degree,
     sweep_height,
@@ -45,7 +44,6 @@ from repro.core.congestion import compute_loads, object_edge_loads
 from repro.core.deletion import apply_deletion
 from repro.core.extended_nibble import extended_nibble
 from repro.core.nibble import nibble_placement
-from repro.core.placement import Placement
 from repro.distributed.protocols import distributed_extended_nibble
 from repro.distributed.request_sim import replay_requests
 from repro.hardness.partition import PartitionInstance, random_partition_instance
@@ -82,13 +80,46 @@ __all__ = [
 def standard_instance_suite(
     seed: int = 0,
     small: bool = False,
+    large: bool = False,
 ) -> List[Tuple[str, HierarchicalBusNetwork, AccessPattern]]:
-    """The labelled (topology, workload) pairs used by E5 and E8."""
-    rng = np.random.default_rng(seed)
+    """The labelled (topology, workload) pairs used by E5 and E8.
+
+    ``large=True`` switches to networks 10--50× the default node counts
+    (hundreds of nodes, hundreds of objects); feasible since the congestion
+    evaluation is vectorized through the path-incidence structure.
+    """
     instances: List[Tuple[str, HierarchicalBusNetwork, AccessPattern]] = []
 
     def add(label, net, pat):
         instances.append((label, net, pat))
+
+    if large:
+        bus = single_bus(120)
+        add("single-bus-xl/uniform", bus, uniform_pattern(bus, 256, seed=seed))
+        add("single-bus-xl/counter", bus, shared_counter_trace(bus, 16, 8, 8))
+
+        tree = balanced_tree(3, 4, 3)
+        add("balanced-xl/zipf", tree, zipf_pattern(tree, 256, seed=seed))
+        add("balanced-xl/local", tree, subtree_local_pattern(tree, 256, seed=seed))
+        add("balanced-xl/hotspot", tree, hotspot_pattern(tree, 256, seed=seed))
+        add("balanced-xl/bisection", tree, bisection_stress(tree, 128, seed=seed))
+
+        star = star_of_buses(10, 10)
+        add("star-xl/web-cache", star, web_cache_trace(star, 256, seed=seed))
+        add(
+            "star-xl/write-conflict",
+            star,
+            write_conflict_pattern(star, 128, seed=seed),
+        )
+
+        rnd = random_tree(50, 200, seed=seed + 1)
+        add("random-xl/uniform", rnd, uniform_pattern(rnd, 192, seed=seed))
+        add(
+            "random-xl/replication-trap",
+            rnd,
+            replication_trap(rnd, 96, seed=seed),
+        )
+        return instances
 
     bus = single_bus(6 if small else 12)
     add("single-bus/uniform", bus, uniform_pattern(bus, 8 if small else 32, seed=seed))
@@ -273,7 +304,6 @@ def experiment_deletion_invariants(
         pat = uniform_pattern(net, n_objects, requests_per_processor=12, seed=seed)
         nib = nibble_placement(net, pat)
         copies = apply_deletion(net, pat, nib.placement)
-        nib_loads = compute_loads(net, pat, nib.placement)
         for oc in copies:
             if oc.kappa == 0:
                 continue
@@ -300,10 +330,11 @@ def experiment_approximation_ratio(
     seed: int = 0,
     compute_exact: bool = False,
     small: bool = False,
+    large: bool = False,
 ) -> List[Dict[str, object]]:
     """Measure extended-nibble congestion against the lower bound / optimum."""
     records = []
-    for label, net, pat in standard_instance_suite(seed=seed, small=small):
+    for label, net, pat in standard_instance_suite(seed=seed, small=small, large=large):
         exact_ok = compute_exact and net.n_processors ** pat.n_objects < 10**7
         rec = measure_ratio(net, pat, label=label, compute_exact=exact_ok)
         records.append(rec.as_dict())
@@ -389,6 +420,7 @@ def experiment_distributed_rounds(
 def experiment_baseline_comparison(
     seed: int = 0,
     small: bool = False,
+    large: bool = False,
     with_replay: bool = False,
     replay_batch: int = 4,
 ) -> List[Dict[str, object]]:
@@ -402,7 +434,7 @@ def experiment_baseline_comparison(
         "full-replication": full_replication_placement,
     }
     records = []
-    for label, net, pat in standard_instance_suite(seed=seed, small=small):
+    for label, net, pat in standard_instance_suite(seed=seed, small=small, large=large):
         lb = nibble_lower_bound(net, pat)
         for name, factory in strategies.items():
             if name == "extended-nibble":

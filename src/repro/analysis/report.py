@@ -7,7 +7,7 @@ the rows shown in the test/benchmark output can be pasted directly into
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 __all__ = ["format_value", "format_table", "markdown_table", "records_to_table"]
 

@@ -1,0 +1,265 @@
+"""Parallel experiment orchestration.
+
+The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E8) are
+independent of each other, so a full reproduction sweep parallelises
+trivially across worker processes.  :func:`run_experiments` fans the
+selected runners out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+with deterministic per-experiment seeds and writes one JSON artifact per
+experiment (plus a ``summary.json``), so CI jobs and the ``repro
+run-experiments`` CLI subcommand share one machine-readable result format.
+
+Seeding: every experiment receives its own child of
+``numpy.random.SeedSequence(base_seed)``, so results are reproducible for a
+fixed ``(base_seed, experiment id)`` pair no matter how many workers run or
+in which order they finish.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import experiments as _experiments
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "EXPERIMENT_RUNNERS",
+    "ExperimentOutcome",
+    "run_experiments",
+    "write_artifacts",
+]
+
+
+EXPERIMENT_RUNNERS: Dict[str, Callable] = {
+    "E1": _experiments.experiment_sci_equivalence,
+    "E2": _experiments.experiment_hardness_reduction,
+    "E3": _experiments.experiment_nibble_optimality,
+    "E4": _experiments.experiment_deletion_invariants,
+    "E5": _experiments.experiment_approximation_ratio,
+    "E6": _experiments.experiment_runtime_scaling,
+    "E7": _experiments.experiment_distributed_rounds,
+    "E8": _experiments.experiment_baseline_comparison,
+}
+
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(sorted(EXPERIMENT_RUNNERS))
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """Result envelope of one experiment run.
+
+    ``error`` is the formatted exception when the runner failed; ``records``
+    is then empty.  ``artifact`` is the JSON file path when artifacts were
+    written.
+    """
+
+    experiment: str
+    seed: int
+    small: bool
+    elapsed_seconds: float
+    large: bool = False
+    records: List[Dict[str, object]] = field(default_factory=list)
+    error: Optional[str] = None
+    artifact: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the experiment ran to completion."""
+        return self.error is None
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat record for table output."""
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "rows": len(self.records),
+            "seconds": self.elapsed_seconds,
+            "status": "ok" if self.ok else "error",
+            "artifact": self.artifact or "-",
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Full JSON-serialisable document (the artifact payload)."""
+        return {
+            "format": "repro.experiment-result/v1",
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "small": self.small,
+            "large": self.large,
+            "elapsed_seconds": self.elapsed_seconds,
+            "n_records": len(self.records),
+            "error": self.error,
+            "records": self.records,
+        }
+
+
+def _experiment_kwargs(
+    runner: Callable, seed: int, small: bool, large: bool
+) -> Dict[str, object]:
+    """Adapt the shared (seed, small, large) knobs to a runner's signature.
+
+    Runners taking a ``seeds`` sequence (E3, E4) get a block of consecutive
+    seeds derived from the experiment seed so their instance count is
+    preserved.
+    """
+    params = inspect.signature(runner).parameters
+    kwargs: Dict[str, object] = {}
+    if "seed" in params:
+        kwargs["seed"] = seed
+    if "seeds" in params:
+        default = params["seeds"].default
+        width = len(default) if isinstance(default, (tuple, list)) else 3
+        kwargs["seeds"] = tuple(seed + i for i in range(width))
+    if "small" in params:
+        kwargs["small"] = small
+    if "large" in params:
+        kwargs["large"] = large
+    return kwargs
+
+
+def _run_single(
+    exp_id: str, seed: int, small: bool, large: bool = False
+) -> ExperimentOutcome:
+    """Run one experiment (module-level so it pickles for worker processes)."""
+    runner = EXPERIMENT_RUNNERS[exp_id]
+    kwargs = _experiment_kwargs(runner, seed, small, large)
+    start = time.perf_counter()
+    try:
+        records = runner(**kwargs)
+        error = None
+    except Exception as exc:  # noqa: BLE001 - one failed experiment must not
+        records = []  # kill the rest of the sweep
+        error = f"{type(exc).__name__}: {exc}"
+    elapsed = time.perf_counter() - start
+    return ExperimentOutcome(
+        experiment=exp_id,
+        seed=seed,
+        small=small,
+        large=large,
+        elapsed_seconds=elapsed,
+        records=list(records),
+        error=error,
+    )
+
+
+def _json_default(value):
+    """Encode the numpy scalar/array types that experiment records contain."""
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def write_artifacts(
+    outcomes: Sequence[ExperimentOutcome], output_dir: "str | Path"
+) -> List[ExperimentOutcome]:
+    """Write one ``<id>.json`` per outcome plus ``summary.json``.
+
+    Returns new outcomes with their ``artifact`` fields pointing at the
+    written files.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    updated: List[ExperimentOutcome] = []
+    for outcome in outcomes:
+        path = out / f"{outcome.experiment}.json"
+        path.write_text(
+            json.dumps(outcome.as_dict(), indent=2, default=_json_default)
+        )
+        updated.append(replace(outcome, artifact=str(path)))
+    summary = {
+        "format": "repro.experiment-summary/v1",
+        "experiments": [o.summary_row() for o in updated],
+        "total_seconds": sum(o.elapsed_seconds for o in updated),
+        "all_ok": all(o.ok for o in updated),
+    }
+    (out / "summary.json").write_text(
+        json.dumps(summary, indent=2, default=_json_default)
+    )
+    return updated
+
+
+def experiment_seeds(base_seed: int, ids: Sequence[str]) -> Dict[str, int]:
+    """Deterministic per-experiment seeds derived from one base seed.
+
+    Children of ``SeedSequence(base_seed)`` are assigned in the sorted order
+    of the experiment ids, so the seed of an experiment depends only on the
+    base seed and its id -- not on which other experiments run alongside it.
+    """
+    seeds: Dict[str, int] = {}
+    for exp_id in set(ids):
+        entropy = (int(base_seed), EXPERIMENT_IDS.index(exp_id))
+        state = np.random.SeedSequence(entropy).generate_state(1)[0]
+        seeds[exp_id] = int(state % 2**31)
+    return seeds
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None,
+    parallel: int = 1,
+    seed: int = 0,
+    small: bool = False,
+    large: bool = False,
+    output_dir: Optional["str | Path"] = None,
+) -> List[ExperimentOutcome]:
+    """Run a set of experiments, optionally across worker processes.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids (subset of ``E1`` .. ``E8``); defaults to all.
+    parallel:
+        Number of worker processes.  ``1`` (default) runs inline in this
+        process, which is also the fully deterministic mode for tests.
+    seed:
+        Base seed; per-experiment seeds are derived via
+        :func:`experiment_seeds`.
+    small:
+        Use reduced instance sizes for the runners that support it.
+    large:
+        Use the 10--50× larger instance suite for the runners that support
+        it (mutually exclusive with ``small``).
+    output_dir:
+        If given, JSON artifacts are written there (one per experiment plus
+        ``summary.json``).
+
+    Returns
+    -------
+    list of ExperimentOutcome
+        In the order of ``ids``, regardless of worker completion order.
+    """
+    if ids is None:
+        ids = EXPERIMENT_IDS
+    unknown = [i for i in ids if i not in EXPERIMENT_RUNNERS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    if small and large:
+        raise ValueError("small and large are mutually exclusive")
+
+    seeds = experiment_seeds(seed, ids)
+    jobs = [(exp_id, seeds[exp_id], small, large) for exp_id in ids]
+
+    if parallel == 1 or len(jobs) <= 1:
+        outcomes = [_run_single(*job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(parallel, len(jobs))) as pool:
+            futures = [pool.submit(_run_single, *job) for job in jobs]
+            outcomes = [f.result() for f in futures]
+
+    if output_dir is not None:
+        outcomes = write_artifacts(outcomes, output_dir)
+    return outcomes

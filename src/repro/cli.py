@@ -9,7 +9,10 @@ workflows without writing Python:
 * ``repro place`` -- run a placement strategy and report congestion against
   the lower bound (optionally saving the placement);
 * ``repro experiment`` -- run one of the experiment runners E1..E8 and print
-  its result table (the same rows recorded in EXPERIMENTS.md).
+  its result table (the same rows recorded in EXPERIMENTS.md);
+* ``repro run-experiments`` -- fan a whole experiment sweep out across
+  worker processes (``--parallel N``) with per-experiment seeds and JSON
+  result artifacts.
 
 Every subcommand is a thin wrapper around the library API, so the CLI is
 also a usage example.
@@ -21,10 +24,10 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.analysis import experiments as _experiments
 from repro.analysis.report import format_table, records_to_table
+from repro.analysis.runner import EXPERIMENT_IDS, EXPERIMENT_RUNNERS, run_experiments
 from repro.core.baselines import (
     full_replication_placement,
     greedy_congestion_placement,
@@ -69,16 +72,7 @@ _STRATEGIES: Dict[str, Callable] = {
     "full-replication": full_replication_placement,
 }
 
-_EXPERIMENTS: Dict[str, Callable] = {
-    "E1": _experiments.experiment_sci_equivalence,
-    "E2": _experiments.experiment_hardness_reduction,
-    "E3": _experiments.experiment_nibble_optimality,
-    "E4": _experiments.experiment_deletion_invariants,
-    "E5": _experiments.experiment_approximation_ratio,
-    "E6": _experiments.experiment_runtime_scaling,
-    "E7": _experiments.experiment_distributed_rounds,
-    "E8": _experiments.experiment_baseline_comparison,
-}
+_EXPERIMENTS: Dict[str, Callable] = dict(EXPERIMENT_RUNNERS)
 
 
 def _print_records(records, stream) -> None:
@@ -201,6 +195,24 @@ def _cmd_place(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _cmd_run_experiments(args: argparse.Namespace, stream) -> int:
+    outcomes = run_experiments(
+        ids=args.ids,
+        parallel=args.parallel,
+        seed=args.seed,
+        small=args.small,
+        large=args.large,
+        output_dir=args.output_dir,
+    )
+    _print_records([o.summary_row() for o in outcomes], stream)
+    failed = [o for o in outcomes if not o.ok]
+    for outcome in failed:
+        print(f"{outcome.experiment} failed: {outcome.error}", file=stream)
+    if args.output_dir:
+        print(f"wrote artifacts to {args.output_dir}", file=stream)
+    return 1 if failed else 0
+
+
 def _cmd_experiment(args: argparse.Namespace, stream) -> int:
     runner = _EXPERIMENTS[args.id]
     kwargs = {}
@@ -215,6 +227,13 @@ def _cmd_experiment(args: argparse.Namespace, stream) -> int:
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -271,6 +290,41 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--small", action="store_true", help="use reduced instance sizes")
     exp.set_defaults(func=_cmd_experiment)
+
+    run = sub.add_parser(
+        "run-experiments",
+        help="run an experiment sweep across worker processes",
+    )
+    run.add_argument(
+        "--ids",
+        nargs="+",
+        choices=list(EXPERIMENT_IDS),
+        default=None,
+        help="experiments to run (default: all)",
+    )
+    run.add_argument(
+        "--parallel",
+        type=_positive_int,
+        default=1,
+        help="number of worker processes (1 = run inline)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="base seed for the sweep")
+    size = run.add_mutually_exclusive_group()
+    size.add_argument(
+        "--small", action="store_true", help="use reduced instance sizes"
+    )
+    size.add_argument(
+        "--large",
+        action="store_true",
+        help="use the 10-50x larger instance suite (E5/E8)",
+    )
+    run.add_argument(
+        "--output-dir",
+        "-o",
+        default=None,
+        help="write per-experiment JSON artifacts (and summary.json) here",
+    )
+    run.set_defaults(func=_cmd_run_experiments)
 
     return parser
 

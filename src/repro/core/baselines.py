@@ -28,8 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.congestion import object_edge_loads
-from repro.core.placement import Placement, RequestAssignment
+from repro.core.placement import Placement
 from repro.errors import PlacementError
 from repro.network.tree import HierarchicalBusNetwork
 from repro.workload.access import AccessPattern
@@ -60,17 +59,10 @@ def owner_placement(
     accesses go to the smallest processor.
     """
     procs = _check(network, pattern)
-    totals = pattern.totals
-    holders = []
-    for obj in range(pattern.n_objects):
-        best = procs[0]
-        best_count = -1
-        for p in procs:
-            count = int(totals[p, obj])
-            if count > best_count:
-                best, best_count = p, count
-        holders.append(best)
-    return Placement.single_holder(holders)
+    procs_arr = np.asarray(procs, dtype=np.int64)
+    # argmax returns the first maximum, i.e. the smallest processor id
+    best_rows = np.argmax(pattern.totals[procs_arr, :], axis=0)
+    return Placement.single_holder(procs_arr[best_rows].tolist())
 
 
 def median_leaf_placement(
@@ -85,22 +77,19 @@ def median_leaf_placement(
     represents total-load-oriented data management.
     """
     procs = _check(network, pattern)
-    rooted = network.rooted()
+    pm = network.rooted().path_matrix()
+    procs_arr = np.asarray(procs, dtype=np.int64)
     totals = pattern.totals
     holders = []
     for obj in range(pattern.n_objects):
-        requesters = pattern.requesters(obj)
-        if not requesters:
+        requesters = np.asarray(pattern.requesters(obj), dtype=np.int64)
+        if requesters.size == 0:
             holders.append(procs[0])
             continue
-        best, best_cost = None, None
-        for leaf in procs:
-            cost = sum(
-                int(totals[p, obj]) * rooted.distance(p, leaf) for p in requesters
-            )
-            if best_cost is None or cost < best_cost:
-                best, best_cost = leaf, cost
-        holders.append(best)
+        dist = pm.distances(requesters[:, None], procs_arr[None, :])
+        costs = totals[requesters, obj] @ dist
+        # argmin returns the first minimum, i.e. the smallest leaf id
+        holders.append(int(procs_arr[np.argmin(costs)]))
     return Placement.single_holder(holders)
 
 
@@ -116,50 +105,47 @@ def greedy_congestion_placement(
     relative edge/bus load accumulated so far.
     """
     procs = _check(network, pattern)
-    rooted = network.rooted()
+    pm = network.rooted().path_matrix()
     if object_order is None:
         totals = pattern.total_requests_all()
         object_order = sorted(
             range(pattern.n_objects), key=lambda x: (-int(totals[x]), x)
         )
 
+    procs_arr = np.asarray(procs, dtype=np.int64)
+    n_leaves = procs_arr.size
     edge_bw = np.asarray(network.edge_bandwidths)
     bus_bw = np.asarray(network.bus_bandwidths)
-    incident = [list(network.incident_edge_ids(v)) for v in network.nodes()]
-    buses = list(network.buses)
+    all_totals = pattern.totals
 
     edge_loads = np.zeros(network.n_edges, dtype=np.float64)
     chosen = [procs[0]] * pattern.n_objects
 
-    # Pre-compute, per object and candidate leaf, the per-edge load vector of
-    # placing the single copy there (path loads only; no Steiner tree for a
-    # single copy).
+    # For every object, evaluate all candidate leaves in one batched column
+    # computation: the per-leaf load vectors of a single copy (path loads
+    # only; no Steiner tree for a single copy) become columns of one matrix.
     for obj in object_order:
-        requesters = pattern.requesters(obj)
-        if not requesters:
+        requesters = np.asarray(pattern.requesters(obj), dtype=np.int64)
+        if requesters.size == 0:
             chosen[obj] = procs[0]
             continue
-        best_leaf, best_score = None, None
-        for leaf in procs:
-            delta = np.zeros(network.n_edges, dtype=np.float64)
-            for p in requesters:
-                count = pattern.accesses_of(p, obj)
-                for eid in rooted.path_edge_ids(p, leaf):
-                    delta[eid] += count
-            trial = edge_loads + delta
-            score = float((trial / edge_bw).max()) if trial.size else 0.0
-            for bus in buses:
-                bus_load = trial[incident[bus]].sum() / 2.0
-                score = max(score, bus_load / bus_bw[bus])
-            if best_score is None or score < best_score or (
-                score == best_score and leaf < best_leaf
-            ):
-                best_leaf, best_score = leaf, score
-        chosen[obj] = best_leaf
-        for p in requesters:
-            count = pattern.accesses_of(p, obj)
-            for eid in rooted.path_edge_ids(p, best_leaf):
-                edge_loads[eid] += count
+        counts = all_totals[requesters, obj].astype(np.float64)
+        lcas = pm.lca(requesters[:, None], procs_arr[None, :])
+        delta = np.zeros((network.n_nodes, n_leaves), dtype=np.float64)
+        delta[requesters, :] += counts[:, None]
+        np.add.at(delta, (procs_arr, np.arange(n_leaves)), counts.sum())
+        cols = np.broadcast_to(np.arange(n_leaves), lcas.shape)
+        np.add.at(delta, (lcas, cols), np.broadcast_to(-2.0 * counts[:, None], lcas.shape))
+        leaf_loads = pm.edge_loads_from_deltas(delta)
+
+        trials = edge_loads[:, None] + leaf_loads
+        scores = (trials / edge_bw[:, None]).max(axis=0) if trials.size else np.zeros(n_leaves)
+        bus_loads = pm.bus_loads_from_edge_loads(trials)
+        scores = np.maximum(scores, (bus_loads / bus_bw[:, None]).max(axis=0))
+        # argmin returns the first minimum, i.e. the smallest leaf id on ties
+        best = int(np.argmin(scores))
+        chosen[obj] = int(procs_arr[best])
+        edge_loads += leaf_loads[:, best]
     return Placement.single_holder(chosen)
 
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.placement import Placement, RequestAssignment, Share
 from repro.errors import AlgorithmError
 from repro.network.rooted import RootedTree
@@ -206,14 +208,19 @@ def delete_rarely_used_copies(
         rooted = network.rooted()
     kappa = pattern.write_contention(obj)
 
-    # Initial reference copies: the holder nearest to each requester.
+    # Initial reference copies: the holder nearest to each requester,
+    # resolved for all requesters at once via the path-incidence structure.
     holder_list = sorted(holders)
     copy_at: Dict[int, CopyRecord] = {
         node: CopyRecord(obj=obj, node=node) for node in holder_list
     }
-    for proc in pattern.requesters(obj):
-        nearest = rooted.nearest_in_set(proc, holder_list)
-        copy_at[nearest].add(proc, pattern.reads_of(proc, obj), pattern.writes_of(proc, obj))
+    requesters = np.asarray(pattern.requesters(obj), dtype=np.int64)
+    if requesters.size:
+        nearest = rooted.path_matrix().nearest_in_set(requesters, holder_list)
+        reads = pattern.reads[requesters, obj]
+        writes = pattern.writes[requesters, obj]
+        for proc, holder, r, w in zip(requesters, nearest, reads, writes):
+            copy_at[int(holder)].add(int(proc), int(r), int(w))
 
     if len(holder_list) == 1:
         only = copy_at[holder_list[0]]

@@ -23,14 +23,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.core.congestion import LoadProfile, compute_loads
 from repro.core.deletion import ObjectCopies, apply_deletion, copies_to_placement
 from repro.core.mapping import MappingResult, map_copies_to_leaves
 from repro.core.nibble import NibbleResult, nibble_placement
 from repro.core.placement import Placement, RequestAssignment
-from repro.errors import AlgorithmError
 from repro.network.tree import HierarchicalBusNetwork
 from repro.workload.access import AccessPattern
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -54,35 +54,48 @@ def _per_object_leaf_loads(
     network: HierarchicalBusNetwork,
     pattern: AccessPattern,
     procs: Sequence[int],
-) -> List[List[np.ndarray]]:
-    """``loads[obj][leaf_index]`` = per-edge load of placing obj's single copy there."""
-    rooted = network.rooted()
-    out: List[List[np.ndarray]] = []
+) -> List[np.ndarray]:
+    """``loads[obj][:, leaf_index]`` = per-edge load of placing obj's copy there.
+
+    One ``(n_edges, n_leaves)`` matrix per object, produced by a single
+    batched LCA + path-incidence scatter per object instead of nested loops
+    over leaves × requesters × path edges.
+    """
+    pm = network.rooted().path_matrix()
+    procs_arr = np.asarray(procs, dtype=np.int64)
+    n_leaves = procs_arr.size
+    totals = pattern.totals
+    out: List[np.ndarray] = []
     for obj in range(pattern.n_objects):
-        requesters = pattern.requesters(obj)
-        per_leaf: List[np.ndarray] = []
-        for leaf in procs:
-            vec = np.zeros(network.n_edges, dtype=np.float64)
-            for p in requesters:
-                count = pattern.accesses_of(p, obj)
-                for eid in rooted.path_edge_ids(p, leaf):
-                    vec[eid] += count
-            per_leaf.append(vec)
-        out.append(per_leaf)
+        requesters = np.asarray(pattern.requesters(obj), dtype=np.int64)
+        if requesters.size == 0:
+            out.append(np.zeros((network.n_edges, n_leaves), dtype=np.float64))
+            continue
+        counts = totals[requesters, obj].astype(np.float64)
+        lcas = pm.lca(requesters[:, None], procs_arr[None, :])
+        delta = np.zeros((network.n_nodes, n_leaves), dtype=np.float64)
+        delta[requesters, :] += counts[:, None]
+        np.add.at(delta, (procs_arr, np.arange(n_leaves)), counts.sum())
+        cols = np.broadcast_to(np.arange(n_leaves), lcas.shape)
+        np.add.at(delta, (lcas, cols), np.broadcast_to(-2.0 * counts[:, None], lcas.shape))
+        out.append(pm.edge_loads_from_deltas(delta))
     return out
 
 
 def _congestion_of_edge_loads(
     network: HierarchicalBusNetwork, edge_loads: np.ndarray
-) -> float:
+) -> "float | np.ndarray":
+    """Congestion per column of ``edge_loads`` (``(n_edges,)`` or 2-D)."""
+    pm = network.rooted().path_matrix()
     edge_bw = np.asarray(network.edge_bandwidths)
-    value = float((edge_loads / edge_bw).max()) if edge_loads.size else 0.0
     bus_bw = np.asarray(network.bus_bandwidths)
-    for bus in network.buses:
-        incident = list(network.incident_edge_ids(bus))
-        load = edge_loads[incident].sum() / 2.0
-        value = max(value, load / bus_bw[bus])
-    return value
+    if edge_loads.ndim == 1:
+        value = float((edge_loads / edge_bw).max()) if edge_loads.size else 0.0
+        bus_loads = pm.bus_loads_from_edge_loads(edge_loads)
+        return max(value, float((bus_loads / bus_bw).max()))
+    value = (edge_loads / edge_bw[:, None]).max(axis=0)
+    bus_loads = pm.bus_loads_from_edge_loads(edge_loads)
+    return np.maximum(value, (bus_loads / bus_bw[:, None]).max(axis=0))
 
 
 def optimal_nonredundant(
@@ -138,17 +151,16 @@ def optimal_nonredundant(
             return
         obj = order[idx]
         # Try leaves in order of the congestion they would produce alone, so
-        # good solutions are found early and pruning becomes effective.
-        scored = []
-        for li, leaf in enumerate(procs):
-            trial = edge_loads + per_obj_loads[obj][li]
-            scored.append((_congestion_of_edge_loads(network, trial), li))
-        scored.sort()
-        for _score, li in scored:
-            edge_loads += per_obj_loads[obj][li]
+        # good solutions are found early and pruning becomes effective.  All
+        # candidate leaves are scored in one batched column evaluation.
+        trials = edge_loads[:, None] + per_obj_loads[obj]
+        scores = _congestion_of_edge_loads(network, trials)
+        for li in np.argsort(scores, kind="stable"):
+            li = int(li)
+            edge_loads += per_obj_loads[obj][:, li]
             choice[obj] = li
             recurse(idx + 1)
-            edge_loads -= per_obj_loads[obj][li]
+            edge_loads -= per_obj_loads[obj][:, li]
 
     recurse(0)
     if best_choice is None:

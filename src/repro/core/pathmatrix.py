@@ -1,0 +1,272 @@
+"""Sparse path-incidence structure for vectorized congestion evaluation.
+
+The cost model charges every request pair ``(u, v)`` one load unit on each
+edge of the tree path between ``u`` and ``v``.  Evaluating this with Python
+loops over objects × requesters × path edges is the dominant cost of every
+experiment; :class:`PathMatrix` replaces those loops with a precomputed
+sparse incidence structure and a handful of numpy scatter/gather kernels.
+
+The structure exploits a classical identity on trees rooted at ``r``.  Let
+``R(v)`` be the set of edges on the path ``r -> v`` ("root path").  Then
+
+* the path ``u -> v`` is the symmetric difference ``R(u) Δ R(v)``, so a
+  pair load ``w`` on path ``u -> v`` equals a *node delta* of ``+w`` at
+  ``u``, ``+w`` at ``v`` and ``-2w`` at ``lca(u, v)`` pushed down the root
+  paths: ``edge_load[e] = Σ_v  delta[v] · [e ∈ R(v)]``;
+* the same operator evaluated on a 0/1 membership vector of a terminal set
+  ``S`` yields, per edge, the number of terminals strictly below that edge
+  -- which identifies the Steiner tree of ``S`` (``0 < below < |S|``).
+
+The incidence ``[e ∈ R(v)]`` is stored once per rooted network as CSR-style
+numpy arrays (``indptr`` / ``edge id`` / ``node id`` triples, total size
+``Σ_v depth(v)``), and all evaluations are ``np.add.at`` scatters over it.
+Batched right-hand sides (one column per candidate placement or per object)
+turn into a single scatter over 2-D arrays, which is what makes whole-suite
+experiments on networks 10-100× larger than the seed sizes feasible.
+
+LCAs are computed for whole index arrays at once by binary lifting over a
+``(log2(height), n)`` ancestor table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidNodeError
+
+__all__ = ["PathMatrix"]
+
+
+class PathMatrix:
+    """Vectorized path/Steiner/distance kernels for one rooted tree.
+
+    Instances are cheap relative to a single scalar congestion evaluation
+    (``O(n · height)`` ints) and are cached per rooted view via
+    :meth:`repro.network.rooted.RootedTree.path_matrix`.
+    """
+
+    __slots__ = (
+        "rooted",
+        "n_nodes",
+        "n_edges",
+        "_parent",
+        "_parent_edge",
+        "_depth",
+        "_up",
+        "_rp_indptr",
+        "_rp_edges",
+        "_rp_nodes",
+        "_edge_u",
+        "_edge_v",
+        "_bus_mask",
+    )
+
+    def __init__(self, rooted) -> None:
+        network = rooted.network
+        n = network.n_nodes
+        self.rooted = rooted
+        self.n_nodes = n
+        self.n_edges = network.n_edges
+
+        parent = np.array([rooted.parent(v) for v in range(n)], dtype=np.int64)
+        parent_edge = np.array(
+            [rooted.parent_edge_id(v) for v in range(n)], dtype=np.int64
+        )
+        depth = np.array([rooted.depth(v) for v in range(n)], dtype=np.int64)
+        self._parent = parent
+        self._parent_edge = parent_edge
+        self._depth = depth
+
+        # Binary-lifting ancestor table: _up[k, v] = 2^k-th ancestor of v
+        # (the root is its own ancestor, so lifts saturate instead of
+        # underflowing to -1).
+        levels = max(1, int(np.ceil(np.log2(max(2, int(depth.max()) + 1)))) + 1)
+        up = np.empty((levels, n), dtype=np.int64)
+        up[0] = np.where(parent >= 0, parent, np.arange(n))
+        for k in range(1, levels):
+            up[k] = up[k - 1][up[k - 1]]
+        self._up = up
+
+        # CSR root-path incidence: for every node v (in depth order is not
+        # required), the edge ids on the path root -> v.  rp_nodes repeats v
+        # once per such edge so a gather delta[rp_nodes] aligns with rp_edges.
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(depth)
+        total = int(indptr[-1])
+        rp_edges = np.empty(total, dtype=np.int64)
+        rp_nodes = np.empty(total, dtype=np.int64)
+        for v in rooted.preorder:
+            p = parent[v]
+            if p < 0:
+                continue
+            start, end = indptr[v], indptr[v + 1]
+            pstart, pend = indptr[p], indptr[p + 1]
+            rp_edges[start : end - 1] = rp_edges[pstart:pend]
+            rp_edges[end - 1] = parent_edge[v]
+            rp_nodes[start:end] = v
+        self._rp_indptr = indptr
+        self._rp_edges = rp_edges
+        self._rp_nodes = rp_nodes
+
+        edges = network.edges
+        self._edge_u = np.array([e.u for e in edges], dtype=np.int64)
+        self._edge_v = np.array([e.v for e in edges], dtype=np.int64)
+        bus_mask = np.zeros(n, dtype=bool)
+        if network.buses:
+            bus_mask[list(network.buses)] = True
+        self._bus_mask = bus_mask
+
+    # ------------------------------------------------------------------ #
+    # vectorized structural queries
+    # ------------------------------------------------------------------ #
+    @property
+    def depths(self) -> np.ndarray:
+        """Per-node depth array (root has depth 0)."""
+        return self._depth
+
+    def lca(self, u, v) -> np.ndarray:
+        """Lowest common ancestors of broadcastable index arrays ``u, v``."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        u, v = np.broadcast_arrays(u, v)
+        u = u.copy()
+        v = v.copy()
+        du = self._depth[u]
+        dv = self._depth[v]
+        # lift the deeper endpoint to the shallower one's depth
+        diff = du - dv
+        swap = diff < 0
+        if np.any(swap):
+            u[swap], v[swap] = v[swap], u[swap]
+            diff = np.abs(diff)
+        for k in range(self._up.shape[0]):
+            sel = (diff >> k) & 1 == 1
+            if np.any(sel):
+                u[sel] = self._up[k][u[sel]]
+        neq = u != v
+        if np.any(neq):
+            for k in range(self._up.shape[0] - 1, -1, -1):
+                upu = self._up[k][u]
+                upv = self._up[k][v]
+                step = neq & (upu != upv)
+                if np.any(step):
+                    u[step] = upu[step]
+                    v[step] = upv[step]
+            u[neq] = self._up[0][u[neq]]
+        return u
+
+    def distances(self, u, v) -> np.ndarray:
+        """Path lengths (edge counts) for broadcastable index arrays."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        a = self.lca(u, v)
+        return self._depth[u] + self._depth[v] - 2 * self._depth[a]
+
+    def nearest_in_set(
+        self, nodes: np.ndarray, candidates: Sequence[int]
+    ) -> np.ndarray:
+        """For every node, the closest candidate (ties: smallest id).
+
+        ``candidates`` must be non-empty; the result aligns with ``nodes``.
+        """
+        cands = np.asarray(sorted(set(int(c) for c in candidates)), dtype=np.int64)
+        if cands.size == 0:
+            raise InvalidNodeError("candidate set must not be empty")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        dist = self.distances(nodes[:, None], cands[None, :])
+        # argmin returns the first (= smallest-id, since cands is sorted) min
+        return cands[np.argmin(dist, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    # load kernels
+    # ------------------------------------------------------------------ #
+    def edge_loads_from_deltas(self, delta: np.ndarray) -> np.ndarray:
+        """Apply the incidence operator: ``out[e] = Σ_v delta[v]·[e ∈ R(v)]``.
+
+        ``delta`` has shape ``(n_nodes,)`` or ``(n_nodes, batch)``; the result
+        has shape ``(n_edges,)`` / ``(n_edges, batch)`` accordingly.  For a
+        node-delta encoding of path traffic this yields per-edge loads; for a
+        0/1 terminal indicator it yields per-edge below-the-edge terminal
+        counts (the Steiner-tree membership test).
+        """
+        delta = np.asarray(delta)
+        out_shape = (self.n_edges,) + delta.shape[1:]
+        out = np.zeros(out_shape, dtype=np.float64)
+        if self._rp_edges.size:
+            np.add.at(out, self._rp_edges, delta[self._rp_nodes])
+        return out
+
+    def pair_deltas(
+        self, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """Node-delta vector encoding weighted path traffic ``u[i] -> v[i]``."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        delta = np.zeros(self.n_nodes, dtype=np.float64)
+        if u.size:
+            a = self.lca(u, v)
+            np.add.at(delta, u, w)
+            np.add.at(delta, v, w)
+            np.add.at(delta, a, -2.0 * w)
+        return delta
+
+    def pair_edge_loads(
+        self, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """Per-edge loads of weighted request pairs ``u[i] -> v[i]``."""
+        return self.edge_loads_from_deltas(self.pair_deltas(u, v, w))
+
+    def steiner_edge_loads(
+        self,
+        terminal_sets: Sequence[Iterable[int]],
+        weights: Sequence[float],
+    ) -> np.ndarray:
+        """Summed per-edge loads of weighted Steiner trees.
+
+        For every terminal set ``S_i`` with weight ``w_i`` this adds ``w_i``
+        to each edge of the minimal subtree spanning ``S_i`` (sets with fewer
+        than two terminals contribute nothing).  All sets are evaluated in
+        one batched scatter.
+        """
+        sets = [np.asarray(sorted(set(int(t) for t in s)), dtype=np.int64) for s in terminal_sets]
+        keep = [i for i, s in enumerate(sets) if s.size > 1]
+        loads = np.zeros(self.n_edges, dtype=np.float64)
+        if not keep:
+            return loads
+        indicator = np.zeros((self.n_nodes, len(keep)), dtype=np.float64)
+        totals = np.empty(len(keep), dtype=np.float64)
+        wvec = np.empty(len(keep), dtype=np.float64)
+        for col, i in enumerate(keep):
+            indicator[sets[i], col] = 1.0
+            totals[col] = sets[i].size
+            wvec[col] = float(weights[i])
+        below = self.edge_loads_from_deltas(indicator)
+        inside = (below > 0) & (below < totals[None, :])
+        return inside @ wvec
+
+    def steiner_edge_mask(self, terminals: Iterable[int]) -> np.ndarray:
+        """Boolean per-edge membership mask of one Steiner tree."""
+        term = np.asarray(sorted(set(int(t) for t in terminals)), dtype=np.int64)
+        if term.size <= 1:
+            return np.zeros(self.n_edges, dtype=bool)
+        indicator = np.zeros(self.n_nodes, dtype=np.float64)
+        indicator[term] = 1.0
+        below = self.edge_loads_from_deltas(indicator)
+        return (below > 0) & (below < term.size)
+
+    def bus_loads_from_edge_loads(self, edge_loads: np.ndarray) -> np.ndarray:
+        """Fold edge loads into bus loads (half the incident-edge sum).
+
+        Accepts ``(n_edges,)`` or ``(n_edges, batch)``; entries for
+        processor nodes are zero, matching the scalar model.
+        """
+        edge_loads = np.asarray(edge_loads)
+        out = np.zeros((self.n_nodes,) + edge_loads.shape[1:], dtype=np.float64)
+        np.add.at(out, self._edge_u, edge_loads)
+        np.add.at(out, self._edge_v, edge_loads)
+        out *= 0.5
+        out[~self._bus_mask] = 0.0
+        return out

@@ -231,14 +231,21 @@ class RequestAssignment:
         """
         placement.validate_for(network, pattern)
         rooted = network.rooted()
+        path_matrix = rooted.path_matrix()
+        reads_matrix = pattern.reads
+        writes_matrix = pattern.writes
         shares: Dict[Tuple[int, int], List[Share]] = {}
         for obj in range(pattern.n_objects):
-            holders = sorted(placement.holders(obj))
-            for proc in pattern.requesters(obj):
-                reads = pattern.reads_of(proc, obj)
-                writes = pattern.writes_of(proc, obj)
-                holder = rooted.nearest_in_set(proc, holders)
-                shares[(proc, obj)] = [Share(holder, reads, writes)]
+            requesters = np.asarray(pattern.requesters(obj), dtype=np.int64)
+            if requesters.size == 0:
+                continue
+            nearest = path_matrix.nearest_in_set(
+                requesters, sorted(placement.holders(obj))
+            )
+            reads = reads_matrix[requesters, obj]
+            writes = writes_matrix[requesters, obj]
+            for proc, holder, r, w in zip(requesters, nearest, reads, writes):
+                shares[(int(proc), obj)] = [Share(int(holder), int(r), int(w))]
         return cls(shares, pattern.n_objects)
 
     @classmethod

@@ -21,9 +21,8 @@ back to back, demonstrating the pipelining the paper uses to obtain the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.distributed.engine import Message, NodeProcess, RoundStats, TreeSimulator
 from repro.errors import SimulationError

@@ -26,9 +26,8 @@ simulator in :mod:`repro.distributed.request_sim`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence
 
-import numpy as np
 
 from repro.errors import SimulationError
 from repro.network.tree import HierarchicalBusNetwork

@@ -27,10 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.extended_nibble import ExtendedNibbleResult, extended_nibble
-from repro.core.nibble import NibbleResult, nibble_placement
+from repro.core.nibble import NibbleResult
 from repro.core.placement import Placement
 from repro.distributed.aggregation import (
     convergecast,

@@ -17,9 +17,8 @@ scalar summary used by the tests and the benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.bounds import nibble_lower_bound
 from repro.core.extended_nibble import extended_nibble
 from repro.dynamic.online import (
     EdgeCounterManager,

@@ -23,7 +23,7 @@ The builders cover the topology families used by the benchmark harness:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ human-readable name and, for buses, the bus bandwidth ``b(B)``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import BandwidthError

@@ -44,6 +44,7 @@ class RootedTree:
         "_children",
         "_height",
         "_subtree_size",
+        "_path_matrix",
     )
 
     def __init__(self, network, root: int) -> None:
@@ -88,6 +89,15 @@ class RootedTree:
             if p >= 0:
                 sizes[p] += sizes[u]
         self._subtree_size = sizes
+        self._path_matrix = None
+
+    def path_matrix(self):
+        """Cached :class:`~repro.core.pathmatrix.PathMatrix` for this root."""
+        if self._path_matrix is None:
+            from repro.core.pathmatrix import PathMatrix
+
+            self._path_matrix = PathMatrix(self)
+        return self._path_matrix
 
     # ------------------------------------------------------------------ #
     # structural accessors

@@ -22,8 +22,8 @@ This module implements that substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import InvalidNodeError, TopologyError
 from repro.network.tree import HierarchicalBusNetwork, NetworkBuilder

@@ -19,7 +19,7 @@ for abstract random matrices.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

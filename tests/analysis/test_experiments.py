@@ -1,6 +1,5 @@
 """Tests for the high-level experiment runners (E1 -- E8)."""
 
-import pytest
 
 from repro.analysis.experiments import (
     experiment_approximation_ratio,

@@ -1,6 +1,5 @@
 """Tests for the approximation-ratio measurement harness."""
 
-import pytest
 
 from repro.analysis.ratio import (
     APPROXIMATION_FACTOR,

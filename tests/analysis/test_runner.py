@@ -1,0 +1,98 @@
+"""Tests for the parallel experiment runner."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import (
+    EXPERIMENT_IDS,
+    ExperimentOutcome,
+    experiment_seeds,
+    run_experiments,
+)
+
+
+class TestSeeds:
+    def test_deterministic(self):
+        assert experiment_seeds(0, EXPERIMENT_IDS) == experiment_seeds(
+            0, EXPERIMENT_IDS
+        )
+
+    def test_seed_independent_of_peer_selection(self):
+        full = experiment_seeds(7, EXPERIMENT_IDS)
+        subset = experiment_seeds(7, ["E4", "E7"])
+        assert subset["E4"] == full["E4"]
+        assert subset["E7"] == full["E7"]
+
+    def test_base_seed_changes_seeds(self):
+        assert experiment_seeds(0, ["E1"]) != experiment_seeds(1, ["E1"])
+
+
+class TestRunExperiments:
+    def test_inline_run_returns_records(self):
+        outcomes = run_experiments(ids=["E1", "E4"], parallel=1)
+        assert [o.experiment for o in outcomes] == ["E1", "E4"]
+        assert all(o.ok for o in outcomes)
+        assert all(len(o.records) > 0 for o in outcomes)
+
+    def test_parallel_matches_inline(self):
+        inline = run_experiments(ids=["E1", "E4", "E7"], parallel=1, seed=3)
+        fanned = run_experiments(ids=["E1", "E4", "E7"], parallel=3, seed=3)
+        assert [o.experiment for o in inline] == [o.experiment for o in fanned]
+        assert [o.seed for o in inline] == [o.seed for o in fanned]
+        assert [o.records for o in inline] == [o.records for o in fanned]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(ids=["E99"])
+
+    def test_bad_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(ids=["E1"], parallel=0)
+
+    def test_small_and_large_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            run_experiments(ids=["E5"], small=True, large=True)
+
+
+class TestArtifacts:
+    def test_artifacts_written(self, tmp_path):
+        out = tmp_path / "results"
+        outcomes = run_experiments(ids=["E1", "E7"], parallel=1, output_dir=out)
+        for outcome in outcomes:
+            assert outcome.artifact is not None
+            doc = json.loads(open(outcome.artifact).read())
+            assert doc["format"] == "repro.experiment-result/v1"
+            assert doc["experiment"] == outcome.experiment
+            assert doc["n_records"] == len(outcome.records)
+            assert doc["error"] is None
+        summary = json.loads((out / "summary.json").read_text())
+        assert summary["all_ok"] is True
+        assert [e["experiment"] for e in summary["experiments"]] == ["E1", "E7"]
+
+    def test_failed_experiment_is_isolated(self, tmp_path, monkeypatch):
+        from repro.analysis import runner as runner_mod
+
+        def boom(**kwargs):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(runner_mod.EXPERIMENT_RUNNERS, "E1", boom)
+        outcomes = run_experiments(
+            ids=["E1", "E7"], parallel=1, output_dir=tmp_path / "res"
+        )
+        assert not outcomes[0].ok
+        assert "synthetic failure" in outcomes[0].error
+        assert outcomes[1].ok
+        summary = json.loads((tmp_path / "res" / "summary.json").read_text())
+        assert summary["all_ok"] is False
+
+
+class TestOutcome:
+    def test_summary_row_shape(self):
+        outcome = ExperimentOutcome(
+            experiment="E1", seed=1, small=False, elapsed_seconds=0.5
+        )
+        row = outcome.summary_row()
+        assert row["experiment"] == "E1"
+        assert row["status"] == "ok"
+        assert row["artifact"] == "-"

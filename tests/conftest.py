@@ -2,6 +2,16 @@
 
 from __future__ import annotations
 
+import random
+import sys
+from pathlib import Path
+
+# Bare-checkout bootstrap (kept in sync with benchmarks/conftest.py): make
+# ``import repro`` work without an installed package or PYTHONPATH=src.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import numpy as np
 import pytest
 from hypothesis import strategies as st
@@ -14,9 +24,24 @@ from repro.network.builders import (
     single_bus,
     star_of_buses,
 )
-from repro.network.tree import HierarchicalBusNetwork, NetworkBuilder
+from repro.network.tree import HierarchicalBusNetwork
 from repro.workload.access import AccessPattern
-from repro.workload.generators import random_sparse_pattern, uniform_pattern
+from repro.workload.generators import random_sparse_pattern
+
+
+# --------------------------------------------------------------------------- #
+# deterministic seeding (kept in sync with benchmarks/conftest.py)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    """Reset the global RNGs before every test.
+
+    All library code takes explicit seeds or Generator objects; this guards
+    the tests themselves (and any future code path falling back to the
+    global state) against order-dependent randomness in CI.
+    """
+    random.seed(0)
+    np.random.seed(0)
 
 
 # --------------------------------------------------------------------------- #

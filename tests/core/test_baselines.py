@@ -1,6 +1,5 @@
 """Tests for the baseline placement strategies."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import (

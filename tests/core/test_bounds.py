@@ -11,8 +11,8 @@ from repro.core.bounds import (
 )
 from repro.core.congestion import compute_loads
 from repro.core.nibble import nibble_placement
-from repro.core.optimal import optimal_nonredundant, optimal_redundant
-from repro.network.builders import random_tree, single_bus, star_of_buses
+from repro.core.optimal import optimal_redundant
+from repro.network.builders import random_tree, single_bus
 from repro.workload.access import AccessPattern
 from repro.workload.generators import random_sparse_pattern, uniform_pattern
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.congestion import compute_loads, object_edge_loads
+from repro.core.congestion import object_edge_loads
 from repro.core.deletion import (
     CopyRecord,
     apply_deletion,
@@ -11,8 +11,7 @@ from repro.core.deletion import (
     delete_rarely_used_copies,
 )
 from repro.core.nibble import nibble_placement
-from repro.core.placement import Placement
-from repro.network.builders import balanced_tree, random_tree, single_bus, star_of_buses
+from repro.network.builders import random_tree, single_bus, star_of_buses
 from repro.workload.access import AccessPattern
 from repro.workload.generators import uniform_pattern
 

@@ -1,6 +1,5 @@
 """Tests for the full extended-nibble strategy (Theorem 4.3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.bounds import nibble_lower_bound

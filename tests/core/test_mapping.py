@@ -7,7 +7,7 @@ from repro.core.congestion import compute_loads
 from repro.core.deletion import apply_deletion, copies_to_placement
 from repro.core.mapping import directed_basic_loads, map_copies_to_leaves
 from repro.core.nibble import nibble_placement
-from repro.network.builders import balanced_tree, path_of_buses, random_tree, single_bus
+from repro.network.builders import path_of_buses, random_tree, single_bus
 from repro.workload.access import AccessPattern
 from repro.workload.generators import uniform_pattern
 
@@ -98,7 +98,6 @@ class TestMappingCorrectness:
 
     def test_empty_instance(self):
         net = single_bus(3)
-        pat = AccessPattern.empty(net.n_nodes, 0)
         result = map_copies_to_leaves(net, [])
         assert result.tau_max == 0
         assert result.moves_up == 0 and result.moves_down == 0

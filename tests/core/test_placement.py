@@ -1,11 +1,10 @@
 """Tests for Placement, Share and RequestAssignment."""
 
-import numpy as np
 import pytest
 
 from repro.core.placement import Placement, RequestAssignment, Share
 from repro.errors import AssignmentError, PlacementError
-from repro.network.builders import single_bus, star_of_buses
+from repro.network.builders import single_bus
 from repro.workload.access import AccessPattern
 
 

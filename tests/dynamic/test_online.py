@@ -10,7 +10,6 @@ from repro.dynamic.online import EdgeCounterManager, OnlineCostAccount, StaticPl
 from repro.dynamic.sequence import RequestEvent, RequestSequence, sequence_from_pattern
 from repro.errors import PlacementError, WorkloadError
 from repro.network.builders import balanced_tree, single_bus, star_of_buses
-from repro.workload.access import AccessPattern
 from repro.workload.generators import uniform_pattern
 
 

@@ -11,7 +11,6 @@ from repro.dynamic.sequence import (
 )
 from repro.errors import WorkloadError
 from repro.network.builders import balanced_tree, single_bus
-from repro.workload.access import AccessPattern
 from repro.workload.generators import uniform_pattern
 
 

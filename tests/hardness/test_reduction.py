@@ -1,10 +1,8 @@
 """Tests for the Theorem 2.1 reduction (PARTITION -> placement)."""
 
-import numpy as np
 import pytest
 
 from repro.core.congestion import compute_loads
-from repro.core.optimal import optimal_nonredundant
 from repro.errors import ReproError
 from repro.hardness.partition import PartitionInstance, random_partition_instance, solve_partition_dp
 from repro.hardness.reduction import (

@@ -6,17 +6,13 @@ placement strategies, evaluate congestion against the lower bound and
 baselines, replay the requests, and serialize the artefacts.
 """
 
-import json
 
-import numpy as np
-import pytest
 
 from repro.analysis.ratio import measure_ratio
 from repro.core.baselines import greedy_congestion_placement, owner_placement
 from repro.core.bounds import congestion_lower_bound, nibble_lower_bound
 from repro.core.congestion import compute_loads
 from repro.core.extended_nibble import extended_nibble
-from repro.core.optimal import optimal_nonredundant
 from repro.distributed.protocols import distributed_extended_nibble
 from repro.distributed.request_sim import replay_requests
 from repro.network.sci import ring_of_rings

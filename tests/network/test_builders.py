@@ -1,6 +1,5 @@
 """Tests for the ready-made topology builders."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TopologyError

@@ -1,6 +1,5 @@
 """Tests for network structural metrics."""
 
-import pytest
 
 from repro.network.builders import balanced_tree, path_of_buses, single_bus
 from repro.network.metrics import compute_metrics, diameter, eccentricity

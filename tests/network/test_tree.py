@@ -1,6 +1,5 @@
 """Tests for the HierarchicalBusNetwork data structure and the builder."""
 
-import numpy as np
 import pytest
 
 from repro.errors import (

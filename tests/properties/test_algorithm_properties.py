@@ -21,7 +21,7 @@ from repro.core.congestion import compute_loads, object_edge_loads
 from repro.core.deletion import apply_deletion
 from repro.core.extended_nibble import extended_nibble
 from repro.core.nibble import nibble_placement
-from repro.core.placement import Placement, RequestAssignment
+from repro.core.placement import Placement
 from tests.conftest import instances
 
 SETTINGS = dict(

@@ -1,11 +1,10 @@
 """Property-based tests of the network substrate (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.network.serialization import network_from_dict, network_to_dict
-from tests.conftest import instances, networks
+from tests.conftest import networks
 
 SETTINGS = dict(max_examples=40, deadline=None)
 

@@ -148,6 +148,37 @@ class TestWorkloadAndPlace:
         assert strategy in text
 
 
+class TestRunExperimentsCommand:
+    def test_sequential_sweep(self):
+        code, text = run_cli(["run-experiments", "--ids", "E1", "E7"])
+        assert code == 0
+        assert "E1" in text and "E7" in text and "ok" in text
+
+    def test_parallel_sweep_with_artifacts(self, tmp_path):
+        out = tmp_path / "results"
+        code, text = run_cli(
+            [
+                "run-experiments",
+                "--ids",
+                "E1",
+                "E4",
+                "--parallel",
+                "2",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "E1.json").exists()
+        assert (out / "E4.json").exists()
+        data = json.loads((out / "summary.json").read_text())
+        assert data["all_ok"] is True
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-experiments", "--ids", "E99"])
+
+
 class TestExperimentCommand:
     def test_experiment_e1(self):
         code, text = run_cli(["experiment", "E1"])

@@ -1,6 +1,5 @@
 """Tests for the adversarial / stress workloads."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError

@@ -1,6 +1,5 @@
 """Tests for the application-style trace generators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError

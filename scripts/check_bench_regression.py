@@ -85,7 +85,8 @@ def main(argv=None) -> int:
         status = "FAIL" if current[name] > allowed else "ok"
         print(
             f"{status:4}  {ratio:6.2f}x  "
-            f"{current[name] * 1e3:10.3f} ms (baseline {baseline[name] * scale * 1e3:10.3f} ms)  {name}"
+            f"{current[name] * 1e3:10.3f} ms "
+            f"(baseline {baseline[name] * scale * 1e3:10.3f} ms)  {name}"
         )
         if current[name] > allowed:
             failures.append(name)

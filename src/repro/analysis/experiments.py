@@ -1,9 +1,10 @@
-"""High-level experiment runners (E1 -- E8 of DESIGN.md).
+"""High-level experiment runners (E1 -- E9).
 
 The paper has no experimental section; each of its figures and quantitative
-theorems is turned into an experiment here.  Every runner returns a list of
-plain-dict records (one row of the result table) so the benchmarks and
-``EXPERIMENTS.md`` share the same data.
+theorems is turned into an experiment here (E1 -- E8 of DESIGN.md), plus
+the E9 extension exercising the dynamic model of Section 1.3.  Every runner
+returns a list of plain-dict records (one row of the result table) so the
+benchmarks and ``EXPERIMENTS.md`` share the same data.
 
 =====  ==========================================================
  id    paper source / claim
@@ -16,6 +17,7 @@ plain-dict records (one row of the result table) so the benchmarks and
  E6    Theorem 4.3: sequential runtime scaling
  E7    Theorem 4.3: distributed round counts
  E8    Introduction / [KMRVW99]: congestion vs. baselines & replay
+ E9    Section 1.3 / [MMVW97], [MVW99]: online streaming replay
 =====  ==========================================================
 """
 
@@ -46,6 +48,9 @@ from repro.core.extended_nibble import extended_nibble
 from repro.core.nibble import nibble_placement
 from repro.distributed.protocols import distributed_extended_nibble
 from repro.distributed.request_sim import replay_requests
+from repro.dynamic.evaluate import congestion_trajectory, evaluate_strategies
+from repro.dynamic.online import EdgeCounterManager
+from repro.dynamic.sequence import phase_change_sequence, sequence_from_pattern
 from repro.hardness.partition import PartitionInstance, random_partition_instance
 from repro.hardness.reduction import verify_reduction
 from repro.network.builders import balanced_tree, random_tree, single_bus, star_of_buses
@@ -59,7 +64,11 @@ from repro.workload.generators import (
     uniform_pattern,
     zipf_pattern,
 )
-from repro.workload.traces import shared_counter_trace, web_cache_trace
+from repro.workload.traces import (
+    producer_consumer_trace,
+    shared_counter_trace,
+    web_cache_trace,
+)
 
 __all__ = [
     "experiment_sci_equivalence",
@@ -70,7 +79,9 @@ __all__ = [
     "experiment_runtime_scaling",
     "experiment_distributed_rounds",
     "experiment_baseline_comparison",
+    "experiment_online_streaming",
     "standard_instance_suite",
+    "streaming_scenario_suite",
 ]
 
 
@@ -460,4 +471,119 @@ def experiment_baseline_comparison(
                 rec["replay_makespan"] = replay.makespan
                 rec["replay_slowdown"] = replay.slowdown
             records.append(rec)
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E9 -- online streaming (dynamic model, Section 1.3 / [MMVW97], [MVW99])
+# --------------------------------------------------------------------------- #
+def streaming_scenario_suite(
+    seed: int = 0,
+    small: bool = False,
+    large: bool = False,
+):
+    """Labelled ``(name, network, sequence)`` streaming scenarios for E9.
+
+    Three workload families with qualitatively different online behaviour:
+
+    * ``zipf`` -- stationary skewed popularity (replication pays off);
+    * ``adversarial`` -- write-heavy cross-bisection traffic (replication
+      never helps, every placement loads the top of the hierarchy);
+    * ``phase-shift`` -- producer/consumer channels whose endpoints change
+      between phases (the regime where online adaptation can beat any
+      single static placement).
+
+    ``large=True`` switches to networks with hundreds of nodes and request
+    sequences with tens of thousands of events, which is only affordable
+    because the replay layers sit on the incremental load-state engine.
+    """
+    if large:
+        net = balanced_tree(3, 4, 3)
+        n_objects, requests = 128, 24
+        phases = 4
+    elif small:
+        net = balanced_tree(2, 2, 2)
+        n_objects, requests = 8, 6
+        phases = 2
+    else:
+        net = balanced_tree(2, 3, 2)
+        n_objects, requests = 32, 12
+        phases = 3
+
+    scenarios = []
+    zipf = zipf_pattern(net, n_objects, requests_per_processor=requests, seed=seed)
+    scenarios.append(("zipf", net, sequence_from_pattern(net, zipf, seed=seed + 1)))
+
+    adversarial = bisection_stress(
+        net, n_objects, requests_per_pair=2 * requests, seed=seed
+    )
+    scenarios.append(
+        ("adversarial", net, sequence_from_pattern(net, adversarial, seed=seed + 2))
+    )
+
+    shift_phases = [
+        producer_consumer_trace(
+            net,
+            n_channels=n_objects,
+            items_per_channel=requests,
+            seed=seed + 10 * (k + 1),
+        )
+        for k in range(phases)
+    ]
+    scenarios.append(
+        ("phase-shift", net, phase_change_sequence(net, shift_phases, seed=seed + 3))
+    )
+    return scenarios
+
+
+def experiment_online_streaming(
+    seed: int = 0,
+    small: bool = False,
+    large: bool = False,
+    object_size: int = 4,
+    trajectory_samples: int = 4,
+) -> List[Dict[str, object]]:
+    """E9: stream request traces through the online strategies.
+
+    For every scenario the standard strategy set (hindsight-static
+    reference with vectorized batch replay, adaptive edge-counter,
+    never-adapting first-touch) serves the sequence on the incremental
+    load-state substrate; the edge-counter row additionally reports its
+    congestion trajectory at ``trajectory_samples`` evenly spaced points
+    (the streaming read pattern that requires the lazily-repaired running
+    max).
+    """
+    records: List[Dict[str, object]] = []
+    for name, net, seq in streaming_scenario_suite(seed=seed, small=small, large=large):
+        runs = evaluate_strategies(net, seq, object_size=object_size)
+        by_name = {rec.strategy: rec for rec in runs}
+        static = by_name["hindsight-static"]
+        for rec in runs:
+            row = rec.as_dict()
+            row["scenario"] = name
+            row["n_events"] = len(seq)
+            row["ratio_vs_static"] = (
+                rec.congestion / static.congestion if static.congestion > 0 else 1.0
+            )
+            records.append(row)
+
+        sample_every = max(1, len(seq) // max(1, trajectory_samples))
+        trajectory = congestion_trajectory(
+            EdgeCounterManager(net, seq.n_objects, object_size=object_size),
+            seq,
+            sample_every=sample_every,
+        )
+        records.append(
+            {
+                "scenario": name,
+                "strategy": "edge-counter/trajectory",
+                "n_events": len(seq),
+                "congestion": float(trajectory[-1]),
+                # keep the LAST samples so the list always ends at the
+                # row's final congestion (the sampler appends a forced
+                # final point when len(seq) % sample_every != 0)
+                "trajectory": [float(x) for x in trajectory[-trajectory_samples:]],
+                "monotone": bool(np.all(np.diff(trajectory) >= -1e-9)),
+            }
+        )
     return records

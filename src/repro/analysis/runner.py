@@ -1,6 +1,6 @@
 """Parallel experiment orchestration.
 
-The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E8) are
+The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E9) are
 independent of each other, so a full reproduction sweep parallelises
 trivially across worker processes.  :func:`run_experiments` fans the
 selected runners out over a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -46,6 +46,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "E6": _experiments.experiment_runtime_scaling,
     "E7": _experiments.experiment_distributed_rounds,
     "E8": _experiments.experiment_baseline_comparison,
+    "E9": _experiments.experiment_online_streaming,
 }
 
 EXPERIMENT_IDS: Tuple[str, ...] = tuple(sorted(EXPERIMENT_RUNNERS))
@@ -219,7 +220,7 @@ def run_experiments(
     Parameters
     ----------
     ids:
-        Experiment ids (subset of ``E1`` .. ``E8``); defaults to all.
+        Experiment ids (subset of ``E1`` .. ``E9``); defaults to all.
     parallel:
         Number of worker processes.  ``1`` (default) runs inline in this
         process, which is also the fully deterministic mode for tests.

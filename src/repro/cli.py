@@ -8,7 +8,7 @@ workflows without writing Python:
 * ``repro generate-workload`` -- build a synthetic workload for a network;
 * ``repro place`` -- run a placement strategy and report congestion against
   the lower bound (optionally saving the placement);
-* ``repro experiment`` -- run one of the experiment runners E1..E8 and print
+* ``repro experiment`` -- run one of the experiment runners E1..E9 and print
   its result table (the same rows recorded in EXPERIMENTS.md);
 * ``repro run-experiments`` -- fan a whole experiment sweep out across
   worker processes (``--parallel N``) with per-experiment seeds and JSON
@@ -37,6 +37,7 @@ from repro.core.baselines import (
 )
 from repro.core.bounds import nibble_lower_bound
 from repro.core.congestion import compute_loads
+from repro.core.deletion import copies_to_placement, refine_copies
 from repro.core.extended_nibble import extended_nibble
 from repro.network.builders import (
     balanced_tree,
@@ -161,10 +162,24 @@ def _cmd_place(args: argparse.Namespace, stream) -> int:
     pattern = AccessPattern.from_dict(json.loads(Path(args.workload).read_text()))
     pattern.validate_for(net)
 
+    refinement = None
     if args.strategy == "extended-nibble":
         result = extended_nibble(net, pattern)
         placement, assignment = result.placement, result.assignment
+        if args.refine:
+            refinement = refine_copies(net, pattern, result.modified_copies)
+            fallback = [
+                sorted(placement.holders(x))[0] for x in range(pattern.n_objects)
+            ]
+            placement, assignment = copies_to_placement(
+                refinement.copies, pattern, fallback_holders=fallback
+            )
     else:
+        if args.refine:
+            print(
+                "note: --refine only applies to the extended-nibble strategy",
+                file=stream,
+            )
         placement = _STRATEGIES[args.strategy](net, pattern)
         assignment = None
     profile = compute_loads(net, pattern, placement, assignment=assignment)
@@ -178,6 +193,9 @@ def _cmd_place(args: argparse.Namespace, stream) -> int:
         ["total load", profile.total_load],
         ["copies", placement.total_copies()],
     ]
+    if refinement is not None:
+        rows.append(["local-search moves", refinement.moves_accepted])
+        rows.append(["congestion before refine", refinement.congestion_before])
     print(format_table(rows, headers=["quantity", "value"]), file=stream)
 
     if args.output:
@@ -216,7 +234,7 @@ def _cmd_run_experiments(args: argparse.Namespace, stream) -> int:
 def _cmd_experiment(args: argparse.Namespace, stream) -> int:
     runner = _EXPERIMENTS[args.id]
     kwargs = {}
-    if args.id in ("E5", "E8"):
+    if args.id in ("E5", "E8", "E9"):
         kwargs["small"] = args.small
     records = runner(**kwargs)
     print(f"experiment {args.id}: {len(records)} rows", file=stream)
@@ -283,10 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument(
         "--strategy", choices=sorted(_STRATEGIES), default="extended-nibble"
     )
+    place.add_argument(
+        "--refine",
+        action="store_true",
+        help=(
+            "run the congestion local search (snapshot/rollback tentative "
+            "moves) after the extended-nibble pipeline"
+        ),
+    )
     place.add_argument("--output", "-o", default=None)
     place.set_defaults(func=_cmd_place)
 
-    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E8)")
+    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E9)")
     exp.add_argument("id", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--small", action="store_true", help="use reduced instance sizes")
     exp.set_defaults(func=_cmd_experiment)
@@ -316,7 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     size.add_argument(
         "--large",
         action="store_true",
-        help="use the 10-50x larger instance suite (E5/E8)",
+        help="use the 10-50x larger instance suite (E5/E8/E9)",
     )
     run.add_argument(
         "--output-dir",

@@ -9,6 +9,7 @@ from repro.core.congestion import (
     object_edge_loads,
     total_communication_load,
 )
+from repro.core.loadstate import LoadSnapshot, LoadState
 from repro.core.nibble import (
     NibbleResult,
     center_of_gravity,
@@ -19,9 +20,11 @@ from repro.core.nibble import (
 from repro.core.deletion import (
     CopyRecord,
     ObjectCopies,
+    RefinementResult,
     apply_deletion,
     copies_to_placement,
     delete_rarely_used_copies,
+    refine_copies,
 )
 from repro.core.mapping import MappingResult, directed_basic_loads, map_copies_to_leaves
 from repro.core.extended_nibble import ExtendedNibbleResult, StepTimings, extended_nibble
@@ -55,6 +58,8 @@ __all__ = [
     "congestion",
     "object_edge_loads",
     "total_communication_load",
+    "LoadState",
+    "LoadSnapshot",
     "NibbleResult",
     "center_of_gravity",
     "gravity_candidates",
@@ -62,9 +67,11 @@ __all__ = [
     "nibble_placement",
     "CopyRecord",
     "ObjectCopies",
+    "RefinementResult",
     "apply_deletion",
     "delete_rarely_used_copies",
     "copies_to_placement",
+    "refine_copies",
     "MappingResult",
     "map_copies_to_leaves",
     "directed_basic_loads",

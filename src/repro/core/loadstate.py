@@ -1,0 +1,461 @@
+"""Incremental congestion engine shared by the replay layers.
+
+PR 1 vectorized the *batch* cost model: given a whole placement, the sparse
+path-incidence structure of :mod:`repro.core.pathmatrix` evaluates all loads
+in a few numpy scatters.  The layers that *replay requests* -- the online
+strategies of :mod:`repro.dynamic`, the round simulator of
+:mod:`repro.distributed.request_sim` and the tentative-move searches of
+:mod:`repro.core.optimal` / :mod:`repro.core.deletion` -- have the opposite
+access shape: many small deltas (one path, one Steiner tree, one candidate
+column) interleaved with congestion reads.  Recomputing bus loads and the
+max relative load from scratch on every read makes each of those layers
+quadratic in practice.
+
+:class:`LoadState` is the shared substrate for that access shape:
+
+* **O(path) delta application.**  ``apply_path`` / ``apply_steiner`` /
+  ``apply_edges`` scatter a delta onto the touched entries only.  Edge and
+  bus loads live in one fused array (bus loads doubled, i.e. the plain
+  incident-edge sum), so a cached path entry updates and re-checks both
+  with a single fancy-indexed gather/scatter.  Whole per-edge vectors
+  (candidate placements, batched request chunks) go through
+  ``apply_edge_loads`` / ``apply_pairs``.
+* **Lazily-repaired running max.**  The congestion (max relative load over
+  edges and buses) is kept incrementally: a non-negative delta can only
+  raise relative loads, so the running max is repaired from the touched
+  entries alone.  A negative delta marks the value stale and the next read
+  performs one vectorized rescan.
+* **Snapshot / rollback.**  ``snapshot()`` opens a journal; ``rollback``
+  re-applies the journalled deltas negated and restores the congestion
+  value recorded at snapshot time, so local search and branch-and-bound can
+  tentatively evaluate moves in O(touched entries) instead of re-deriving
+  loads with :func:`repro.core.congestion.compute_loads`.
+
+All loads of the cost model are integer-valued (request counts) and bus
+loads are half-integers, so every update -- in any order, including the
+negated rollback replay -- is exact in double precision.  This is what makes
+the bit-for-bit parity guarantees of the property tests possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+__all__ = ["LoadState", "LoadSnapshot"]
+
+
+class LoadSnapshot:
+    """Opaque token returned by :meth:`LoadState.snapshot`.
+
+    Records the journal position and the congestion tracker state at
+    snapshot time; :meth:`LoadState.rollback` restores both exactly.
+    """
+
+    __slots__ = ("mark", "congestion", "stale", "active")
+
+    def __init__(self, mark: int, congestion: float, stale: bool) -> None:
+        self.mark = mark
+        self.congestion = congestion
+        self.stale = stale
+        self.active = True
+
+
+class LoadState:
+    """Incremental edge/bus load and congestion bookkeeping for one network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.network.tree.HierarchicalBusNetwork`.
+    rooted:
+        Optional rooted view; defaults to the network's cached canonical
+        rooting (the same one the batch evaluators use).
+
+    Internally all loads live in one fused array of length
+    ``n_edges + n_nodes``: the edge block holds per-edge loads, the node
+    block holds *doubled* bus loads (the plain incident-edge sum; halving
+    happens on read so every increment stays integer-valued and exact).
+    Relative loads divide the fused array by a fused bandwidth array, which
+    turns both the rescan and the per-delta running-max repair into a
+    single gather / divide / max.
+    """
+
+    __slots__ = (
+        "network",
+        "rooted",
+        "pm",
+        "n_edges",
+        "n_nodes",
+        "_loads",
+        "_denom",
+        "_edge_u",
+        "_edge_v",
+        "_node_is_bus",
+        "_bus_nodes",
+        "_inc_indptr",
+        "_inc_edges",
+        "_congestion",
+        "_stale",
+        "_journal",
+        "_snapshots",
+        "_path_cache",
+        "_steiner_cache",
+    )
+
+    def __init__(self, network, rooted=None) -> None:
+        self.network = network
+        self.rooted = rooted if rooted is not None else network.rooted()
+        self.pm = self.rooted.path_matrix()
+
+        n_edges = network.n_edges
+        n_nodes = network.n_nodes
+        self.n_edges = n_edges
+        self.n_nodes = n_nodes
+        self._loads = np.zeros(n_edges + n_nodes, dtype=np.float64)
+
+        edges = network.edges
+        self._edge_u = np.array([e.u for e in edges], dtype=np.int64)
+        self._edge_v = np.array([e.v for e in edges], dtype=np.int64)
+        is_bus = np.zeros(n_nodes, dtype=bool)
+        if network.buses:
+            is_bus[list(network.buses)] = True
+        self._node_is_bus = is_bus
+        self._bus_nodes = np.asarray(sorted(network.buses), dtype=np.int64)
+
+        # Fused relative-load denominators: edge bandwidths, then doubled bus
+        # bandwidths (the node block stores doubled loads).  Processor rows
+        # always hold zero load; their denominator is pinned to 1 so the
+        # whole-array rescan never divides by a meaningless bandwidth.
+        denom = np.ones(n_edges + n_nodes, dtype=np.float64)
+        denom[:n_edges] = np.asarray(network.edge_bandwidths, dtype=np.float64)
+        bus_bw2 = 2.0 * np.asarray(network.bus_bandwidths, dtype=np.float64)
+        denom[n_edges + self._bus_nodes] = bus_bw2[self._bus_nodes]
+        self._denom = denom
+
+        # Incident-edge CSR per node: _inc_edges[_inc_indptr[v]:_inc_indptr[v+1]]
+        # are the edge ids incident to node v.  Used for per-bus reads and the
+        # consistency check; the incremental path never rebuilds these lists.
+        counts = np.zeros(n_nodes, dtype=np.int64)
+        np.add.at(counts, self._edge_u, 1)
+        np.add.at(counts, self._edge_v, 1)
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(counts)
+        fill = indptr[:-1].copy()
+        inc = np.empty(int(indptr[-1]), dtype=np.int64)
+        for eid in range(n_edges):
+            for node in (self._edge_u[eid], self._edge_v[eid]):
+                inc[fill[node]] = eid
+                fill[node] += 1
+        self._inc_indptr = indptr
+        self._inc_edges = inc
+
+        self._congestion = 0.0
+        self._stale = False
+        self._journal: List[Tuple[str, object, object]] = []
+        self._snapshots: List[LoadSnapshot] = []
+        self._path_cache: dict = {}
+        self._steiner_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_loads(self) -> np.ndarray:
+        """Per-edge accumulated loads (live view of the fused array)."""
+        return self._loads[: self.n_edges]
+
+    @property
+    def bus_loads(self) -> np.ndarray:
+        """Per-node bus loads (zero for processors), derived incrementally."""
+        return self._loads[self.n_edges :] * 0.5
+
+    def bus_load(self, bus: int) -> float:
+        """Load of one bus (half the incident-edge load sum)."""
+        return float(self._loads[self.n_edges + bus]) * 0.5
+
+    def incident_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids incident to ``node`` (precomputed CSR slice)."""
+        return self._inc_edges[self._inc_indptr[node] : self._inc_indptr[node + 1]]
+
+    @property
+    def total_load(self) -> float:
+        """Total communication load (sum of all edge loads)."""
+        return float(self._loads[: self.n_edges].sum())
+
+    @property
+    def congestion(self) -> float:
+        """Max relative load over edges and buses (lazily repaired)."""
+        if self._stale:
+            self._congestion = self._rescan()
+            self._stale = False
+        return self._congestion
+
+    def _rescan(self) -> float:
+        if not self._loads.size:
+            return 0.0
+        return float((self._loads / self._denom).max())
+
+    def verify_bus_loads(self) -> bool:
+        """Debug check: incremental bus loads match a CSR recomputation."""
+        edge_loads = self.edge_loads
+        for bus in self._bus_nodes:
+            expected = edge_loads[self.incident_edge_ids(int(bus))].sum()
+            if expected != self._loads[self.n_edges + bus]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # delta application
+    # ------------------------------------------------------------------ #
+    def _make_entry(self, edge_ids: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Precompute the scatter entry of a fixed edge set (path / Steiner).
+
+        The edge ids of a tree path or Steiner tree are distinct, so the
+        fused indices (edges, then touched bus rows) can use plain fancy
+        indexing instead of ``np.add.at``; the entry carries the per-index
+        increments (1 per edge, the endpoint multiplicity per bus -- a bus
+        interior to a path is touched by two of its edges) and the gathered
+        denominators for the one-gather running-max repair.
+        """
+        nodes = np.concatenate([self._edge_u[edge_ids], self._edge_v[edge_ids]])
+        buses = nodes[self._node_is_bus[nodes]]
+        bus_nodes, mult = np.unique(buses, return_counts=True)
+        fused = np.concatenate([edge_ids, self.n_edges + bus_nodes])
+        inc = np.concatenate([np.ones(edge_ids.size), mult.astype(np.float64)])
+        return (edge_ids, fused, inc, self._denom[fused])
+
+    def _apply_entry(self, entry: Tuple[np.ndarray, ...], amount: float) -> None:
+        _ids, fused, inc, denom = entry
+        loads = self._loads
+        loads[fused] += inc * amount
+        if not self._stale:
+            if amount >= 0:
+                value = float((loads[fused] / denom).max())
+                if value > self._congestion:
+                    self._congestion = value
+            else:
+                self._stale = True
+        if self._snapshots:
+            self._journal.append(("entry", entry, amount))
+
+    def _path_entry(self, src: int, dst: int) -> Tuple[np.ndarray, ...]:
+        key = (src, dst) if src < dst else (dst, src)
+        entry = self._path_cache.get(key)
+        if entry is None:
+            ids = np.asarray(self.rooted.path_edge_ids(src, dst), dtype=np.int64)
+            entry = self._make_entry(ids)
+            self._path_cache[key] = entry
+        return entry
+
+    def apply_path(self, src: int, dst: int, amount: float = 1.0) -> int:
+        """Charge ``amount`` on every edge of the tree path ``src -> dst``.
+
+        Returns the path length in edges.  Scatter entries are cached per
+        endpoint pair, so replaying a hot request path costs one O(path)
+        fancy-indexed update with no tree walk.
+        """
+        if src == dst:
+            return 0
+        entry = self._path_entry(src, dst)
+        if amount != 0:
+            self._apply_entry(entry, amount)
+        return int(entry[0].size)
+
+    def apply_steiner(self, terminals: Iterable[int], amount: float = 1.0) -> int:
+        """Charge ``amount`` on every edge of the Steiner tree of ``terminals``.
+
+        Returns the number of Steiner edges.  Cached per terminal set.
+        """
+        key = frozenset(int(t) for t in terminals)
+        entry = self._steiner_cache.get(key)
+        if entry is None:
+            ids = np.asarray(self.rooted.steiner_edge_ids(key), dtype=np.int64)
+            entry = self._make_entry(ids)
+            self._steiner_cache[key] = entry
+        if entry[0].size and amount != 0:
+            self._apply_entry(entry, amount)
+        return int(entry[0].size)
+
+    def apply_edges(self, edge_ids, amount: float = 1.0) -> int:
+        """Add ``amount`` to every listed edge (ids may repeat); O(len(ids)).
+
+        Returns the number of edge entries charged.  Bus loads and the
+        congestion tracker are updated from the touched entries alone.
+        """
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        if ids.size == 0 or amount == 0:
+            return 0
+        np.add.at(self._loads, ids, amount)
+        nodes = np.concatenate([self._edge_u[ids], self._edge_v[ids]])
+        buses = nodes[self._node_is_bus[nodes]] + self.n_edges
+        np.add.at(self._loads, buses, amount)
+        if not self._stale:
+            if amount >= 0:
+                touched = np.concatenate([ids, buses])
+                value = float((self._loads[touched] / self._denom[touched]).max())
+                if value > self._congestion:
+                    self._congestion = value
+            else:
+                self._stale = True
+        if self._snapshots:
+            self._journal.append(("edges", (ids, buses), amount))
+        return int(ids.size)
+
+    def apply_edge_loads(self, vector: np.ndarray) -> None:
+        """Add a whole per-edge load vector (one candidate / batch column).
+
+        The caller must not mutate ``vector`` while a snapshot that saw this
+        apply is still open (the journal keeps a reference, not a copy).
+        """
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.n_edges,):
+            raise AlgorithmError("edge-load vector has the wrong shape")
+        self._scatter_vector(vec, 1.0)
+        if not self._stale:
+            if np.all(vec >= 0):
+                # a full column touches everything: one vectorized rescan
+                value = self._rescan()
+                if value > self._congestion:
+                    self._congestion = value
+            else:
+                self._stale = True
+        if self._snapshots:
+            self._journal.append(("vector", vec, None))
+
+    def _scatter_vector(self, vec: np.ndarray, sign: float) -> None:
+        n_edges = self.n_edges
+        if sign >= 0:
+            self._loads[:n_edges] += vec
+        else:
+            self._loads[:n_edges] -= vec
+        bus2 = np.zeros(self.n_nodes, dtype=np.float64)
+        np.add.at(bus2, self._edge_u, vec)
+        np.add.at(bus2, self._edge_v, vec)
+        bus2[~self._node_is_bus] = 0.0
+        if sign >= 0:
+            self._loads[n_edges:] += bus2
+        else:
+            self._loads[n_edges:] -= bus2
+
+    def apply_pairs(self, u, v, w) -> None:
+        """Charge weighted request pairs ``u[i] -> v[i]`` in one batch.
+
+        Equivalent to ``apply_path`` per pair (exactly, for integer-valued
+        weights) but evaluated through the path-incidence operator.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if u.size == 0:
+            return
+        self.apply_edge_loads(self.pm.pair_edge_loads(u, v, w))
+
+    # ------------------------------------------------------------------ #
+    # tentative evaluation
+    # ------------------------------------------------------------------ #
+    def trial_congestions(self, columns: np.ndarray) -> np.ndarray:
+        """Congestion of (current state + column) for every column, read-only.
+
+        ``columns`` has shape ``(n_edges, k)``; the result has shape ``(k,)``.
+        Used by search layers to score candidate moves in one pass without
+        mutating the state.
+        """
+        cols = np.asarray(columns, dtype=np.float64)
+        if cols.ndim == 1:
+            cols = cols[:, None]
+        n_edges = self.n_edges
+        fused = np.zeros((self._loads.size, cols.shape[1]), dtype=np.float64)
+        fused[:n_edges] = cols
+        bus2 = fused[n_edges:]
+        np.add.at(bus2, self._edge_u, cols)
+        np.add.at(bus2, self._edge_v, cols)
+        bus2[~self._node_is_bus] = 0.0
+        fused += self._loads[:, None]
+        return (fused / self._denom[:, None]).max(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / rollback
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> LoadSnapshot:
+        """Start journalling deltas; returns a token for rollback/commit."""
+        snap = LoadSnapshot(len(self._journal), self._congestion, self._stale)
+        self._snapshots.append(snap)
+        return snap
+
+    def rollback(self, snap: LoadSnapshot) -> None:
+        """Undo every delta applied since ``snap`` (LIFO discipline).
+
+        Also restores the congestion tracker recorded at snapshot time, so a
+        rolled-back tentative move leaves no staleness behind.
+        """
+        self._pop_to(snap)
+        while len(self._journal) > snap.mark:
+            kind, payload, amount = self._journal.pop()
+            if kind == "entry":
+                _ids, fused, inc, _denom = payload
+                self._loads[fused] -= inc * amount
+            elif kind == "edges":
+                ids, buses = payload
+                np.add.at(self._loads, ids, -amount)
+                np.add.at(self._loads, buses, -amount)
+            else:  # "vector"
+                self._scatter_vector(payload, -1.0)
+        self._congestion = snap.congestion
+        self._stale = snap.stale
+
+    def commit(self, snap: LoadSnapshot) -> None:
+        """Keep every delta applied since ``snap`` and close the snapshot."""
+        self._pop_to(snap)
+        if not self._snapshots:
+            self._journal.clear()
+
+    def _pop_to(self, snap: LoadSnapshot) -> None:
+        if not snap.active:
+            raise AlgorithmError("snapshot was already rolled back or committed")
+        while self._snapshots:
+            top = self._snapshots.pop()
+            top.active = False
+            if top is snap:
+                return
+        raise AlgorithmError("snapshot does not belong to this LoadState")
+
+    # ------------------------------------------------------------------ #
+    # structural helpers shared with the strategies
+    # ------------------------------------------------------------------ #
+    def path_length(self, src: int, dst: int) -> int:
+        """Number of edges on the path ``src -> dst`` (cached)."""
+        if src == dst:
+            return 0
+        return int(self._path_entry(src, dst)[0].size)
+
+    def pair_costs(self, u, v) -> np.ndarray:
+        """Path lengths of the pairs ``u[i] -> v[i]`` (vectorized)."""
+        return self.pm.distances(u, v)
+
+    def nearest_in_set(self, nodes, candidates: Sequence[int]) -> np.ndarray:
+        """Nearest candidate per node (ties to the smallest id), vectorized."""
+        return self.pm.nearest_in_set(np.asarray(nodes, dtype=np.int64), candidates)
+
+    def load_profile(self):
+        """Materialise the current state as a static :class:`LoadProfile`."""
+        from repro.core.congestion import LoadProfile
+
+        return LoadProfile(
+            network=self.network,
+            edge_loads=self.edge_loads.copy(),
+            bus_loads=self.bus_loads,
+        )
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Zero all loads and drop journal/snapshot state (caches survive)."""
+        if self._snapshots:
+            raise AlgorithmError("cannot reset while snapshots are open")
+        self._loads[:] = 0.0
+        self._congestion = 0.0
+        self._stale = False
+        self._journal.clear()

@@ -27,7 +27,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.congestion import compute_loads
+from repro.core.congestion import compute_loads, object_edge_loads
+from repro.core.loadstate import LoadState
 from repro.core.placement import Placement
 from repro.errors import InfeasibleError, PlacementError
 from repro.network.tree import HierarchicalBusNetwork
@@ -82,22 +83,6 @@ def _per_object_leaf_loads(
     return out
 
 
-def _congestion_of_edge_loads(
-    network: HierarchicalBusNetwork, edge_loads: np.ndarray
-) -> "float | np.ndarray":
-    """Congestion per column of ``edge_loads`` (``(n_edges,)`` or 2-D)."""
-    pm = network.rooted().path_matrix()
-    edge_bw = np.asarray(network.edge_bandwidths)
-    bus_bw = np.asarray(network.bus_bandwidths)
-    if edge_loads.ndim == 1:
-        value = float((edge_loads / edge_bw).max()) if edge_loads.size else 0.0
-        bus_loads = pm.bus_loads_from_edge_loads(edge_loads)
-        return max(value, float((bus_loads / bus_bw).max()))
-    value = (edge_loads / edge_bw[:, None]).max(axis=0)
-    bus_loads = pm.bus_loads_from_edge_loads(edge_loads)
-    return np.maximum(value, (bus_loads / bus_bw[:, None]).max(axis=0))
-
-
 def optimal_nonredundant(
     network: HierarchicalBusNetwork,
     pattern: AccessPattern,
@@ -132,17 +117,21 @@ def optimal_nonredundant(
     best_value = float("inf") if upper_bound is None else float(upper_bound) + 1e-12
     explored = 0
 
-    edge_loads = np.zeros(network.n_edges, dtype=np.float64)
+    # Partial placements are tentative moves on the incremental load state:
+    # descending applies one per-object column, backtracking rolls it back,
+    # and the congestion read is the engine's running max instead of a full
+    # edge/bus rescan per search node.
+    state = LoadState(network)
     choice = [0] * n_objects
 
     def recurse(idx: int) -> None:
-        nonlocal best_choice, best_value, explored, edge_loads
+        nonlocal best_choice, best_value, explored
         explored += 1
         if explored > max_nodes:
             raise InfeasibleError(
                 f"branch-and-bound exceeded the limit of {max_nodes} nodes"
             )
-        current = _congestion_of_edge_loads(network, edge_loads)
+        current = state.congestion
         if current >= best_value:
             return
         if idx == n_objects:
@@ -153,14 +142,14 @@ def optimal_nonredundant(
         # Try leaves in order of the congestion they would produce alone, so
         # good solutions are found early and pruning becomes effective.  All
         # candidate leaves are scored in one batched column evaluation.
-        trials = edge_loads[:, None] + per_obj_loads[obj]
-        scores = _congestion_of_edge_loads(network, trials)
+        scores = state.trial_congestions(per_obj_loads[obj])
         for li in np.argsort(scores, kind="stable"):
             li = int(li)
-            edge_loads += per_obj_loads[obj][:, li]
+            snap = state.snapshot()
+            state.apply_edge_loads(per_obj_loads[obj][:, li])
             choice[obj] = li
             recurse(idx + 1)
-            edge_loads -= per_obj_loads[obj][:, li]
+            state.rollback(snap)
 
     recurse(0)
     if best_choice is None:
@@ -197,17 +186,52 @@ def optimal_redundant(
             f"redundant search space has {total} combinations "
             f"(> {max_combinations}); use optimal_nonredundant instead"
         )
-    best_placement: Optional[Placement] = None
+    n_objects = pattern.n_objects
+
+    # Per-(object, subset) edge-load columns, each evaluated once; the
+    # enumeration then walks the product space with snapshot/rollback on the
+    # incremental load state instead of one full compute_loads per
+    # combination.  Loads are additive and non-negative, so a prefix whose
+    # congestion already reaches the best value cannot improve and its whole
+    # subtree is pruned without affecting exactness.
+    subset_loads: List[List[np.ndarray]] = []
+    rooted = network.rooted()
+    for obj in range(n_objects):
+        per_subset = []
+        for subset in subsets:
+            placement = Placement([list(subset)] * n_objects)
+            per_subset.append(
+                object_edge_loads(network, pattern, placement, obj, rooted=rooted)
+            )
+        subset_loads.append(per_subset)
+
+    best_choice: Optional[List[int]] = None
     best_value = float("inf")
     explored = 0
-    for combo in itertools.product(subsets, repeat=pattern.n_objects):
-        explored += 1
-        placement = Placement(list(combo))
-        value = compute_loads(network, pattern, placement, validate=False).congestion
-        if value < best_value:
-            best_value = value
-            best_placement = placement
-    assert best_placement is not None
+    state = LoadState(network, rooted)
+    choice = [0] * n_objects
+
+    def recurse(obj: int) -> None:
+        nonlocal best_choice, best_value, explored
+        if state.congestion >= best_value:
+            return
+        if obj == n_objects:
+            explored += 1
+            value = state.congestion
+            if value < best_value:
+                best_value = value
+                best_choice = choice.copy()
+            return
+        for si in range(len(subsets)):
+            choice[obj] = si
+            snap = state.snapshot()
+            state.apply_edge_loads(subset_loads[obj][si])
+            recurse(obj + 1)
+            state.rollback(snap)
+
+    recurse(0)
+    assert best_choice is not None  # the first leaf always beats the initial inf
+    best_placement = Placement([list(subsets[si]) for si in best_choice])
     return OptimalResult(
         placement=best_placement, congestion=best_value, explored=explored
     )

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.loadstate import LoadState
 from repro.core.placement import Placement, RequestAssignment
 from repro.errors import SimulationError
 from repro.network.rooted import RootedTree
@@ -48,6 +49,11 @@ class ReplayResult:
         lower bound on the makespan.
     dilation:
         Longest path (in edges) of any message.
+    round_congestion:
+        Cumulative congestion of the traffic delivered up to each round
+        (length ``makespan``), maintained incrementally by the shared
+        :class:`~repro.core.loadstate.LoadState` substrate; the last entry
+        equals ``congestion``.
     """
 
     makespan: int
@@ -55,6 +61,7 @@ class ReplayResult:
     per_edge_traffic: np.ndarray
     congestion: float
     dilation: int
+    round_congestion: Optional[np.ndarray] = None
 
     @property
     def slowdown(self) -> float:
@@ -184,13 +191,14 @@ def replay_requests(
     edge_bw = np.asarray(network.edge_bandwidths)
     bus_bw = np.asarray(network.bus_bandwidths)
 
-    # congestion implied by the generated traffic (lower bound on makespan)
-    congestion = 0.0
-    if per_edge.size:
-        congestion = float((per_edge / edge_bw).max())
-        for bus in network.buses:
-            incident = list(network.incident_edge_ids(bus))
-            congestion = max(congestion, per_edge[incident].sum() / 2.0 / bus_bw[bus])
+    # congestion implied by the generated traffic (lower bound on makespan),
+    # read off the same incremental substrate the online layer charges into
+    total_state = LoadState(network, rooted)
+    total_state.apply_edge_loads(per_edge)
+    congestion = total_state.congestion
+    # second state accumulating delivered traversals round by round
+    delivered_state = LoadState(network, rooted)
+    round_congestion: List[float] = []
 
     # ready queue per edge, FIFO by message order
     pending_by_edge: Dict[int, List[int]] = {e: [] for e in range(network.n_edges)}
@@ -210,7 +218,9 @@ def replay_requests(
         rounds += 1
         if rounds > max_rounds:
             raise SimulationError("request replay exceeded the round limit")
-        edge_capacity = {e: int(edge_bw[e]) if edge_bw[e] >= 1 else 1 for e in range(network.n_edges)}
+        edge_capacity = {
+            e: int(edge_bw[e]) if edge_bw[e] >= 1 else 1 for e in range(network.n_edges)
+        }
         bus_capacity = {
             b: max(1, int(2 * bus_bw[b])) for b in network.buses
         }
@@ -239,6 +249,14 @@ def replay_requests(
             # is nothing pending, which contradicts remaining > 0.
             raise SimulationError("request replay deadlocked")  # pragma: no cover
         remaining -= len(newly_done)
+        delivered_state.apply_edges(
+            np.fromiter(
+                (traversals[i].edge_id for i in newly_done),
+                dtype=np.int64,
+                count=len(newly_done),
+            )
+        )
+        round_congestion.append(delivered_state.congestion)
         for idx in newly_done:
             for child in blocked_children.get(idx, ()):  # release successors
                 pending_by_edge[traversals[child].edge_id].append(child)
@@ -255,4 +273,5 @@ def replay_requests(
         per_edge_traffic=per_edge,
         congestion=congestion,
         dilation=dilation,
+        round_congestion=np.asarray(round_congestion, dtype=np.float64),
     )

@@ -20,6 +20,7 @@ from repro.dynamic.online import (
 )
 from repro.dynamic.evaluate import (
     OnlineRunRecord,
+    congestion_trajectory,
     empirical_competitive_ratio,
     evaluate_strategies,
     hindsight_static_manager,
@@ -38,4 +39,5 @@ __all__ = [
     "evaluate_strategies",
     "empirical_competitive_ratio",
     "hindsight_static_manager",
+    "congestion_trajectory",
 ]

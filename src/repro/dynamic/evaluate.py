@@ -11,13 +11,23 @@ same cost accounting.
 
 :func:`evaluate_strategies` runs a set of strategies over a sequence and
 returns comparable records; :func:`empirical_competitive_ratio` is the
-scalar summary used by the tests and the benchmark.
+scalar summary used by the tests and the benchmark, and
+:func:`congestion_trajectory` samples the (incrementally maintained)
+congestion while a strategy streams through a sequence.
+
+Since the load-state refactor all cost accounts sit on the incremental
+:class:`~repro.core.loadstate.LoadState` engine, so reading the congestion
+after every event costs O(touched entries) instead of a full edge/bus
+rescan, and the non-adaptive hindsight-static reference is replayed in
+vectorized chunks (``chunk_size``) with bit-for-bit identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.extended_nibble import extended_nibble
 from repro.dynamic.online import (
@@ -34,6 +44,7 @@ __all__ = [
     "hindsight_static_manager",
     "evaluate_strategies",
     "empirical_competitive_ratio",
+    "congestion_trajectory",
 ]
 
 
@@ -82,6 +93,7 @@ def evaluate_strategies(
     sequence: RequestSequence,
     extra_strategies: Optional[Dict[str, Callable[[], OnlineStrategy]]] = None,
     object_size: int = 4,
+    chunk_size: Optional[int] = 1024,
 ) -> List[OnlineRunRecord]:
     """Run the standard strategy set (plus any extras) over a sequence.
 
@@ -89,6 +101,11 @@ def evaluate_strategies(
     edge-counter strategy, and a naive "first-touch, never adapt" strategy
     (an :class:`EdgeCounterManager` with an effectively infinite replication
     threshold).
+
+    ``chunk_size`` drives the batch replay mode: strategies that do not
+    adapt mid-chunk (the static reference) serve whole chunks through one
+    vectorized scatter; adaptive strategies fall back to the exact event
+    loop, so the records are identical for any value.
     """
     sequence.validate_for(network)
     runs: List[Tuple[str, OnlineStrategy]] = [
@@ -112,9 +129,33 @@ def evaluate_strategies(
 
     records = []
     for name, strategy in runs:
-        account = strategy.run(sequence)
+        account = strategy.run(sequence, chunk_size=chunk_size)
         records.append(_record(name, account))
     return records
+
+
+def congestion_trajectory(
+    strategy: OnlineStrategy,
+    sequence: RequestSequence,
+    sample_every: int = 1,
+) -> np.ndarray:
+    """Serve a sequence while sampling the congestion every ``sample_every``
+    events.
+
+    This is the heavy-traffic streaming read pattern the incremental engine
+    exists for: each sample is a lazily-repaired running max (O(touched
+    entries) per event) rather than a full edge/bus rescan.  Returns the
+    sampled congestion values in order (the last entry is the final
+    congestion).
+    """
+    if sample_every < 1:
+        raise ValueError("sample_every must be a positive integer")
+    samples: List[float] = []
+    for i, event in enumerate(sequence):
+        strategy.serve(event)
+        if (i + 1) % sample_every == 0 or i + 1 == len(sequence):
+            samples.append(strategy.account.congestion)
+    return np.asarray(samples, dtype=np.float64)
 
 
 def empirical_competitive_ratio(

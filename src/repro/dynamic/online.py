@@ -10,10 +10,20 @@ This module provides:
 
 * :class:`OnlineCostAccount` -- the per-edge/bus load bookkeeping shared by
   all strategies; serving and management traffic are charged to the same
-  congestion measure used in the static model.
+  congestion measure used in the static model.  Since the load-state
+  refactor it is a thin facade over the incremental
+  :class:`~repro.core.loadstate.LoadState` engine: every charge is an
+  O(path) scatter and ``bus_loads`` / ``congestion`` are maintained
+  incrementally instead of being recomputed from scratch on every read.
+  The pre-refactor scalar implementation is retained bit-for-bit as
+  :class:`_ReferenceOnlineCostAccount` for the parity property tests and
+  the replay benchmarks.
 * :class:`StaticPlacementManager` -- serves the whole sequence from a fixed
   placement (no adaptation); used as the hindsight-static reference when the
   placement comes from the extended-nibble on the aggregate frequencies.
+  Because it never adapts, it also supports *batch replay*: whole sequence
+  chunks collapse into one path-incidence scatter with exactly the same
+  resulting loads as event-by-event replay.
 * :class:`EdgeCounterManager` -- an adaptive strategy in the spirit of the
   dynamic strategies of [MMVW97]: per-object read counters trigger
   replication towards frequent readers once they have paid the equivalent of
@@ -27,10 +37,11 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.core.loadstate import LoadState
 from repro.core.placement import Placement
 from repro.dynamic.sequence import RequestEvent, RequestSequence
 from repro.errors import PlacementError, WorkloadError
@@ -46,7 +57,94 @@ __all__ = [
 
 
 class OnlineCostAccount:
-    """Accumulates per-edge loads (service + management traffic)."""
+    """Accumulates per-edge loads (service + management traffic).
+
+    Thin facade over :class:`~repro.core.loadstate.LoadState`: charges are
+    incremental scatter updates and ``bus_loads`` / ``congestion`` reads are
+    O(1)-amortised instead of full rescans, which is what makes streaming
+    congestion trajectories over long request sequences affordable.
+    """
+
+    __slots__ = ("network", "state", "service_units", "management_units")
+
+    def __init__(
+        self, network: HierarchicalBusNetwork, state: Optional[LoadState] = None
+    ) -> None:
+        self.network = network
+        self.state = state if state is not None else LoadState(network)
+        self.service_units = 0.0
+        self.management_units = 0.0
+
+    @property
+    def edge_loads(self) -> np.ndarray:
+        """Per-edge accumulated loads (live view of the engine state)."""
+        return self.state.edge_loads
+
+    def _book(self, cost: float, management: bool) -> None:
+        if management:
+            self.management_units += cost
+        else:
+            self.service_units += cost
+
+    def charge_path(self, rooted: RootedTree, src: int, dst: int, amount: float = 1.0,
+                    management: bool = False) -> None:
+        """Charge ``amount`` on every edge of the path ``src -> dst``."""
+        if amount <= 0 or src == dst:
+            return
+        length = self.state.apply_path(src, dst, amount)
+        self._book(amount * length, management)
+
+    def charge_steiner(self, rooted: RootedTree, terminals: Sequence[int],
+                       amount: float = 1.0, management: bool = False) -> None:
+        """Charge ``amount`` on every edge of the Steiner tree of ``terminals``."""
+        terminals = list(terminals)
+        if amount <= 0 or len(terminals) < 2:
+            return
+        n_edges = self.state.apply_steiner(terminals, amount)
+        self._book(amount * n_edges, management)
+
+    def charge_pairs(self, u, v, w, management: bool = False) -> None:
+        """Charge weighted request pairs ``u[i] -> v[i]`` in one batch.
+
+        Produces exactly the loads and cost units of the equivalent
+        ``charge_path`` loop (all quantities are integer-valued), evaluated
+        through one path-incidence scatter.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if u.size == 0:
+            return
+        self.state.apply_pairs(u, v, w)
+        self._book(float(self.state.pair_costs(u, v) @ w), management)
+
+    @property
+    def bus_loads(self) -> np.ndarray:
+        """Per-node bus loads derived from the edge loads."""
+        return self.state.bus_loads
+
+    @property
+    def congestion(self) -> float:
+        """Maximum relative load over edges and buses."""
+        return self.state.congestion
+
+    @property
+    def total_load(self) -> float:
+        """Total communication load over all edges."""
+        return self.state.total_load
+
+
+class _ReferenceOnlineCostAccount:
+    """Pre-refactor scalar cost account, retained verbatim as the reference.
+
+    Charges walk edge ids in Python loops (including the original double
+    ``path_edge_ids`` evaluation) and ``bus_loads`` / ``congestion`` are
+    recomputed from scratch -- incident lists included -- on every read:
+    exactly the behaviour the incremental engine replaced.  The property
+    tests assert bit-for-bit agreement between this class and
+    :class:`OnlineCostAccount`; the replay benchmark measures the speedup
+    against it.
+    """
 
     __slots__ = ("network", "edge_loads", "service_units", "management_units")
 
@@ -84,9 +182,16 @@ class OnlineCostAccount:
         else:
             self.service_units += cost
 
+    def charge_pairs(self, u, v, w, management: bool = False) -> None:
+        """Scalar equivalent of :meth:`OnlineCostAccount.charge_pairs`."""
+        rooted = self.network.rooted()
+        for src, dst, amount in zip(u, v, w):
+            self.charge_path(rooted, int(src), int(dst), float(amount),
+                             management=management)
+
     @property
     def bus_loads(self) -> np.ndarray:
-        """Per-node bus loads derived from the edge loads."""
+        """Per-node bus loads recomputed from the edge loads."""
         loads = np.zeros(self.network.n_nodes, dtype=np.float64)
         for bus in self.network.buses:
             incident = list(self.network.incident_edge_ids(bus))
@@ -95,7 +200,7 @@ class OnlineCostAccount:
 
     @property
     def congestion(self) -> float:
-        """Maximum relative load over edges and buses."""
+        """Maximum relative load over edges and buses (full rescan)."""
         value = 0.0
         if self.edge_loads.size:
             value = float(
@@ -116,24 +221,55 @@ class OnlineCostAccount:
 class OnlineStrategy:
     """Interface of an online data management strategy."""
 
-    def __init__(self, network: HierarchicalBusNetwork, n_objects: int) -> None:
+    def __init__(
+        self,
+        network: HierarchicalBusNetwork,
+        n_objects: int,
+        account: Optional[OnlineCostAccount] = None,
+    ) -> None:
         self.network = network
         self.rooted = network.rooted()
         self.n_objects = int(n_objects)
-        self.account = OnlineCostAccount(network)
+        self.account = account if account is not None else OnlineCostAccount(network)
 
     def serve(self, event: RequestEvent) -> None:
         """Serve one request, charging its cost to :attr:`account`."""
         raise NotImplementedError
 
-    def run(self, sequence: RequestSequence) -> OnlineCostAccount:
-        """Serve a whole sequence and return the cost account."""
+    def serve_chunk(self, sequence: RequestSequence, start: int, stop: int) -> None:
+        """Serve the events ``sequence[start:stop]``.
+
+        The default implementation replays event by event, which is exact
+        for every strategy.  Strategies that do not adapt mid-chunk (the
+        static reference) override this with a vectorized batch charge that
+        produces bit-for-bit identical loads.
+        """
+        for event in sequence.events[start:stop]:
+            self.serve(event)
+
+    def run(
+        self, sequence: RequestSequence, chunk_size: Optional[int] = None
+    ) -> OnlineCostAccount:
+        """Serve a whole sequence and return the cost account.
+
+        ``chunk_size`` enables batch replay: the sequence is served in
+        chunks of that many events via :meth:`serve_chunk`.  For strategies
+        whose decisions cannot change mid-chunk this is a pure speedup; the
+        default :meth:`serve_chunk` falls back to the event loop, so
+        adaptive strategies remain exact under any chunk size.
+        """
         if sequence.n_objects > self.n_objects:
             raise WorkloadError(
                 "sequence references more objects than the strategy was built for"
             )
-        for event in sequence:
-            self.serve(event)
+        if chunk_size is None:
+            for event in sequence:
+                self.serve(event)
+        else:
+            if chunk_size < 1:
+                raise WorkloadError("chunk_size must be a positive integer")
+            for start in range(0, len(sequence), chunk_size):
+                self.serve_chunk(sequence, start, min(start + chunk_size, len(sequence)))
         return self.account
 
     def holders(self, obj: int) -> Set[int]:
@@ -153,22 +289,28 @@ class StaticPlacementManager(OnlineStrategy):
         self,
         network: HierarchicalBusNetwork,
         placement: Placement,
+        account: Optional[OnlineCostAccount] = None,
     ) -> None:
-        super().__init__(network, placement.n_objects)
+        super().__init__(network, placement.n_objects, account=account)
         placement.validate_for(network, require_leaf_only=True)
         self._placement = placement
-        self._nearest_cache: Dict[Tuple[int, int], int] = {}
+        # nearest-copy table per object, resolved for all processors in one
+        # batched distance evaluation on first touch
+        self._nearest_cache: Dict[int, np.ndarray] = {}
+        self._procs = np.asarray(network.processors, dtype=np.int64)
 
     def holders(self, obj: int) -> Set[int]:
         return set(self._placement.holders(obj))
 
     def _nearest(self, proc: int, obj: int) -> int:
-        key = (proc, obj)
-        if key not in self._nearest_cache:
-            self._nearest_cache[key] = self.rooted.nearest_in_set(
-                proc, self._placement.holders(obj)
+        table = self._nearest_cache.get(obj)
+        if table is None:
+            table = np.full(self.network.n_nodes, -1, dtype=np.int64)
+            table[self._procs] = self.rooted.path_matrix().nearest_in_set(
+                self._procs, self._placement.holders(obj)
             )
-        return self._nearest_cache[key]
+            self._nearest_cache[obj] = table
+        return int(table[proc])
 
     def serve(self, event: RequestEvent) -> None:
         target = self._nearest(event.processor, event.obj)
@@ -177,6 +319,43 @@ class StaticPlacementManager(OnlineStrategy):
             self.account.charge_steiner(
                 self.rooted, sorted(self._placement.holders(event.obj))
             )
+
+    def serve_chunk(self, sequence: RequestSequence, start: int, stop: int) -> None:
+        """Vectorized batch replay of one chunk (exact event-loop parity).
+
+        The placement is fixed, so a chunk of events collapses into
+        aggregated request pairs (one column through the path-incidence
+        operator) plus one Steiner charge per written object.  All charged
+        quantities are integer-valued, so the resulting loads and cost units
+        are bit-for-bit equal to serving the same events one by one.
+        """
+        procs, objs, writes = sequence.as_arrays()
+        procs = procs[start:stop]
+        objs = objs[start:stop]
+        writes = writes[start:stop]
+        if procs.size == 0:
+            return
+        # aggregate (processor, object) multiplicity, then resolve each
+        # unique pair's reference copy once
+        pairs, counts = np.unique(
+            np.stack([procs, objs]), axis=1, return_counts=True
+        )
+        targets = np.array(
+            [self._nearest(int(p), int(x)) for p, x in zip(pairs[0], pairs[1])],
+            dtype=np.int64,
+        )
+        self.account.charge_pairs(pairs[0], targets, counts.astype(np.float64))
+        written, write_counts = np.unique(objs[writes], return_counts=True)
+        for obj, count in zip(written, write_counts):
+            self.account.charge_steiner(
+                self.rooted,
+                sorted(self._placement.holders(int(obj))),
+                amount=float(count),
+            )
+
+    def run_batch(self, sequence: RequestSequence) -> OnlineCostAccount:
+        """Replay the whole sequence as one batch (see :meth:`serve_chunk`)."""
+        return self.run(sequence, chunk_size=max(1, len(sequence)))
 
 
 @dataclass
@@ -216,8 +395,9 @@ class EdgeCounterManager(OnlineStrategy):
         object_size: int = 4,
         invalidation_patience: int = 2,
         initial_placement: Optional[Placement] = None,
+        account: Optional[OnlineCostAccount] = None,
     ) -> None:
-        super().__init__(network, n_objects)
+        super().__init__(network, n_objects, account=account)
         if object_size < 1:
             raise WorkloadError("object_size must be at least 1")
         if invalidation_patience < 1:

@@ -63,7 +63,7 @@ class RequestEvent:
 class RequestSequence:
     """An ordered sequence of requests over a fixed object universe."""
 
-    __slots__ = ("_events", "_n_objects")
+    __slots__ = ("_events", "_n_objects", "_arrays")
 
     def __init__(self, events: Sequence[RequestEvent], n_objects: int) -> None:
         self._events: Tuple[RequestEvent, ...] = tuple(events)
@@ -73,6 +73,26 @@ class RequestSequence:
             if not 0 <= ev.obj < n_objects:
                 raise WorkloadError(f"event object {ev.obj} out of range")
         self._n_objects = int(n_objects)
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar view ``(processors, objects, is_write)`` of the events.
+
+        Built once and cached; the batch replay mode of the online layer
+        slices whole chunks out of these arrays instead of iterating the
+        event objects.
+        """
+        if self._arrays is None:
+            n = len(self._events)
+            procs = np.empty(n, dtype=np.int64)
+            objs = np.empty(n, dtype=np.int64)
+            writes = np.zeros(n, dtype=bool)
+            for i, ev in enumerate(self._events):
+                procs[i] = ev.processor
+                objs[i] = ev.obj
+                writes[i] = ev.kind == WRITE
+            self._arrays = (procs, objs, writes)
+        return self._arrays
 
     @property
     def n_objects(self) -> int:

@@ -1,4 +1,4 @@
-"""Tests for the high-level experiment runners (E1 -- E8)."""
+"""Tests for the high-level experiment runners (E1 -- E9)."""
 
 
 from repro.analysis.experiments import (
@@ -8,9 +8,11 @@ from repro.analysis.experiments import (
     experiment_distributed_rounds,
     experiment_hardness_reduction,
     experiment_nibble_optimality,
+    experiment_online_streaming,
     experiment_runtime_scaling,
     experiment_sci_equivalence,
     standard_instance_suite,
+    streaming_scenario_suite,
 )
 
 
@@ -103,3 +105,28 @@ class TestE8:
         records = experiment_baseline_comparison(small=True, with_replay=True, replay_batch=8)
         assert all("replay_makespan" in rec for rec in records)
         assert all(rec["replay_slowdown"] >= 1.0 - 1e-9 for rec in records)
+
+
+class TestE9:
+    def test_scenario_suite_shapes(self):
+        suite = streaming_scenario_suite(small=True)
+        names = [name for name, _net, _seq in suite]
+        assert names == ["zipf", "adversarial", "phase-shift"]
+        for _name, net, seq in suite:
+            seq.validate_for(net)
+            assert len(seq) > 0
+
+    def test_online_streaming_rows(self):
+        records = experiment_online_streaming(small=True)
+        scenarios = {rec["scenario"] for rec in records}
+        assert scenarios == {"zipf", "adversarial", "phase-shift"}
+        strategies = {rec["strategy"] for rec in records}
+        assert {"hindsight-static", "edge-counter", "edge-counter/trajectory"} <= strategies
+        # the static reference rows normalise to ratio 1 against themselves
+        for rec in records:
+            if rec["strategy"] == "hindsight-static":
+                assert rec["ratio_vs_static"] == 1.0
+        # the sampled trajectories are running maxima, hence monotone
+        for rec in records:
+            if rec["strategy"] == "edge-counter/trajectory":
+                assert rec["monotone"]

@@ -10,6 +10,7 @@ from repro.core.baselines import (
     random_placement,
 )
 from repro.core.congestion import compute_loads, total_communication_load
+from repro.core.placement import Placement
 from repro.network.builders import balanced_tree, single_bus, star_of_buses
 from repro.workload.access import AccessPattern
 from repro.workload.adversarial import replication_trap
@@ -79,16 +80,14 @@ class TestMedianLeafPlacement:
         best = min(
             procs,
             key=lambda leaf: total_communication_load(
-                net, pat, __import__("repro.core.placement", fromlist=["Placement"]).Placement.single_holder([leaf])
+                net, pat, Placement.single_holder([leaf])
             ),
         )
         assert total_communication_load(
             net, pat, placement
         ) == pytest.approx(
             total_communication_load(
-                net,
-                pat,
-                __import__("repro.core.placement", fromlist=["Placement"]).Placement.single_holder([best]),
+                net, pat, Placement.single_holder([best])
             )
         )
         assert chosen in procs

@@ -9,6 +9,7 @@ from repro.core.deletion import (
     apply_deletion,
     copies_to_placement,
     delete_rarely_used_copies,
+    refine_copies,
 )
 from repro.core.nibble import nibble_placement
 from repro.network.builders import random_tree, single_bus, star_of_buses
@@ -169,7 +170,9 @@ class TestStructuralBehaviour:
         empty = [ObjectCopies(obj=0, kappa=0, copies=[])]
         with pytest.raises(AlgorithmError):
             copies_to_placement(empty, pat)
-        placement, assignment = copies_to_placement(empty, pat, fallback_holders=[net.processors[0]])
+        placement, assignment = copies_to_placement(
+            empty, pat, fallback_holders=[net.processors[0]]
+        )
         assert placement.holders(0) == frozenset({net.processors[0]})
 
     def test_disconnected_holder_set_rejected(self):
@@ -180,3 +183,45 @@ class TestStructuralBehaviour:
 
         with pytest.raises(AlgorithmError):
             delete_rarely_used_copies(net, pat, 0, frozenset({procs[0], procs[1]}))
+
+
+class TestRefineCopies:
+    def test_never_worse_and_consistent(self):
+        from repro.core.congestion import compute_loads
+        from repro.core.extended_nibble import extended_nibble
+
+        net = random_tree(5, 10, seed=3)
+        pat = uniform_pattern(net, 10, requests_per_processor=10, seed=3)
+        result = extended_nibble(net, pat)
+        refinement = refine_copies(net, pat, result.modified_copies)
+
+        base = compute_loads(
+            net, pat, result.placement, assignment=result.assignment
+        ).congestion
+        assert refinement.congestion_before == pytest.approx(base)
+        assert refinement.congestion_after <= refinement.congestion_before + 1e-9
+
+        # the inputs are cloned, never mutated
+        assert sum(len(oc.copies) for oc in result.modified_copies) >= sum(
+            len(oc.copies) for oc in refinement.copies
+        )
+        # the refined records still convert to a consistent placement whose
+        # measured congestion equals the engine's incremental value
+        fallback = [list(net.processors)[0]] * pat.n_objects
+        placement, assignment = copies_to_placement(
+            refinement.copies, pat, fallback_holders=fallback
+        )
+        check = compute_loads(net, pat, placement, assignment=assignment).congestion
+        assert check == pytest.approx(refinement.congestion_after)
+
+    def test_preserves_every_request(self):
+        net = star_of_buses(3, 2)
+        pat = uniform_pattern(net, 6, requests_per_processor=8, seed=1)
+        nib = nibble_placement(net, pat)
+        copies = apply_deletion(net, pat, nib.placement)
+        refinement = refine_copies(net, pat, copies)
+        served_before = sum(c.s for oc in copies for c in oc.copies)
+        served_after = sum(c.s for oc in refinement.copies for c in oc.copies)
+        assert served_before == served_after
+        # every object keeps at least one copy
+        assert all(oc.copies or pat.is_trivial(oc.obj) for oc in refinement.copies)

@@ -4,7 +4,11 @@ import pytest
 
 from repro.core.congestion import compute_loads
 from repro.errors import ReproError
-from repro.hardness.partition import PartitionInstance, random_partition_instance, solve_partition_dp
+from repro.hardness.partition import (
+    PartitionInstance,
+    random_partition_instance,
+    solve_partition_dp,
+)
 from repro.hardness.reduction import (
     build_reduction_instance,
     placement_from_subset,

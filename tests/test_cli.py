@@ -130,6 +130,24 @@ class TestWorkloadAndPlace:
         assert data["strategy"] == "extended-nibble"
         assert len(data["holders"]) == 8
 
+    def test_place_with_local_search_refinement(self, instance_files):
+        net_path, wl_path = instance_files
+        code, text = run_cli(
+            [
+                "place",
+                "--network",
+                str(net_path),
+                "--workload",
+                str(wl_path),
+                "--strategy",
+                "extended-nibble",
+                "--refine",
+            ]
+        )
+        assert code == 0
+        assert "local-search moves" in text
+        assert "congestion before refine" in text
+
     @pytest.mark.parametrize("strategy", ["owner", "greedy", "full-replication"])
     def test_place_baselines(self, instance_files, strategy):
         net_path, wl_path = instance_files
@@ -190,3 +208,9 @@ class TestExperimentCommand:
         code, text = run_cli(["experiment", "E5", "--small"])
         assert code == 0
         assert "ratio_lb" in text
+
+    def test_experiment_e9_small(self):
+        code, text = run_cli(["experiment", "E9", "--small"])
+        assert code == 0
+        assert "hindsight-static" in text
+        assert "phase-shift" in text

@@ -19,7 +19,9 @@ def net():
 
 class TestSharedCounter:
     def test_every_processor_touches_every_counter(self, net):
-        pat = shared_counter_trace(net, n_counters=3, increments_per_processor=5, reads_per_processor=2)
+        pat = shared_counter_trace(
+            net, n_counters=3, increments_per_processor=5, reads_per_processor=2
+        )
         pat.validate_for(net)
         assert pat.n_objects == 3
         for p in net.processors:
@@ -28,7 +30,9 @@ class TestSharedCounter:
                 assert pat.reads_of(p, x) == 2
 
     def test_write_contention(self, net):
-        pat = shared_counter_trace(net, n_counters=1, increments_per_processor=4, reads_per_processor=0)
+        pat = shared_counter_trace(
+            net, n_counters=1, increments_per_processor=4, reads_per_processor=0
+        )
         assert pat.write_contention(0) == 4 * net.n_processors
 
     def test_invalid(self, net):

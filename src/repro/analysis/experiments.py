@@ -23,7 +23,7 @@ benchmarks and ``EXPERIMENTS.md`` share the same data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,9 +48,16 @@ from repro.core.extended_nibble import extended_nibble
 from repro.core.nibble import nibble_placement
 from repro.distributed.protocols import distributed_extended_nibble
 from repro.distributed.request_sim import replay_requests
+from repro.dynamic.churn import replay_with_churn
 from repro.dynamic.evaluate import congestion_trajectory, evaluate_strategies
-from repro.dynamic.online import EdgeCounterManager
-from repro.dynamic.sequence import phase_change_sequence, sequence_from_pattern
+from repro.dynamic.online import EdgeCounterManager, StaticPlacementManager
+from repro.dynamic.sequence import (
+    READ,
+    RequestEvent,
+    RequestSequence,
+    phase_change_sequence,
+    sequence_from_pattern,
+)
 from repro.hardness.partition import PartitionInstance, random_partition_instance
 from repro.hardness.reduction import verify_reduction
 from repro.network.builders import balanced_tree, random_tree, single_bus, star_of_buses
@@ -58,11 +65,18 @@ from repro.network.sci import ring_of_rings, transaction_ring_load
 from repro.network.tree import HierarchicalBusNetwork
 from repro.workload.access import AccessPattern
 from repro.workload.adversarial import bisection_stress, replication_trap, write_conflict_pattern
+from repro.workload.churn import (
+    bandwidth_degradation,
+    flash_crowd_attach,
+    mutation_storm,
+    rolling_maintenance_detach,
+)
 from repro.workload.generators import (
     hotspot_pattern,
     subtree_local_pattern,
     uniform_pattern,
     zipf_pattern,
+    zipf_weights,
 )
 from repro.workload.traces import (
     producer_consumer_trace,
@@ -80,8 +94,11 @@ __all__ = [
     "experiment_distributed_rounds",
     "experiment_baseline_comparison",
     "experiment_online_streaming",
+    "experiment_topology_churn",
     "standard_instance_suite",
     "streaming_scenario_suite",
+    "churn_scenario_suite",
+    "replay_churn_scenario",
 ]
 
 
@@ -586,4 +603,197 @@ def experiment_online_streaming(
                 "monotone": bool(np.all(np.diff(trajectory) >= -1e-9)),
             }
         )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E10 -- topology churn (mutable bus networks, incremental substrate repair)
+# --------------------------------------------------------------------------- #
+def churn_scenario_suite(
+    seed: int = 0,
+    small: bool = False,
+    large: bool = False,
+    names: Optional[Sequence[str]] = None,
+):
+    """Labelled ``(name, network, sequence, trace)`` churn scenarios for E10.
+
+    Four churn regimes over the streaming workload families:
+
+    * ``flash-crowd`` -- a burst of new processors joins a third of the way
+      into a Zipf trace; the newcomers then issue their own (reference-id
+      addressed) read requests against the popular objects;
+    * ``maintenance`` -- processors leave at a fixed cadence during a
+      subtree-local trace (stranded copies re-home via nearest-copy);
+    * ``degradation`` -- trunk and bus bandwidths decay under a hotspot
+      trace (loads untouched, congestion climbs through the denominators);
+    * ``storm`` -- a seeded mix of every mutation kind, including bus
+      splits, through a Zipf trace.
+
+    ``names`` restricts construction to the listed scenarios (the CLI
+    replays one at a time); every scenario is seeded independently, so a
+    filtered suite is identical to the matching slice of the full one.
+    """
+    if large:
+        net = balanced_tree(3, 4, 3)
+        n_objects, requests, n_churn = 96, 16, 16
+    elif small:
+        net = balanced_tree(2, 2, 2)
+        n_objects, requests, n_churn = 8, 6, 3
+    else:
+        net = balanced_tree(2, 3, 2)
+        n_objects, requests, n_churn = 32, 10, 6
+    base_n = net.n_nodes
+    wanted = ("flash-crowd", "maintenance", "degradation", "storm")
+    if names is not None:
+        unknown = [n for n in names if n not in wanted]
+        if unknown:
+            raise KeyError(f"unknown churn scenarios: {unknown}")
+        wanted = tuple(n for n in wanted if n in set(names))
+
+    zipf = None  # shared by flash-crowd and storm, built at most once
+
+    def zipf_base():
+        nonlocal zipf
+        if zipf is None:
+            zipf = zipf_pattern(
+                net, n_objects, requests_per_processor=requests, seed=seed
+            )
+        return zipf
+
+    scenarios = []
+    if "flash-crowd" in wanted:
+        # attaches at one third of the trace, newcomer reads after
+        base_seq = sequence_from_pattern(net, zipf_base(), seed=seed + 1)
+        cut = len(base_seq) // 3
+        crowd_trace = flash_crowd_attach(
+            net, n_new_leaves=n_churn, time=cut, seed=seed + 2
+        )
+        gen = np.random.default_rng(seed + 3)
+        probs = zipf_weights(n_objects)
+        crowd_events = [
+            RequestEvent(base_n + k, int(obj), READ)
+            for k in range(n_churn)
+            for obj in gen.choice(n_objects, size=requests, p=probs)
+        ]
+        tail = list(base_seq.events[cut:]) + crowd_events
+        shuffled_tail = [tail[i] for i in gen.permutation(len(tail))]
+        crowd_seq = RequestSequence(
+            list(base_seq.events[:cut]) + shuffled_tail, n_objects
+        )
+        scenarios.append(("flash-crowd", net, crowd_seq, crowd_trace))
+
+    if "maintenance" in wanted:
+        # rolling maintenance: detaches spread over the middle of the trace
+        local = subtree_local_pattern(
+            net, n_objects, requests_per_processor=requests, seed=seed
+        )
+        local_seq = sequence_from_pattern(net, local, seed=seed + 4)
+        spacing = max(1, len(local_seq) // (2 * n_churn))
+        detach_trace = rolling_maintenance_detach(
+            net, n_detach=n_churn, start=len(local_seq) // 4,
+            spacing=spacing, seed=seed + 5,
+        )
+        scenarios.append(("maintenance", net, local_seq, detach_trace))
+
+    if "degradation" in wanted:
+        # bandwidth degradation under a hotspot workload
+        hot = hotspot_pattern(net, n_objects, seed=seed)
+        hot_seq = sequence_from_pattern(net, hot, seed=seed + 6)
+        degrade_trace = bandwidth_degradation(
+            net,
+            n_steps=n_churn,
+            start=len(hot_seq) // 4,
+            spacing=max(1, len(hot_seq) // (2 * n_churn)),
+            seed=seed + 7,
+        )
+        scenarios.append(("degradation", net, hot_seq, degrade_trace))
+
+    if "storm" in wanted:
+        # mutation storm: every mutation kind interleaved with a Zipf trace
+        storm_seq = sequence_from_pattern(net, zipf_base(), seed=seed + 8)
+        storm_trace = mutation_storm(
+            net,
+            n_mutations=2 * n_churn,
+            start=len(storm_seq) // 5,
+            spacing=max(1, len(storm_seq) // (4 * n_churn)),
+            seed=seed + 9,
+        )
+        scenarios.append(("storm", net, storm_seq, storm_trace))
+    return scenarios
+
+
+def replay_churn_scenario(
+    net,
+    seq,
+    trace,
+    object_size: int = 4,
+    trajectory_samples: int = 4,
+) -> List[Dict[str, object]]:
+    """Replay one churn scenario through the standard strategy pair.
+
+    The static reference (extended nibble on the base-network aggregate,
+    holders remapped and re-homed across mutations) and the adaptive
+    edge-counter strategy both serve the sequence on the incrementally
+    repaired load-state substrate.  Each record carries the served/dropped
+    split, the mutation count, the sampled congestion trajectory and a
+    substrate self-check (incremental bus loads equal a from-scratch
+    recomputation after all repairs).  Shared by E10 and ``repro churn``.
+    """
+    base_events = [ev for ev in seq.events if ev.processor < net.n_nodes]
+    base_pattern = RequestSequence(base_events, seq.n_objects).to_pattern(net)
+    placement = extended_nibble(net, base_pattern).placement
+
+    strategies = {
+        "hindsight-static": lambda: StaticPlacementManager(net, placement),
+        "edge-counter": lambda: EdgeCounterManager(
+            net, seq.n_objects, object_size=object_size
+        ),
+    }
+    records: List[Dict[str, object]] = []
+    for sname, factory in strategies.items():
+        result = replay_with_churn(
+            factory(),
+            seq,
+            trace,
+            sample_every=max(1, len(seq) // max(1, trajectory_samples)),
+        )
+        records.append(
+            {
+                "strategy": sname,
+                "n_events": len(seq),
+                "served": result.served,
+                "dropped": result.dropped,
+                "n_mutations": result.n_mutations,
+                "congestion": float(result.congestion),
+                "total_load": float(result.account.total_load),
+                "n_processors_final": result.network.n_processors,
+                "trajectory": [
+                    float(x) for x in result.trajectory[-trajectory_samples:]
+                ],
+                "repair_consistent": bool(result.account.state.verify_bus_loads()),
+            }
+        )
+    return records
+
+
+def experiment_topology_churn(
+    seed: int = 0,
+    small: bool = False,
+    large: bool = False,
+    object_size: int = 4,
+    trajectory_samples: int = 4,
+) -> List[Dict[str, object]]:
+    """E10: stream request traces through mutation storms.
+
+    Every scenario of :func:`churn_scenario_suite` is replayed through
+    :func:`replay_churn_scenario` (static reference + adaptive
+    edge-counter on the incrementally repaired substrate).
+    """
+    records: List[Dict[str, object]] = []
+    for name, net, seq, trace in churn_scenario_suite(seed=seed, small=small, large=large):
+        for rec in replay_churn_scenario(
+            net, seq, trace,
+            object_size=object_size, trajectory_samples=trajectory_samples,
+        ):
+            records.append({"scenario": name, **rec})
     return records

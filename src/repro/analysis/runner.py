@@ -1,6 +1,6 @@
 """Parallel experiment orchestration.
 
-The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E9) are
+The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E10) are
 independent of each other, so a full reproduction sweep parallelises
 trivially across worker processes.  :func:`run_experiments` fans the
 selected runners out over a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -47,9 +47,15 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "E7": _experiments.experiment_distributed_rounds,
     "E8": _experiments.experiment_baseline_comparison,
     "E9": _experiments.experiment_online_streaming,
+    "E10": _experiments.experiment_topology_churn,
 }
 
-EXPERIMENT_IDS: Tuple[str, ...] = tuple(sorted(EXPERIMENT_RUNNERS))
+# Natural (numeric) order: E10 sorts after E9, so the entropy indices of
+# E1..E9 -- and therefore their per-experiment seeds -- are stable across
+# the registry growing.
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(
+    sorted(EXPERIMENT_RUNNERS, key=lambda exp_id: int(exp_id[1:]))
+)
 
 
 @dataclass(frozen=True)
@@ -164,9 +170,19 @@ def _json_default(value):
 
 
 def write_artifacts(
-    outcomes: Sequence[ExperimentOutcome], output_dir: "str | Path"
+    outcomes: Sequence[ExperimentOutcome],
+    output_dir: "str | Path",
+    stable: bool = False,
 ) -> List[ExperimentOutcome]:
     """Write one ``<id>.json`` per outcome plus ``summary.json``.
+
+    ``stable=True`` zeroes the wall-clock fields (``elapsed_seconds`` /
+    ``total_seconds``) in the written files, making artifacts a pure
+    function of ``(experiment id, seed, sizes)``.  This is the contract the
+    determinism tests pin down: the same sweep run with any ``--parallel``
+    value produces byte-identical stable artifacts.  (One inherent
+    exception: E6's *records* are themselves wall-clock runtime
+    measurements, so its payload varies run to run by design.)
 
     Returns new outcomes with their ``artifact`` fields pointing at the
     written files.
@@ -176,14 +192,23 @@ def write_artifacts(
     updated: List[ExperimentOutcome] = []
     for outcome in outcomes:
         path = out / f"{outcome.experiment}.json"
+        payload = replace(outcome, elapsed_seconds=0.0) if stable else outcome
         path.write_text(
-            json.dumps(outcome.as_dict(), indent=2, default=_json_default)
+            json.dumps(payload.as_dict(), indent=2, default=_json_default)
         )
         updated.append(replace(outcome, artifact=str(path)))
+    rows = [o.summary_row() for o in updated]
+    total = sum(o.elapsed_seconds for o in updated)
+    if stable:
+        # location- and timing-independent: basenames and zeroed clocks
+        for row in rows:
+            row["seconds"] = 0.0
+            row["artifact"] = Path(str(row["artifact"])).name
+        total = 0.0
     summary = {
         "format": "repro.experiment-summary/v1",
-        "experiments": [o.summary_row() for o in updated],
-        "total_seconds": sum(o.elapsed_seconds for o in updated),
+        "experiments": rows,
+        "total_seconds": total,
         "all_ok": all(o.ok for o in updated),
     }
     (out / "summary.json").write_text(
@@ -214,16 +239,17 @@ def run_experiments(
     small: bool = False,
     large: bool = False,
     output_dir: Optional["str | Path"] = None,
+    stable_artifacts: bool = False,
 ) -> List[ExperimentOutcome]:
     """Run a set of experiments, optionally across worker processes.
 
     Parameters
     ----------
     ids:
-        Experiment ids (subset of ``E1`` .. ``E9``); defaults to all.
+        Experiment ids (subset of ``E1`` .. ``E10``); defaults to all.
     parallel:
-        Number of worker processes.  ``1`` (default) runs inline in this
-        process, which is also the fully deterministic mode for tests.
+        Number of worker processes.  Results are deterministic for any
+        value: per-experiment seeds depend only on ``(seed, id)``.
     seed:
         Base seed; per-experiment seeds are derived via
         :func:`experiment_seeds`.
@@ -235,6 +261,10 @@ def run_experiments(
     output_dir:
         If given, JSON artifacts are written there (one per experiment plus
         ``summary.json``).
+    stable_artifacts:
+        Zero the wall-clock fields in the written artifacts so they are
+        byte-identical across runs and ``--parallel`` values (see
+        :func:`write_artifacts`).
 
     Returns
     -------
@@ -262,5 +292,5 @@ def run_experiments(
             outcomes = [f.result() for f in futures]
 
     if output_dir is not None:
-        outcomes = write_artifacts(outcomes, output_dir)
+        outcomes = write_artifacts(outcomes, output_dir, stable=stable_artifacts)
     return outcomes

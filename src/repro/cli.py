@@ -8,11 +8,14 @@ workflows without writing Python:
 * ``repro generate-workload`` -- build a synthetic workload for a network;
 * ``repro place`` -- run a placement strategy and report congestion against
   the lower bound (optionally saving the placement);
-* ``repro experiment`` -- run one of the experiment runners E1..E9 and print
+* ``repro experiment`` -- run one of the experiment runners E1..E10 and print
   its result table (the same rows recorded in EXPERIMENTS.md);
 * ``repro run-experiments`` -- fan a whole experiment sweep out across
   worker processes (``--parallel N``) with per-experiment seeds and JSON
-  result artifacts.
+  result artifacts;
+* ``repro churn`` -- replay one topology-churn scenario (requests
+  interleaved with seeded mutations, substrate repaired incrementally) and
+  report the congestion trajectory through the storm.
 
 Every subcommand is a thin wrapper around the library API, so the CLI is
 also a usage example.
@@ -221,6 +224,7 @@ def _cmd_run_experiments(args: argparse.Namespace, stream) -> int:
         small=args.small,
         large=args.large,
         output_dir=args.output_dir,
+        stable_artifacts=args.stable_artifacts,
     )
     _print_records([o.summary_row() for o in outcomes], stream)
     failed = [o for o in outcomes if not o.ok]
@@ -232,13 +236,51 @@ def _cmd_run_experiments(args: argparse.Namespace, stream) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace, stream) -> int:
+    import inspect
+
     runner = _EXPERIMENTS[args.id]
     kwargs = {}
-    if args.id in ("E5", "E8", "E9"):
+    if "small" in inspect.signature(runner).parameters:
         kwargs["small"] = args.small
     records = runner(**kwargs)
     print(f"experiment {args.id}: {len(records)} rows", file=stream)
     _print_records(records, stream)
+    return 0
+
+
+_CHURN_SCENARIOS = ("flash-crowd", "maintenance", "degradation", "storm")
+
+
+def _cmd_churn(args: argparse.Namespace, stream) -> int:
+    from repro.analysis.experiments import churn_scenario_suite, replay_churn_scenario
+
+    ((_name, net, seq, trace),) = churn_scenario_suite(
+        seed=args.seed, small=args.small, large=args.large,
+        names=[args.scenario],
+    )
+    records = replay_churn_scenario(
+        net, seq, trace, trajectory_samples=args.samples
+    )
+    print(
+        f"churn scenario {args.scenario}: {len(seq)} events, "
+        f"{len(trace)} mutations",
+        file=stream,
+    )
+    _print_records(
+        [{k: v for k, v in rec.items() if k != "trajectory"} for rec in records],
+        stream,
+    )
+    if args.output:
+        document = {
+            "format": "repro.churn-result/v1",
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "n_events": len(seq),
+            "n_mutations": len(trace),
+            "records": records,
+        }
+        Path(args.output).write_text(json.dumps(document, indent=2))
+        print(f"wrote churn report to {args.output}", file=stream)
     return 0
 
 
@@ -312,7 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--output", "-o", default=None)
     place.set_defaults(func=_cmd_place)
 
-    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E9)")
+    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E10)")
     exp.add_argument("id", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--small", action="store_true", help="use reduced instance sizes")
     exp.set_defaults(func=_cmd_experiment)
@@ -350,7 +392,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write per-experiment JSON artifacts (and summary.json) here",
     )
+    run.add_argument(
+        "--stable-artifacts",
+        action="store_true",
+        help=(
+            "zero wall-clock fields in the artifacts so the files are "
+            "byte-identical for any --parallel value"
+        ),
+    )
     run.set_defaults(func=_cmd_run_experiments)
+
+    churn = sub.add_parser(
+        "churn",
+        help="replay a topology-churn scenario (experiment E10 building block)",
+    )
+    churn.add_argument(
+        "--scenario", choices=list(_CHURN_SCENARIOS), default="storm"
+    )
+    churn.add_argument("--seed", type=int, default=0)
+    size = churn.add_mutually_exclusive_group()
+    size.add_argument("--small", action="store_true", help="use reduced instance sizes")
+    size.add_argument("--large", action="store_true", help="use the larger instance suite")
+    churn.add_argument(
+        "--samples",
+        type=_positive_int,
+        default=8,
+        help="number of congestion trajectory samples",
+    )
+    churn.add_argument("--output", "-o", default=None)
+    churn.set_defaults(func=_cmd_churn)
 
     return parser
 

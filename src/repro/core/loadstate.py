@@ -43,7 +43,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, MutationError
 
 __all__ = ["LoadState", "LoadSnapshot"]
 
@@ -53,15 +53,18 @@ class LoadSnapshot:
 
     Records the journal position and the congestion tracker state at
     snapshot time; :meth:`LoadState.rollback` restores both exactly.
+    ``epoch`` pins the snapshot to the topology it was taken on: a snapshot
+    cannot be rolled back or committed across a :meth:`LoadState.repair`.
     """
 
-    __slots__ = ("mark", "congestion", "stale", "active")
+    __slots__ = ("mark", "congestion", "stale", "active", "epoch")
 
-    def __init__(self, mark: int, congestion: float, stale: bool) -> None:
+    def __init__(self, mark: int, congestion: float, stale: bool, epoch: int = 0) -> None:
         self.mark = mark
         self.congestion = congestion
         self.stale = stale
         self.active = True
+        self.epoch = epoch
 
 
 class LoadState:
@@ -104,6 +107,7 @@ class LoadState:
         "_snapshots",
         "_path_cache",
         "_steiner_cache",
+        "_topology_epoch",
     )
 
     def __init__(self, network, rooted=None) -> None:
@@ -126,32 +130,8 @@ class LoadState:
         self._node_is_bus = is_bus
         self._bus_nodes = np.asarray(sorted(network.buses), dtype=np.int64)
 
-        # Fused relative-load denominators: edge bandwidths, then doubled bus
-        # bandwidths (the node block stores doubled loads).  Processor rows
-        # always hold zero load; their denominator is pinned to 1 so the
-        # whole-array rescan never divides by a meaningless bandwidth.
-        denom = np.ones(n_edges + n_nodes, dtype=np.float64)
-        denom[:n_edges] = np.asarray(network.edge_bandwidths, dtype=np.float64)
-        bus_bw2 = 2.0 * np.asarray(network.bus_bandwidths, dtype=np.float64)
-        denom[n_edges + self._bus_nodes] = bus_bw2[self._bus_nodes]
-        self._denom = denom
-
-        # Incident-edge CSR per node: _inc_edges[_inc_indptr[v]:_inc_indptr[v+1]]
-        # are the edge ids incident to node v.  Used for per-bus reads and the
-        # consistency check; the incremental path never rebuilds these lists.
-        counts = np.zeros(n_nodes, dtype=np.int64)
-        np.add.at(counts, self._edge_u, 1)
-        np.add.at(counts, self._edge_v, 1)
-        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
-        indptr[1:] = np.cumsum(counts)
-        fill = indptr[:-1].copy()
-        inc = np.empty(int(indptr[-1]), dtype=np.int64)
-        for eid in range(n_edges):
-            for node in (self._edge_u[eid], self._edge_v[eid]):
-                inc[fill[node]] = eid
-                fill[node] += 1
-        self._inc_indptr = indptr
-        self._inc_edges = inc
+        self._denom = self._build_denominators(network)
+        self._inc_indptr, self._inc_edges = self._build_incident_csr()
 
         self._congestion = 0.0
         self._stale = False
@@ -159,6 +139,39 @@ class LoadState:
         self._snapshots: List[LoadSnapshot] = []
         self._path_cache: dict = {}
         self._steiner_cache: dict = {}
+        self._topology_epoch = 0
+
+    def _build_denominators(self, network) -> np.ndarray:
+        """Fused relative-load denominators for the current edge/node arrays.
+
+        Edge bandwidths, then doubled bus bandwidths (the node block stores
+        doubled loads).  Processor rows always hold zero load; their
+        denominator is pinned to 1 so the whole-array rescan never divides
+        by a meaningless bandwidth.  Shared by ``__init__`` and
+        :meth:`repair` so the two construction paths cannot diverge.
+        """
+        denom = np.ones(self.n_edges + self.n_nodes, dtype=np.float64)
+        denom[: self.n_edges] = np.asarray(network.edge_bandwidths, dtype=np.float64)
+        bus_bw2 = 2.0 * np.asarray(network.bus_bandwidths, dtype=np.float64)
+        denom[self.n_edges + self._bus_nodes] = bus_bw2[self._bus_nodes]
+        return denom
+
+    def _build_incident_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Incident-edge CSR per node, built from the endpoint arrays.
+
+        ``inc_edges[indptr[v]:indptr[v+1]]`` are the edge ids incident to
+        node ``v``, ascending, with the ``u`` endpoint of an edge listed
+        before its ``v`` endpoint.  Used for per-bus reads and the
+        consistency check; shared by ``__init__`` and :meth:`repair`.
+        """
+        endpoints = np.empty(2 * self.n_edges, dtype=np.int64)
+        endpoints[0::2] = self._edge_u
+        endpoints[1::2] = self._edge_v
+        eids = np.repeat(np.arange(self.n_edges, dtype=np.int64), 2)
+        order = np.argsort(endpoints, kind="stable")
+        indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(endpoints, minlength=self.n_nodes))
+        return indptr, eids[order]
 
     # ------------------------------------------------------------------ #
     # reads
@@ -382,16 +395,30 @@ class LoadState:
     # ------------------------------------------------------------------ #
     def snapshot(self) -> LoadSnapshot:
         """Start journalling deltas; returns a token for rollback/commit."""
-        snap = LoadSnapshot(len(self._journal), self._congestion, self._stale)
+        snap = LoadSnapshot(
+            len(self._journal), self._congestion, self._stale, self._topology_epoch
+        )
         self._snapshots.append(snap)
         return snap
+
+    def _check_epoch(self, snap: LoadSnapshot) -> None:
+        if snap.epoch != self._topology_epoch:
+            raise MutationError(
+                "cannot rollback or commit across a topology mutation: the "
+                "snapshot was taken before repair() changed the network; "
+                "journalled deltas no longer address the fused load array"
+            )
 
     def rollback(self, snap: LoadSnapshot) -> None:
         """Undo every delta applied since ``snap`` (LIFO discipline).
 
         Also restores the congestion tracker recorded at snapshot time, so a
-        rolled-back tentative move leaves no staleness behind.
+        rolled-back tentative move leaves no staleness behind.  Raises
+        :class:`~repro.errors.MutationError` when the snapshot predates a
+        :meth:`repair` -- rolling journalled deltas onto a repaired array
+        would silently corrupt the loads.
         """
+        self._check_epoch(snap)
         self._pop_to(snap)
         while len(self._journal) > snap.mark:
             kind, payload, amount = self._journal.pop()
@@ -409,6 +436,7 @@ class LoadState:
 
     def commit(self, snap: LoadSnapshot) -> None:
         """Keep every delta applied since ``snap`` and close the snapshot."""
+        self._check_epoch(snap)
         self._pop_to(snap)
         if not self._snapshots:
             self._journal.clear()
@@ -449,6 +477,123 @@ class LoadState:
             edge_loads=self.edge_loads.copy(),
             bus_loads=self.bus_loads,
         )
+
+    # ------------------------------------------------------------------ #
+    # topology repair
+    # ------------------------------------------------------------------ #
+    def repair(self, outcomes) -> None:
+        """Carry this state over one or more topology mutations, in place.
+
+        ``outcomes`` is a single :class:`~repro.network.mutation.MutationOutcome`
+        or a sequence of them (applied in order; each must start from the
+        network the previous one produced).  After repair the state is
+        **bit-for-bit equal to a from-scratch rebuild**: a fresh
+        ``LoadState(outcome.network)`` charged with
+        ``outcome.mapped_edge_loads(old_edge_loads)`` -- removed edges drop
+        their loads, new edges start at zero, bus rows and relative-load
+        denominators follow.  The repair itself is vectorized array
+        surgery:
+
+        * bandwidth mutations touch only the affected denominator entries
+          (and refresh the denominators cached in scatter entries);
+        * ``attach_leaf`` appends zero-load rows;
+        * ``detach_leaf`` drops the leaf's rows and debits its switch-edge
+          load from its bus row;
+        * ``split_bus`` debits the moved switch-edge loads from the split
+          bus and credits them to the new bus row.
+
+        Exactness relies on loads being integer-valued (invariant 2 of
+        ARCHITECTURE.md).  Snapshots cannot cross a repair: repairing with
+        open snapshots raises :class:`~repro.errors.MutationError` (the
+        journalled tentative deltas would otherwise silently become
+        permanent), and any later :meth:`rollback` / :meth:`commit` of a
+        snapshot taken before a repair raises it too.  Path/Steiner
+        scatter caches are cleared on structural mutations (they recharge
+        lazily).
+        """
+        from repro.network.mutation import MutationOutcome
+
+        if self._snapshots:
+            raise MutationError(
+                "cannot repair while snapshots are open: roll back or commit "
+                "tentative deltas first (journalled moves would otherwise be "
+                "silently committed by the repair)"
+            )
+        if isinstance(outcomes, MutationOutcome):
+            outcomes = [outcomes]
+        for outcome in outcomes:
+            self._repair_one(outcome)
+
+    def _repair_one(self, outcome) -> None:
+        from repro.network.mutation import AttachLeaf, DetachLeaf, SplitBus
+
+        if outcome.old_network is not self.network:
+            raise MutationError(
+                "mutation outcome does not apply to this state's network"
+            )
+        new_rooted = self.rooted.repaired(outcome)
+        new_pm = self.pm.repaired(outcome, new_rooted)
+        network = outcome.network
+        n_edges_old = self.n_edges
+        mutation = outcome.mutation
+
+        if not outcome.structural:
+            if outcome.changed_edge is not None:
+                self._denom[outcome.changed_edge] = network.edge_bandwidth(
+                    outcome.changed_edge
+                )
+            if outcome.changed_bus is not None:
+                self._denom[n_edges_old + outcome.changed_bus] = (
+                    2.0 * network.bus_bandwidth(outcome.changed_bus)
+                )
+            # scatter entries cache their denominator gather: refresh it
+            for cache in (self._path_cache, self._steiner_cache):
+                for key, (ids, fused, inc, _denom) in list(cache.items()):
+                    cache[key] = (ids, fused, inc, self._denom[fused])
+        else:
+            edge_block = self._loads[:n_edges_old]
+            node_block = self._loads[n_edges_old:]
+            zero = np.zeros(1, dtype=np.float64)
+            if isinstance(mutation, AttachLeaf):
+                loads = np.concatenate([edge_block, zero, node_block, zero])
+            elif isinstance(mutation, DetachLeaf):
+                node_rows = node_block.copy()
+                node_rows[outcome.touched_bus] -= edge_block[outcome.removed_edge]
+                loads = np.concatenate(
+                    [edge_block[outcome.edge_map >= 0], node_rows[outcome.node_map >= 0]]
+                )
+            elif isinstance(mutation, SplitBus):
+                mids = np.asarray(outcome.moved_edge_ids, dtype=np.int64)
+                moved_sum = float(edge_block[mids].sum())
+                node_rows = node_block.copy()
+                node_rows[outcome.touched_bus] -= moved_sum
+                loads = np.concatenate(
+                    [edge_block, zero, node_rows, np.asarray([moved_sum])]
+                )
+            else:
+                raise MutationError(
+                    f"no repair rule for mutation {type(mutation).__name__}"
+                )
+            self._loads = loads
+            self.n_edges = network.n_edges
+            self.n_nodes = network.n_nodes
+            self._edge_u = new_pm._edge_u
+            self._edge_v = new_pm._edge_v
+            self._node_is_bus = new_pm._bus_mask
+            self._bus_nodes = np.flatnonzero(new_pm._bus_mask)
+
+            self._denom = self._build_denominators(network)
+            self._inc_indptr, self._inc_edges = self._build_incident_csr()
+
+            self._path_cache.clear()
+            self._steiner_cache.clear()
+
+        self.network = network
+        self.rooted = new_rooted
+        self.pm = new_pm
+        self._stale = True
+        self._topology_epoch += 1
+        self._journal.clear()
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:

@@ -82,7 +82,7 @@ class PathMatrix:
         # Binary-lifting ancestor table: _up[k, v] = 2^k-th ancestor of v
         # (the root is its own ancestor, so lifts saturate instead of
         # underflowing to -1).
-        levels = max(1, int(np.ceil(np.log2(max(2, int(depth.max()) + 1)))) + 1)
+        levels = self._lift_levels(int(depth.max()))
         up = np.empty((levels, n), dtype=np.int64)
         up[0] = np.where(parent >= 0, parent, np.arange(n))
         for k in range(1, levels):
@@ -117,6 +117,180 @@ class PathMatrix:
         if network.buses:
             bus_mask[list(network.buses)] = True
         self._bus_mask = bus_mask
+
+    # ------------------------------------------------------------------ #
+    # incremental repair after topology mutations
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _lift_levels(max_depth: int) -> int:
+        """Row count of the binary-lifting table (single source of truth)."""
+        return max(1, int(np.ceil(np.log2(max(2, max_depth + 1)))) + 1)
+
+    def repaired(self, outcome, rooted) -> "PathMatrix":
+        """Path matrix for ``rooted`` (a repaired view), derived from this one.
+
+        The repaired instance is bit-for-bit identical to
+        ``PathMatrix(rooted)`` -- same CSR root-path incidence, lifting
+        table and endpoint arrays -- but the CSR is patched with vectorized
+        array surgery (append for attach, one masked copy for detach, one
+        shifted copy with the trunk edge spliced in for split) instead of
+        the O(n · height) per-node construction loop.  The result is
+        installed as ``rooted``'s cached path matrix.
+        """
+        from repro.network.mutation import AttachLeaf, DetachLeaf, SplitBus
+
+        if rooted._path_matrix is not None:
+            return rooted._path_matrix
+        network = rooted.network
+        new = object.__new__(PathMatrix)
+        new.rooted = rooted
+        new.n_nodes = network.n_nodes
+        new.n_edges = network.n_edges
+        new._parent = rooted._parent
+        new._parent_edge = rooted._parent_edge
+        new._depth = rooted._depth
+
+        mutation = outcome.mutation
+        if not outcome.structural:
+            new._up = self._up
+            new._rp_indptr = self._rp_indptr
+            new._rp_edges = self._rp_edges
+            new._rp_nodes = self._rp_nodes
+            new._edge_u = self._edge_u
+            new._edge_v = self._edge_v
+            new._bus_mask = self._bus_mask
+        elif isinstance(mutation, AttachLeaf):
+            self._repair_attach(new, outcome)
+        elif isinstance(mutation, DetachLeaf):
+            self._repair_detach(new, outcome)
+        elif isinstance(mutation, SplitBus):
+            if int(self._parent[outcome.touched_bus]) in outcome.moved_nodes:
+                # Mirror RootedTree._repaired_split's fallback: for a view
+                # rooted inside a moved subtree the split changes the
+                # structure above the bus and the CSR surgery below does
+                # not apply -- build fresh.
+                return rooted.path_matrix()
+            self._repair_split(new, outcome)
+        else:  # future mutation kinds: fall back to a fresh construction
+            return rooted.path_matrix()
+        rooted._path_matrix = new
+        return new
+
+    def _repair_up_full(self, new: "PathMatrix", levels: int) -> None:
+        """Vectorized lifting-table rebuild (log passes, no Python loops)."""
+        n = new.n_nodes
+        up = np.empty((levels, n), dtype=np.int64)
+        up[0] = np.where(new._parent >= 0, new._parent, np.arange(n))
+        for k in range(1, levels):
+            up[k] = up[k - 1][up[k - 1]]
+        new._up = up
+
+    def _repair_attach(self, new: "PathMatrix", outcome) -> None:
+        bus = int(outcome.touched_bus)
+        w = int(outcome.new_node)
+        f = int(outcome.new_edge)
+        depth = new._depth
+        dw = int(depth[w])
+
+        levels = self._lift_levels(int(depth.max()))
+        if levels == self._up.shape[0]:
+            col = np.empty(levels, dtype=np.int64)
+            col[0] = bus
+            for k in range(1, levels):
+                col[k] = self._up[k - 1][col[k - 1]]
+            new._up = np.concatenate([self._up, col[:, None]], axis=1)
+        else:
+            self._repair_up_full(new, levels)
+
+        bus_path = self._rp_edges[self._rp_indptr[bus] : self._rp_indptr[bus + 1]]
+        new._rp_edges = np.concatenate(
+            [self._rp_edges, bus_path, np.asarray([f], dtype=np.int64)]
+        )
+        new._rp_nodes = np.concatenate(
+            [self._rp_nodes, np.full(dw, w, dtype=np.int64)]
+        )
+        new._rp_indptr = np.append(self._rp_indptr, self._rp_indptr[-1] + dw)
+        new._edge_u = np.append(self._edge_u, bus)
+        new._edge_v = np.append(self._edge_v, w)
+        new._bus_mask = np.append(self._bus_mask, False)
+
+    def _repair_detach(self, new: "PathMatrix", outcome) -> None:
+        p = int(outcome.removed_node)
+        nm = outcome.node_map
+        em = outcome.edge_map
+        keep = nm >= 0
+        depth = new._depth
+
+        levels = self._lift_levels(int(depth.max()))
+        new._up = nm[self._up[:levels][:, keep]]
+
+        mask = np.ones(self._rp_edges.shape[0], dtype=bool)
+        mask[self._rp_indptr[p] : self._rp_indptr[p + 1]] = False
+        new._rp_edges = em[self._rp_edges[mask]]
+        new._rp_nodes = nm[self._rp_nodes[mask]]
+        indptr = np.zeros(new.n_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(depth)
+        new._rp_indptr = indptr
+
+        ekeep = em >= 0
+        new._edge_u = nm[self._edge_u[ekeep]]
+        new._edge_v = nm[self._edge_v[ekeep]]
+        new._bus_mask = self._bus_mask[keep]
+
+    def _repair_split(self, new: "PathMatrix", outcome) -> None:
+        b = int(outcome.touched_bus)
+        w = int(outcome.new_node)
+        f = int(outcome.new_edge)
+        depth = new._depth
+        n_old = self.n_nodes
+        # nodes whose depth changed = the moved subtrees
+        aff_mask = np.zeros(n_old, dtype=bool)
+        aff_mask[depth[:n_old] != self._depth] = True
+
+        levels = self._lift_levels(int(depth.max()))
+        if levels == self._up.shape[0]:
+            idx = np.concatenate(
+                [np.flatnonzero(aff_mask), np.asarray([w], dtype=np.int64)]
+            )
+            up = np.concatenate(
+                [self._up, np.empty((levels, 1), dtype=np.int64)], axis=1
+            )
+            up[0, idx] = new._parent[idx]
+            for k in range(1, levels):
+                up[k, idx] = up[k - 1][up[k - 1, idx]]
+            new._up = up
+        else:
+            self._repair_up_full(new, levels)
+
+        indptr = np.zeros(new.n_nodes + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(depth)
+        head_len = int(indptr[w])  # w has the largest id: its block is the tail
+        rp_nodes = np.repeat(np.arange(new.n_nodes, dtype=np.int64), depth)
+        head_nodes = rp_nodes[:head_len]
+        j = np.arange(head_len, dtype=np.int64) - indptr[head_nodes]
+        db = int(self._depth[b])
+        is_aff = aff_mask[head_nodes]
+        trunk_pos = is_aff & (j == db)
+        shift = (is_aff & (j > db)).astype(np.int64)
+        src = self._rp_indptr[head_nodes] + j - shift
+        head = np.empty(head_len, dtype=np.int64)
+        head[~trunk_pos] = self._rp_edges[src[~trunk_pos]]
+        head[trunk_pos] = f
+        b_path = self._rp_edges[self._rp_indptr[b] : self._rp_indptr[b + 1]]
+        tail = np.concatenate([b_path, np.asarray([f], dtype=np.int64)])
+        new._rp_indptr = indptr
+        new._rp_edges = np.concatenate([head, tail])
+        new._rp_nodes = rp_nodes
+
+        eu = self._edge_u.copy()
+        ev = self._edge_v.copy()
+        mids = np.asarray(outcome.moved_edge_ids, dtype=np.int64)
+        ms = eu[mids] + ev[mids] - b  # the moved endpoint of each edge
+        eu[mids] = ms
+        ev[mids] = w
+        new._edge_u = np.append(eu, b)
+        new._edge_v = np.append(ev, w)
+        new._bus_mask = np.append(self._bus_mask, True)
 
     # ------------------------------------------------------------------ #
     # vectorized structural queries

@@ -18,6 +18,7 @@ from repro.dynamic.online import (
     OnlineStrategy,
     StaticPlacementManager,
 )
+from repro.dynamic.churn import ChurnReplayResult, replay_with_churn
 from repro.dynamic.evaluate import (
     OnlineRunRecord,
     congestion_trajectory,
@@ -35,6 +36,8 @@ __all__ = [
     "OnlineCostAccount",
     "StaticPlacementManager",
     "EdgeCounterManager",
+    "ChurnReplayResult",
+    "replay_with_churn",
     "OnlineRunRecord",
     "evaluate_strategies",
     "empirical_competitive_ratio",

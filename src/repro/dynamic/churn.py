@@ -1,0 +1,155 @@
+"""Interleaved replay of request traces and topology churn.
+
+:func:`replay_with_churn` drives an online strategy through a
+:class:`~repro.dynamic.sequence.RequestSequence` while applying the timed
+mutations of a :class:`~repro.network.mutation.ChurnTrace`: every mutation
+scheduled at time ``t`` is applied (and the strategy's substrate repaired
+incrementally) *before* the request at position ``t`` is served.
+
+Because detaching a leaf renumbers node ids, request events address
+processors by **reference ids**: ids of the original network, plus one
+fresh id per :class:`~repro.network.mutation.AttachLeaf` in trace order
+(the ``k``-th attach overall gets reference id ``original_n_nodes + k``,
+which is also the id the new leaf receives at attach time if no detach
+preceded it).  The replay maintains the reference-to-current mapping across
+renumbering; requests from processors that have departed -- or have not
+arrived yet -- are counted as *dropped* instead of being served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dynamic.online import OnlineCostAccount, OnlineStrategy
+from repro.dynamic.sequence import RequestEvent, RequestSequence
+from repro.errors import WorkloadError
+from repro.network.mutation import (
+    AttachLeaf,
+    ChurnTrace,
+    MutationOutcome,
+    apply_mutation,
+)
+from repro.network.tree import HierarchicalBusNetwork
+
+__all__ = ["ChurnReplayResult", "replay_with_churn"]
+
+
+@dataclass
+class ChurnReplayResult:
+    """Outcome of one interleaved request + churn replay."""
+
+    account: OnlineCostAccount
+    network: HierarchicalBusNetwork
+    outcomes: List[MutationOutcome] = field(default_factory=list)
+    served: int = 0
+    dropped: int = 0
+    trajectory: Optional[np.ndarray] = None
+    sample_times: Optional[np.ndarray] = None
+
+    @property
+    def congestion(self) -> float:
+        """Final congestion of the replayed account."""
+        return self.account.congestion
+
+    @property
+    def n_mutations(self) -> int:
+        """Number of mutations applied during the replay."""
+        return len(self.outcomes)
+
+
+def replay_with_churn(
+    strategy: OnlineStrategy,
+    sequence: RequestSequence,
+    trace: ChurnTrace,
+    sample_every: Optional[int] = None,
+) -> ChurnReplayResult:
+    """Serve ``sequence`` through ``strategy`` while applying ``trace``.
+
+    Parameters
+    ----------
+    strategy:
+        Any :class:`~repro.dynamic.online.OnlineStrategy`; its substrate is
+        repaired in place at every mutation via
+        :meth:`~repro.dynamic.online.OnlineStrategy.apply_mutation`.
+    sequence:
+        Request events addressed by reference ids (see module docstring).
+    trace:
+        Timed mutations; mutations scheduled at or after ``len(sequence)``
+        are applied after the last request.
+    sample_every:
+        If given, the congestion is sampled every that many served-or-
+        dropped events (plus a forced final sample) and returned as
+        ``trajectory`` / ``sample_times``.
+
+    Returns
+    -------
+    ChurnReplayResult
+        The strategy's account, the final network, the applied mutation
+        outcomes and the served/dropped event counts.
+    """
+    if sample_every is not None and sample_every < 1:
+        raise WorkloadError("sample_every must be a positive integer")
+    base_n = strategy.network.n_nodes
+    n_refs = base_n + trace.attach_count()
+    current_of_ref = np.full(n_refs, -1, dtype=np.int64)
+    current_of_ref[:base_n] = np.arange(base_n, dtype=np.int64)
+    next_attach_ref = base_n
+
+    outcomes: List[MutationOutcome] = []
+    served = 0
+    dropped = 0
+    samples: List[float] = []
+    sample_times: List[int] = []
+    timed = trace.events
+    ti = 0
+
+    def apply_pending(now: int) -> None:
+        nonlocal ti, next_attach_ref
+        while ti < len(timed) and timed[ti].time <= now:
+            mutation = timed[ti].mutation
+            outcome = apply_mutation(strategy.network, mutation)
+            strategy.apply_mutation(outcome)
+            outcomes.append(outcome)
+            alive = current_of_ref >= 0
+            current_of_ref[alive] = outcome.node_map[current_of_ref[alive]]
+            if isinstance(mutation, AttachLeaf):
+                current_of_ref[next_attach_ref] = int(outcome.new_node)
+                next_attach_ref += 1
+            ti += 1
+
+    for i, event in enumerate(sequence):
+        apply_pending(i)
+        if not 0 <= event.processor < n_refs:
+            raise WorkloadError(
+                f"event references processor id {event.processor}, but the "
+                f"replay universe has {n_refs} reference ids"
+            )
+        proc = int(current_of_ref[event.processor])
+        if proc < 0:
+            dropped += 1
+        else:
+            if proc == event.processor:
+                strategy.serve(event)
+            else:
+                strategy.serve(RequestEvent(proc, event.obj, event.kind))
+            served += 1
+        if sample_every is not None and (
+            (i + 1) % sample_every == 0 or i + 1 == len(sequence)
+        ):
+            samples.append(strategy.account.congestion)
+            sample_times.append(i + 1)
+
+    apply_pending(max(len(sequence), trace.max_time))
+
+    return ChurnReplayResult(
+        account=strategy.account,
+        network=strategy.network,
+        outcomes=outcomes,
+        served=served,
+        dropped=dropped,
+        trajectory=np.asarray(samples, dtype=np.float64) if sample_every else None,
+        sample_times=np.asarray(sample_times, dtype=np.int64) if sample_every else None,
+    )

@@ -218,6 +218,21 @@ class _ReferenceOnlineCostAccount:
         return float(self.edge_loads.sum())
 
 
+def _rehome_target(outcome) -> int:
+    """New-network id of the survivor closest to a detached leaf.
+
+    When a detached processor held the only copy of an object, the copy is
+    re-homed via the nearest-copy rule: it moves to the surviving processor
+    closest to the departed leaf in the *old* topology (ties to the smallest
+    id, matching every other nearest-copy resolution in the codebase).
+    """
+    old_net = outcome.old_network
+    detached = int(outcome.removed_node)
+    survivors = [p for p in old_net.processors if p != detached]
+    home = old_net.rooted().nearest_in_set(detached, survivors)
+    return int(outcome.node_map[home])
+
+
 class OnlineStrategy:
     """Interface of an online data management strategy."""
 
@@ -235,6 +250,25 @@ class OnlineStrategy:
     def serve(self, event: RequestEvent) -> None:
         """Serve one request, charging its cost to :attr:`account`."""
         raise NotImplementedError
+
+    def apply_mutation(self, outcome) -> None:
+        """Carry the strategy and its cost account over a topology mutation.
+
+        The shared :class:`~repro.core.loadstate.LoadState` is repaired in
+        place (bit-for-bit equal to a from-scratch rebuild), then the
+        strategy-specific holder state is remapped via
+        :meth:`_repair_strategy_state`; copies stranded on a detached leaf
+        are re-homed via the nearest-copy rule.  Accumulated service and
+        management cost units are preserved.
+        """
+        self.account.state.repair(outcome)
+        self.network = outcome.network
+        self.account.network = outcome.network
+        self.rooted = self.account.state.rooted
+        self._repair_strategy_state(outcome)
+
+    def _repair_strategy_state(self, outcome) -> None:
+        """Hook for subclasses: remap holder ids after a mutation."""
 
     def serve_chunk(self, sequence: RequestSequence, start: int, stop: int) -> None:
         """Serve the events ``sequence[start:stop]``.
@@ -311,6 +345,25 @@ class StaticPlacementManager(OnlineStrategy):
             )
             self._nearest_cache[obj] = table
         return int(table[proc])
+
+    def _repair_strategy_state(self, outcome) -> None:
+        if not outcome.structural:
+            return
+        self._nearest_cache.clear()  # tables are sized to the old node count
+        self._procs = np.asarray(outcome.network.processors, dtype=np.int64)
+        if outcome.removed_node is None:
+            return  # attach/split keep node ids stable
+        nm = outcome.node_map
+        home = None  # one detach has one re-home target; resolve it lazily once
+        new_holders = []
+        for obj in range(self._placement.n_objects):
+            mapped = sorted(int(nm[h]) for h in self._placement.holders(obj) if nm[h] >= 0)
+            if not mapped:
+                if home is None:
+                    home = _rehome_target(outcome)
+                mapped = [home]
+            new_holders.append(mapped)
+        self._placement = Placement(new_holders)
 
     def serve(self, event: RequestEvent) -> None:
         target = self._nearest(event.processor, event.obj)
@@ -416,6 +469,25 @@ class EdgeCounterManager(OnlineStrategy):
     def holders(self, obj: int) -> Set[int]:
         state = self._states.get(obj)
         return set(state.holders) if state is not None else set()
+
+    def _repair_strategy_state(self, outcome) -> None:
+        if outcome.removed_node is None:
+            return  # bandwidth/attach/split mutations keep node ids stable
+        nm = outcome.node_map
+        home = None  # one detach has one re-home target; resolve it lazily once
+        for state in self._states.values():
+            holders = {int(nm[h]) for h in state.holders if nm[h] >= 0}
+            if not holders:
+                if home is None:
+                    home = _rehome_target(outcome)
+                holders = {home}
+            state.holders = holders
+            state.read_credit = {
+                int(nm[p]): c for p, c in state.read_credit.items() if nm[p] >= 0
+            }
+            state.unread_writes = {
+                int(nm[h]): c for h, c in state.unread_writes.items() if nm[h] >= 0
+            }
 
     def _state_for(self, event: RequestEvent) -> _ObjectState:
         state = self._states.get(event.obj)

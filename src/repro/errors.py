@@ -14,6 +14,7 @@ __all__ = [
     "InvalidNodeError",
     "InvalidEdgeError",
     "BandwidthError",
+    "MutationError",
     "WorkloadError",
     "PlacementError",
     "AssignmentError",
@@ -46,6 +47,17 @@ class InvalidEdgeError(TopologyError):
 
 class BandwidthError(TopologyError):
     """A bandwidth value is missing or not a positive number."""
+
+
+class MutationError(TopologyError):
+    """A topology mutation is invalid or was applied inconsistently.
+
+    Raised when a mutation would break the hierarchical-bus-network model
+    (e.g. detaching the last processor of a bus), when a churn trace is
+    malformed, and when substrate state that cannot survive a mutation is
+    used across one (e.g. rolling a :class:`repro.core.loadstate.LoadState`
+    back to a snapshot taken before a topology mutation).
+    """
 
 
 class WorkloadError(ReproError):

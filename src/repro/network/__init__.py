@@ -23,6 +23,19 @@ from repro.network.builders import (
     star_of_buses,
 )
 from repro.network.metrics import NetworkMetrics, compute_metrics, diameter
+from repro.network.mutation import (
+    AttachLeaf,
+    ChurnTrace,
+    DetachLeaf,
+    Mutation,
+    MutationOutcome,
+    SetBusBandwidth,
+    SetEdgeBandwidth,
+    SplitBus,
+    TimedMutation,
+    apply_mutation,
+    apply_mutations,
+)
 from repro.network.sci import BusConversion, SCIFabric, ring_of_rings, transaction_ring_load
 from repro.network.serialization import (
     load_network,
@@ -51,6 +64,17 @@ __all__ = [
     "NetworkMetrics",
     "compute_metrics",
     "diameter",
+    "Mutation",
+    "SetEdgeBandwidth",
+    "SetBusBandwidth",
+    "AttachLeaf",
+    "DetachLeaf",
+    "SplitBus",
+    "MutationOutcome",
+    "apply_mutation",
+    "apply_mutations",
+    "TimedMutation",
+    "ChurnTrace",
     "SCIFabric",
     "BusConversion",
     "ring_of_rings",

@@ -14,11 +14,11 @@ equivalently ``level(v) = height(T) - depth(v)``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidNodeError
+from repro.errors import InvalidNodeError, MutationError
 
 __all__ = ["RootedTree"]
 
@@ -100,6 +100,192 @@ class RootedTree:
         return self._path_matrix
 
     # ------------------------------------------------------------------ #
+    # incremental repair after topology mutations
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_parts(
+        cls,
+        network,
+        root: int,
+        parent: np.ndarray,
+        parent_edge: np.ndarray,
+        depth: np.ndarray,
+        order: np.ndarray,
+        children: Optional[List[Tuple[int, ...]]],
+        height: int,
+        subtree_size: np.ndarray,
+    ) -> "RootedTree":
+        """Assemble a view from repaired arrays, bypassing the O(n) traversal.
+
+        ``children`` may be ``None``; it is then rebuilt lazily from the
+        parent array on first access (see :meth:`_ensure_children`).
+        """
+        view = object.__new__(cls)
+        view.network = network
+        view.root = int(root)
+        view._parent = parent
+        view._parent_edge = parent_edge
+        view._depth = depth
+        view._order = order
+        view._children = children
+        view._height = int(height)
+        view._subtree_size = subtree_size
+        view._path_matrix = None
+        return view
+
+    def _ensure_children(self) -> None:
+        """Build the per-node children tuples lazily (repair skips them)."""
+        if self._children is None:
+            n = self.network.n_nodes
+            kids: List[List[int]] = [[] for _ in range(n)]
+            parent = self._parent
+            for v in range(n):
+                p = int(parent[v])
+                if p >= 0:
+                    kids[p].append(v)  # ascending v keeps each tuple sorted
+            self._children = [tuple(c) for c in kids]
+
+    def repaired(self, outcome) -> "RootedTree":
+        """Rooted view of ``outcome.network``, repaired from this view.
+
+        The repaired view is observationally identical to a freshly-built
+        ``RootedTree(outcome.network, node_map[root])`` -- parents, depths,
+        levels, subtree sizes, paths and Steiner trees all agree -- but is
+        derived in O(touched region) array surgery instead of an O(n)
+        Python traversal.  The result is installed in the new network's
+        rooted-view cache, so repeated repairs (e.g. one per substrate
+        object) share one view.
+        """
+        from repro.network.mutation import AttachLeaf, DetachLeaf, SplitBus
+
+        if outcome.old_network is not self.network:
+            raise MutationError(
+                "mutation outcome does not apply to this view's network"
+            )
+        new_net = outcome.network
+        new_root = int(outcome.node_map[self.root])
+        if new_root < 0:
+            raise MutationError(f"the root {self.root} was removed by the mutation")
+        cached = new_net._rooted_cache.get(new_root)
+        if cached is not None:
+            return cached
+
+        mutation = outcome.mutation
+        if not outcome.structural:
+            view = self._from_parts(
+                new_net,
+                new_root,
+                self._parent,
+                self._parent_edge,
+                self._depth,
+                self._order,
+                self._children,
+                self._height,
+                self._subtree_size,
+            )
+        elif isinstance(mutation, AttachLeaf):
+            view = self._repaired_attach(new_net, outcome)
+        elif isinstance(mutation, DetachLeaf):
+            view = self._repaired_detach(new_net, outcome)
+        elif isinstance(mutation, SplitBus):
+            view = self._repaired_split(new_net, new_root, outcome)
+        else:  # future mutation kinds: fall back to a fresh traversal
+            view = RootedTree(new_net, new_root)
+        new_net._rooted_cache[new_root] = view
+        return view
+
+    def _repaired_attach(self, new_net, outcome) -> "RootedTree":
+        bus = int(outcome.touched_bus)
+        w = int(outcome.new_node)
+        parent = np.append(self._parent, bus)
+        parent_edge = np.append(self._parent_edge, int(outcome.new_edge))
+        depth = np.append(self._depth, self._depth[bus] + 1)
+        order = np.append(self._order, w)
+        children = None
+        if self._children is not None:
+            children = list(self._children)
+            children[bus] = children[bus] + (w,)  # w is the largest id
+            children.append(())
+        sizes = self._subtree_size.copy()
+        x = bus
+        while x >= 0:
+            sizes[x] += 1
+            x = int(self._parent[x])
+        sizes = np.append(sizes, 1)
+        height = max(self._height, int(depth[w]))
+        return self._from_parts(
+            new_net, self.root, parent, parent_edge, depth, order, children,
+            height, sizes,
+        )
+
+    def _repaired_detach(self, new_net, outcome) -> "RootedTree":
+        p = int(outcome.removed_node)
+        if p == self.root:
+            raise MutationError("cannot repair a view whose root was detached")
+        nm = outcome.node_map
+        em = outcome.edge_map
+        keep = np.ones(self._parent.shape[0], dtype=bool)
+        keep[p] = False
+        par = self._parent[keep]
+        parent = np.where(par >= 0, nm[par], -1)
+        pe = self._parent_edge[keep]
+        parent_edge = np.where(pe >= 0, em[pe], -1)
+        depth = self._depth[keep]
+        order = nm[self._order[self._order != p]]
+        sizes = self._subtree_size.copy()
+        x = int(self._parent[p])
+        while x >= 0:
+            sizes[x] -= 1
+            x = int(self._parent[x])
+        sizes = sizes[keep]
+        return self._from_parts(
+            new_net, int(nm[self.root]), parent, parent_edge, depth, order,
+            None, int(depth.max()), sizes,
+        )
+
+    def _repaired_split(self, new_net, new_root: int, outcome) -> "RootedTree":
+        b = int(outcome.touched_bus)
+        w = int(outcome.new_node)
+        moved = tuple(int(m) for m in outcome.moved_nodes)
+        if int(self._parent[b]) in moved:
+            # The split was validated against the canonical rooting; for a
+            # view rooted elsewhere the moved set may contain this view's
+            # parent of b, which changes the structure above b.  Rare and
+            # root-specific: rebuild this view from scratch.
+            return RootedTree(new_net, new_root)
+        self._ensure_children()
+        affected: List[int] = []
+        stack = list(moved)
+        while stack:
+            u = stack.pop()
+            affected.append(u)
+            stack.extend(self._children[u])
+        aff = np.asarray(affected, dtype=np.int64)
+
+        parent = np.append(self._parent, b)
+        parent[list(moved)] = w
+        parent_edge = np.append(self._parent_edge, int(outcome.new_edge))
+        depth = np.append(self._depth, self._depth[b] + 1)
+        depth[aff] += 1
+        pos = int(np.nonzero(self._order == b)[0][0])
+        order = np.insert(self._order, pos + 1, w)
+        moved_set = set(moved)
+        children = list(self._children)
+        children[b] = tuple([c for c in children[b] if c not in moved_set] + [w])
+        children.append(moved)
+        sizes = self._subtree_size.copy()
+        w_size = 1 + int(sum(self._subtree_size[m] for m in moved))
+        x = b
+        while x >= 0:
+            sizes[x] += 1
+            x = int(self._parent[x])
+        sizes = np.append(sizes, w_size)
+        return self._from_parts(
+            new_net, new_root, parent, parent_edge, depth, order, children,
+            int(depth.max()), sizes,
+        )
+
+    # ------------------------------------------------------------------ #
     # structural accessors
     # ------------------------------------------------------------------ #
     @property
@@ -117,6 +303,7 @@ class RootedTree:
 
     def children(self, node: int) -> Tuple[int, ...]:
         """Children of ``node`` in ascending id order."""
+        self._ensure_children()
         return self._children[node]
 
     def depth(self, node: int) -> int:
@@ -133,12 +320,23 @@ class RootedTree:
 
     @property
     def preorder(self) -> Sequence[int]:
-        """Nodes in a preorder (parents before children)."""
+        """Nodes in a topological order (every parent before its children).
+
+        On a freshly-built view this is a DFS preorder; on a view produced
+        by :meth:`repaired` it is only guaranteed to be *topological* --
+        subtrees need not occupy contiguous slices.  All in-repo consumers
+        (subtree aggregation, CSR construction) rely only on the
+        parents-first property.
+        """
         return tuple(int(v) for v in self._order)
 
     @property
     def postorder(self) -> Sequence[int]:
-        """Nodes in a postorder (children before parents)."""
+        """Nodes in a topological order reversed (children before parents).
+
+        Same caveat as :attr:`preorder`: contiguous-subtree DFS structure
+        is only guaranteed on freshly-built views.
+        """
         return tuple(int(v) for v in self._order[::-1])
 
     def nodes_by_level(self) -> Dict[int, List[int]]:

@@ -22,6 +22,13 @@ from repro.workload.adversarial import (
     replication_trap,
     write_conflict_pattern,
 )
+from repro.workload.churn import (
+    bandwidth_degradation,
+    flash_crowd_attach,
+    mutation_storm,
+    random_valid_mutation,
+    rolling_maintenance_detach,
+)
 
 __all__ = [
     "AccessPattern",
@@ -40,4 +47,9 @@ __all__ = [
     "write_conflict_pattern",
     "replication_trap",
     "partition_like_pattern",
+    "flash_crowd_attach",
+    "rolling_maintenance_detach",
+    "bandwidth_degradation",
+    "mutation_storm",
+    "random_valid_mutation",
 ]

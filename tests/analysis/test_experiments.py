@@ -1,7 +1,9 @@
-"""Tests for the high-level experiment runners (E1 -- E9)."""
+"""Tests for the high-level experiment runners (E1 -- E10)."""
 
+import pytest
 
 from repro.analysis.experiments import (
+    churn_scenario_suite,
     experiment_approximation_ratio,
     experiment_baseline_comparison,
     experiment_deletion_invariants,
@@ -11,6 +13,7 @@ from repro.analysis.experiments import (
     experiment_online_streaming,
     experiment_runtime_scaling,
     experiment_sci_equivalence,
+    experiment_topology_churn,
     standard_instance_suite,
     streaming_scenario_suite,
 )
@@ -130,3 +133,39 @@ class TestE9:
         for rec in records:
             if rec["strategy"] == "edge-counter/trajectory":
                 assert rec["monotone"]
+
+
+class TestE10:
+    def test_scenario_suite_shapes(self):
+        suite = churn_scenario_suite(small=True)
+        names = [name for name, _net, _seq, _trace in suite]
+        assert names == ["flash-crowd", "maintenance", "degradation", "storm"]
+        for _name, _net, seq, trace in suite:
+            assert len(seq) > 0
+            assert len(trace) > 0
+
+    def test_filtered_suite_matches_full_slice(self):
+        # the CLI builds one scenario lazily; every scenario is seeded
+        # independently, so the filtered tuple must equal the full one
+        full = {name: (seq, trace)
+                for name, _net, seq, trace in churn_scenario_suite(seed=3, small=True)}
+        for name in ("flash-crowd", "storm"):
+            ((got_name, _net, seq, trace),) = churn_scenario_suite(
+                seed=3, small=True, names=[name]
+            )
+            assert got_name == name
+            assert seq.events == full[name][0].events
+            assert trace.mutations == full[name][1].mutations
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(KeyError):
+            churn_scenario_suite(small=True, names=["earthquake"])
+
+    def test_topology_churn_rows(self):
+        records = experiment_topology_churn(small=True)
+        scenarios = {rec["scenario"] for rec in records}
+        assert scenarios == {"flash-crowd", "maintenance", "degradation", "storm"}
+        for rec in records:
+            assert rec["served"] + rec["dropped"] == rec["n_events"]
+            assert rec["repair_consistent"]
+            assert rec["n_mutations"] > 0

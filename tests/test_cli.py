@@ -214,3 +214,53 @@ class TestExperimentCommand:
         assert code == 0
         assert "hindsight-static" in text
         assert "phase-shift" in text
+
+    def test_experiment_e10_small(self):
+        code, text = run_cli(["experiment", "E10", "--small"])
+        assert code == 0
+        assert "flash-crowd" in text
+        assert "storm" in text
+        assert "hindsight-static" in text
+        assert "repair_consistent" in text
+
+
+class TestChurnCommand:
+    def test_churn_storm_smoke(self, tmp_path):
+        out = tmp_path / "churn.json"
+        code, text = run_cli(
+            ["churn", "--scenario", "storm", "--small", "--seed", "1", "-o", str(out)]
+        )
+        assert code == 0
+        assert "churn scenario storm" in text
+        assert "edge-counter" in text and "hindsight-static" in text
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro.churn-result/v1"
+        assert data["scenario"] == "storm"
+        assert data["n_mutations"] > 0
+        assert len(data["records"]) == 2
+        for rec in data["records"]:
+            assert rec["served"] + rec["dropped"] == rec["n_events"]
+            assert rec["congestion"] >= 0
+            assert len(rec["trajectory"]) >= 1
+
+    @pytest.mark.parametrize("scenario", ["flash-crowd", "maintenance", "degradation"])
+    def test_churn_all_scenarios(self, scenario):
+        code, text = run_cli(["churn", "--scenario", scenario, "--small"])
+        assert code == 0
+        assert f"churn scenario {scenario}" in text
+
+    def test_churn_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--scenario", "earthquake"])
+
+    def test_run_experiments_accepts_e10(self, tmp_path):
+        out = tmp_path / "res"
+        code, text = run_cli(
+            ["run-experiments", "--ids", "E10", "--small",
+             "--stable-artifacts", "-o", str(out)]
+        )
+        assert code == 0
+        data = json.loads((out / "E10.json").read_text())
+        assert data["experiment"] == "E10"
+        assert data["elapsed_seconds"] == 0.0
+        assert data["n_records"] > 0

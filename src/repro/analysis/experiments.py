@@ -1,8 +1,9 @@
-"""High-level experiment runners (E1 -- E9).
+"""High-level experiment runners (E1 -- E11).
 
 The paper has no experimental section; each of its figures and quantitative
 theorems is turned into an experiment here (E1 -- E8 of DESIGN.md), plus
-the E9 extension exercising the dynamic model of Section 1.3.  Every runner
+the E9/E10/E11 extensions exercising the dynamic model of Section 1.3,
+topology churn and the declarative scenario registry.  Every runner
 returns a list of plain-dict records (one row of the result table) so the
 benchmarks and ``EXPERIMENTS.md`` share the same data.
 
@@ -18,6 +19,8 @@ benchmarks and ``EXPERIMENTS.md`` share the same data.
  E7    Theorem 4.3: distributed round counts
  E8    Introduction / [KMRVW99]: congestion vs. baselines & replay
  E9    Section 1.3 / [MMVW97], [MVW99]: online streaming replay
+ E10   topology churn: mutable networks, incremental repair
+ E11   simulation kernel: declarative scenario registry families
 =====  ==========================================================
 """
 
@@ -49,15 +52,12 @@ from repro.core.nibble import nibble_placement
 from repro.distributed.protocols import distributed_extended_nibble
 from repro.distributed.request_sim import replay_requests
 from repro.dynamic.churn import replay_with_churn
-from repro.dynamic.evaluate import congestion_trajectory, evaluate_strategies
-from repro.dynamic.online import EdgeCounterManager, StaticPlacementManager
-from repro.dynamic.sequence import (
-    READ,
-    RequestEvent,
-    RequestSequence,
-    phase_change_sequence,
-    sequence_from_pattern,
+from repro.dynamic.evaluate import (
+    congestion_trajectory,
+    evaluate_strategies,
+    hindsight_static_manager,
 )
+from repro.dynamic.online import EdgeCounterManager
 from repro.hardness.partition import PartitionInstance, random_partition_instance
 from repro.hardness.reduction import verify_reduction
 from repro.network.builders import balanced_tree, random_tree, single_bus, star_of_buses
@@ -65,24 +65,13 @@ from repro.network.sci import ring_of_rings, transaction_ring_load
 from repro.network.tree import HierarchicalBusNetwork
 from repro.workload.access import AccessPattern
 from repro.workload.adversarial import bisection_stress, replication_trap, write_conflict_pattern
-from repro.workload.churn import (
-    bandwidth_degradation,
-    flash_crowd_attach,
-    mutation_storm,
-    rolling_maintenance_detach,
-)
 from repro.workload.generators import (
     hotspot_pattern,
     subtree_local_pattern,
     uniform_pattern,
     zipf_pattern,
-    zipf_weights,
 )
-from repro.workload.traces import (
-    producer_consumer_trace,
-    shared_counter_trace,
-    web_cache_trace,
-)
+from repro.workload.traces import shared_counter_trace, web_cache_trace
 
 __all__ = [
     "experiment_sci_equivalence",
@@ -95,6 +84,7 @@ __all__ = [
     "experiment_baseline_comparison",
     "experiment_online_streaming",
     "experiment_topology_churn",
+    "experiment_scenario_registry",
     "standard_instance_suite",
     "streaming_scenario_suite",
     "churn_scenario_suite",
@@ -510,46 +500,22 @@ def streaming_scenario_suite(
       between phases (the regime where online adaptation can beat any
       single static placement).
 
+    Since the simulation-kernel refactor each scenario is *declared* in
+    the :mod:`repro.sim.scenario` registry (network builder + workload as
+    plain data); this function materialises the specs and returns the
+    same tuples as before, bit-for-bit.
+
     ``large=True`` switches to networks with hundreds of nodes and request
     sequences with tens of thousands of events, which is only affordable
     because the replay layers sit on the incremental load-state engine.
     """
-    if large:
-        net = balanced_tree(3, 4, 3)
-        n_objects, requests = 128, 24
-        phases = 4
-    elif small:
-        net = balanced_tree(2, 2, 2)
-        n_objects, requests = 8, 6
-        phases = 2
-    else:
-        net = balanced_tree(2, 3, 2)
-        n_objects, requests = 32, 12
-        phases = 3
+    from repro.sim.scenario import build_scenario, scenario_spec
 
     scenarios = []
-    zipf = zipf_pattern(net, n_objects, requests_per_processor=requests, seed=seed)
-    scenarios.append(("zipf", net, sequence_from_pattern(net, zipf, seed=seed + 1)))
-
-    adversarial = bisection_stress(
-        net, n_objects, requests_per_pair=2 * requests, seed=seed
-    )
-    scenarios.append(
-        ("adversarial", net, sequence_from_pattern(net, adversarial, seed=seed + 2))
-    )
-
-    shift_phases = [
-        producer_consumer_trace(
-            net,
-            n_channels=n_objects,
-            items_per_channel=requests,
-            seed=seed + 10 * (k + 1),
-        )
-        for k in range(phases)
-    ]
-    scenarios.append(
-        ("phase-shift", net, phase_change_sequence(net, shift_phases, seed=seed + 3))
-    )
+    for name in ("zipf", "adversarial", "phase-shift"):
+        spec = scenario_spec(name, seed=seed, small=small, large=large)
+        (built,) = build_scenario(spec)
+        scenarios.append((name, built.network, built.sequence))
     return scenarios
 
 
@@ -633,16 +599,8 @@ def churn_scenario_suite(
     replays one at a time); every scenario is seeded independently, so a
     filtered suite is identical to the matching slice of the full one.
     """
-    if large:
-        net = balanced_tree(3, 4, 3)
-        n_objects, requests, n_churn = 96, 16, 16
-    elif small:
-        net = balanced_tree(2, 2, 2)
-        n_objects, requests, n_churn = 8, 6, 3
-    else:
-        net = balanced_tree(2, 3, 2)
-        n_objects, requests, n_churn = 32, 10, 6
-    base_n = net.n_nodes
+    from repro.sim.scenario import build_scenario, scenario_spec
+
     wanted = ("flash-crowd", "maintenance", "degradation", "storm")
     if names is not None:
         unknown = [n for n in names if n not in wanted]
@@ -650,75 +608,11 @@ def churn_scenario_suite(
             raise KeyError(f"unknown churn scenarios: {unknown}")
         wanted = tuple(n for n in wanted if n in set(names))
 
-    zipf = None  # shared by flash-crowd and storm, built at most once
-
-    def zipf_base():
-        nonlocal zipf
-        if zipf is None:
-            zipf = zipf_pattern(
-                net, n_objects, requests_per_processor=requests, seed=seed
-            )
-        return zipf
-
     scenarios = []
-    if "flash-crowd" in wanted:
-        # attaches at one third of the trace, newcomer reads after
-        base_seq = sequence_from_pattern(net, zipf_base(), seed=seed + 1)
-        cut = len(base_seq) // 3
-        crowd_trace = flash_crowd_attach(
-            net, n_new_leaves=n_churn, time=cut, seed=seed + 2
-        )
-        gen = np.random.default_rng(seed + 3)
-        probs = zipf_weights(n_objects)
-        crowd_events = [
-            RequestEvent(base_n + k, int(obj), READ)
-            for k in range(n_churn)
-            for obj in gen.choice(n_objects, size=requests, p=probs)
-        ]
-        tail = list(base_seq.events[cut:]) + crowd_events
-        shuffled_tail = [tail[i] for i in gen.permutation(len(tail))]
-        crowd_seq = RequestSequence(
-            list(base_seq.events[:cut]) + shuffled_tail, n_objects
-        )
-        scenarios.append(("flash-crowd", net, crowd_seq, crowd_trace))
-
-    if "maintenance" in wanted:
-        # rolling maintenance: detaches spread over the middle of the trace
-        local = subtree_local_pattern(
-            net, n_objects, requests_per_processor=requests, seed=seed
-        )
-        local_seq = sequence_from_pattern(net, local, seed=seed + 4)
-        spacing = max(1, len(local_seq) // (2 * n_churn))
-        detach_trace = rolling_maintenance_detach(
-            net, n_detach=n_churn, start=len(local_seq) // 4,
-            spacing=spacing, seed=seed + 5,
-        )
-        scenarios.append(("maintenance", net, local_seq, detach_trace))
-
-    if "degradation" in wanted:
-        # bandwidth degradation under a hotspot workload
-        hot = hotspot_pattern(net, n_objects, seed=seed)
-        hot_seq = sequence_from_pattern(net, hot, seed=seed + 6)
-        degrade_trace = bandwidth_degradation(
-            net,
-            n_steps=n_churn,
-            start=len(hot_seq) // 4,
-            spacing=max(1, len(hot_seq) // (2 * n_churn)),
-            seed=seed + 7,
-        )
-        scenarios.append(("degradation", net, hot_seq, degrade_trace))
-
-    if "storm" in wanted:
-        # mutation storm: every mutation kind interleaved with a Zipf trace
-        storm_seq = sequence_from_pattern(net, zipf_base(), seed=seed + 8)
-        storm_trace = mutation_storm(
-            net,
-            n_mutations=2 * n_churn,
-            start=len(storm_seq) // 5,
-            spacing=max(1, len(storm_seq) // (4 * n_churn)),
-            seed=seed + 9,
-        )
-        scenarios.append(("storm", net, storm_seq, storm_trace))
+    for name in wanted:
+        spec = scenario_spec(name, seed=seed, small=small, large=large)
+        (built,) = build_scenario(spec)
+        scenarios.append((name, built.network, built.sequence, built.trace))
     return scenarios
 
 
@@ -739,12 +633,8 @@ def replay_churn_scenario(
     substrate self-check (incremental bus loads equal a from-scratch
     recomputation after all repairs).  Shared by E10 and ``repro churn``.
     """
-    base_events = [ev for ev in seq.events if ev.processor < net.n_nodes]
-    base_pattern = RequestSequence(base_events, seq.n_objects).to_pattern(net)
-    placement = extended_nibble(net, base_pattern).placement
-
     strategies = {
-        "hindsight-static": lambda: StaticPlacementManager(net, placement),
+        "hindsight-static": lambda: hindsight_static_manager(net, seq),
         "edge-counter": lambda: EdgeCounterManager(
             net, seq.n_objects, object_size=object_size
         ),
@@ -796,4 +686,38 @@ def experiment_topology_churn(
             object_size=object_size, trajectory_samples=trajectory_samples,
         ):
             records.append({"scenario": name, **rec})
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E11 -- the declarative scenario registry (simulation kernel)
+# --------------------------------------------------------------------------- #
+def experiment_scenario_registry(
+    seed: int = 0,
+    small: bool = False,
+    large: bool = False,
+) -> List[Dict[str, object]]:
+    """E11: the new scenario families, declared and replayed via the kernel.
+
+    Exercises the :mod:`repro.sim` stack end-to-end: every scenario is a
+    declarative :class:`~repro.sim.scenario.ScenarioSpec` (round-tripped
+    through JSON first, so the serialised form is what actually runs),
+    materialised by the registry and driven through the
+    :class:`~repro.sim.engine.SimulationEngine` with trajectory, cost and
+    drop sinks attached:
+
+    * ``adversarial-storm`` -- a mutation storm under write-heavy
+      bisection traffic (churn and adversarial workload together);
+    * ``flash-crowd-recovery`` -- a multi-phase flash crowd that arrives,
+      issues reads and then departs again (late requests drop);
+    * ``fleet-sweep`` -- one Zipf workload swept over a fleet of network
+      sizes.
+    """
+    from repro.sim.scenario import ScenarioSpec, run_scenario, scenario_spec
+
+    records: List[Dict[str, object]] = []
+    for name in ("adversarial-storm", "flash-crowd-recovery", "fleet-sweep"):
+        spec = scenario_spec(name, seed=seed, small=small, large=large)
+        spec = ScenarioSpec.from_json(spec.to_json())  # prove the JSON path
+        records.extend(run_scenario(spec))
     return records

@@ -1,6 +1,6 @@
 """Parallel experiment orchestration.
 
-The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E10) are
+The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E11) are
 independent of each other, so a full reproduction sweep parallelises
 trivially across worker processes.  :func:`run_experiments` fans the
 selected runners out over a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -48,11 +48,12 @@ EXPERIMENT_RUNNERS: Dict[str, Callable] = {
     "E8": _experiments.experiment_baseline_comparison,
     "E9": _experiments.experiment_online_streaming,
     "E10": _experiments.experiment_topology_churn,
+    "E11": _experiments.experiment_scenario_registry,
 }
 
-# Natural (numeric) order: E10 sorts after E9, so the entropy indices of
-# E1..E9 -- and therefore their per-experiment seeds -- are stable across
-# the registry growing.
+# Natural (numeric) order: E10 and E11 sort after E9, so the entropy
+# indices of E1..E9 -- and therefore their per-experiment seeds -- are
+# stable across the registry growing.
 EXPERIMENT_IDS: Tuple[str, ...] = tuple(
     sorted(EXPERIMENT_RUNNERS, key=lambda exp_id: int(exp_id[1:]))
 )
@@ -246,7 +247,7 @@ def run_experiments(
     Parameters
     ----------
     ids:
-        Experiment ids (subset of ``E1`` .. ``E10``); defaults to all.
+        Experiment ids (subset of ``E1`` .. ``E11``); defaults to all.
     parallel:
         Number of worker processes.  Results are deterministic for any
         value: per-experiment seeds depend only on ``(seed, id)``.

@@ -8,14 +8,18 @@ workflows without writing Python:
 * ``repro generate-workload`` -- build a synthetic workload for a network;
 * ``repro place`` -- run a placement strategy and report congestion against
   the lower bound (optionally saving the placement);
-* ``repro experiment`` -- run one of the experiment runners E1..E10 and print
+* ``repro experiment`` -- run one of the experiment runners E1..E11 and print
   its result table (the same rows recorded in EXPERIMENTS.md);
 * ``repro run-experiments`` -- fan a whole experiment sweep out across
   worker processes (``--parallel N``) with per-experiment seeds and JSON
   result artifacts;
 * ``repro churn`` -- replay one topology-churn scenario (requests
   interleaved with seeded mutations, substrate repaired incrementally) and
-  report the congestion trajectory through the storm.
+  report the congestion trajectory through the storm;
+* ``repro simulate`` -- run a scenario from the declarative registry (or a
+  ``ScenarioSpec`` JSON file) through the unified simulation kernel and
+  write a JSON result artifact; ``--list`` shows the registered scenario
+  families.
 
 Every subcommand is a thin wrapper around the library API, so the CLI is
 also a usage example.
@@ -284,6 +288,55 @@ def _cmd_churn(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace, stream) -> int:
+    from repro.sim.scenario import (
+        SCENARIO_FAMILIES,
+        ScenarioSpec,
+        list_scenarios,
+        run_scenario,
+        scenario_spec,
+    )
+
+    if args.list:
+        rows = [
+            [name, SCENARIO_FAMILIES[name](seed=0).description]
+            for name in list_scenarios()
+        ]
+        print(format_table(rows, headers=["scenario", "description"]), file=stream)
+        return 0
+    if args.spec:
+        spec = ScenarioSpec.from_json(Path(args.spec).read_text())
+        seed = None  # a spec file carries its seeds inside the document
+    elif args.scenario:
+        spec = scenario_spec(
+            args.scenario, seed=args.seed, small=args.small, large=args.large
+        )
+        seed = args.seed
+    else:
+        print("simulate: pass --scenario, --spec or --list", file=stream)
+        return 2
+    records = run_scenario(spec)
+    print(
+        f"scenario {spec.name}: {len(records)} strategy runs",
+        file=stream,
+    )
+    _print_records(
+        [{k: v for k, v in rec.items() if k != "trajectory"} for rec in records],
+        stream,
+    )
+    if args.output:
+        document = {
+            "format": "repro.sim-result/v1",
+            "scenario": spec.name,
+            "seed": seed,
+            "spec": spec.to_dict(),
+            "records": records,
+        }
+        Path(args.output).write_text(json.dumps(document, indent=2))
+        print(f"wrote simulation report to {args.output}", file=stream)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -354,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--output", "-o", default=None)
     place.set_defaults(func=_cmd_place)
 
-    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E10)")
+    exp = sub.add_parser("experiment", help="run an experiment runner (E1..E11)")
     exp.add_argument("id", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--small", action="store_true", help="use reduced instance sizes")
     exp.set_defaults(func=_cmd_experiment)
@@ -421,6 +474,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     churn.add_argument("--output", "-o", default=None)
     churn.set_defaults(func=_cmd_churn)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help=(
+            "run a declarative scenario (registry name or ScenarioSpec JSON "
+            "file) through the unified simulation kernel"
+        ),
+    )
+    source = simulate.add_mutually_exclusive_group()
+    source.add_argument(
+        "--scenario",
+        default=None,
+        help="name of a registered scenario family (see --list)",
+    )
+    source.add_argument(
+        "--spec",
+        default=None,
+        help="path to a ScenarioSpec JSON document to run instead",
+    )
+    source.add_argument(
+        "--list", action="store_true", help="list the registered scenario families"
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    size = simulate.add_mutually_exclusive_group()
+    size.add_argument("--small", action="store_true", help="use reduced instance sizes")
+    size.add_argument("--large", action="store_true", help="use the larger instance suite")
+    simulate.add_argument("--output", "-o", default=None)
+    simulate.set_defaults(func=_cmd_simulate)
 
     return parser
 

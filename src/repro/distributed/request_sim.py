@@ -188,17 +188,47 @@ def replay_requests(
         network, pattern, placement, assignment, rooted, batch
     )
 
-    edge_bw = np.asarray(network.edge_bandwidths)
-    bus_bw = np.asarray(network.bus_bandwidths)
+    from repro.sim.engine import RoundReplayDriver
+    from repro.sim.sinks import RoundStatsSink
 
     # congestion implied by the generated traffic (lower bound on makespan),
     # read off the same incremental substrate the online layer charges into
     total_state = LoadState(network, rooted)
     total_state.apply_edge_loads(per_edge)
     congestion = total_state.congestion
-    # second state accumulating delivered traversals round by round
-    delivered_state = LoadState(network, rooted)
-    round_congestion: List[float] = []
+
+    # The greedy store-and-forward scheduler decides which traversals
+    # complete each round; the simulation kernel's round driver owns the
+    # substrate charging and the per-round congestion statistics.
+    stats = RoundStatsSink()
+    driver = RoundReplayDriver(LoadState(network, rooted), sinks=(stats,))
+    makespan = driver.run(_schedule_rounds(network, traversals, max_rounds))
+
+    return ReplayResult(
+        makespan=makespan,
+        total_traversals=len(traversals),
+        per_edge_traffic=per_edge,
+        congestion=congestion,
+        dilation=dilation,
+        round_congestion=stats.round_congestion,
+    )
+
+
+def _schedule_rounds(
+    network: HierarchicalBusNetwork,
+    traversals: List[_Traversal],
+    max_rounds: int,
+):
+    """Greedy bandwidth-respecting schedule, one edge-id batch per round.
+
+    Yields, for every round, the edge ids of the traversals delivered in
+    that round (FIFO by message order under per-edge and per-bus capacity
+    limits); precedence successors are released as their predecessors
+    complete.  The consumer (the kernel's round driver) charges each batch
+    into the shared load-state substrate.
+    """
+    edge_bw = np.asarray(network.edge_bandwidths)
+    bus_bw = np.asarray(network.bus_bandwidths)
 
     # ready queue per edge, FIFO by message order
     pending_by_edge: Dict[int, List[int]] = {e: [] for e in range(network.n_edges)}
@@ -249,14 +279,11 @@ def replay_requests(
             # is nothing pending, which contradicts remaining > 0.
             raise SimulationError("request replay deadlocked")  # pragma: no cover
         remaining -= len(newly_done)
-        delivered_state.apply_edges(
-            np.fromiter(
-                (traversals[i].edge_id for i in newly_done),
-                dtype=np.int64,
-                count=len(newly_done),
-            )
+        yield np.fromiter(
+            (traversals[i].edge_id for i in newly_done),
+            dtype=np.int64,
+            count=len(newly_done),
         )
-        round_congestion.append(delivered_state.congestion)
         for idx in newly_done:
             for child in blocked_children.get(idx, ()):  # release successors
                 pending_by_edge[traversals[child].edge_id].append(child)
@@ -266,12 +293,3 @@ def replay_requests(
         # keep FIFO order stable
         for queue in pending_by_edge.values():
             queue.sort(key=lambda i: traversals[i].order)
-
-    return ReplayResult(
-        makespan=rounds,
-        total_traversals=len(traversals),
-        per_edge_traffic=per_edge,
-        congestion=congestion,
-        dilation=dilation,
-        round_congestion=np.asarray(round_congestion, dtype=np.float64),
-    )

@@ -14,6 +14,12 @@ which is also the id the new leaf receives at attach time if no detach
 preceded it).  The replay maintains the reference-to-current mapping across
 renumbering; requests from processors that have departed -- or have not
 arrived yet -- are counted as *dropped* instead of being served.
+
+Since the simulation-kernel refactor this module is a thin adapter over
+:class:`repro.sim.engine.SimulationEngine`: the timeline merge, the
+reference-id mapping, the dropped-request accounting and the trajectory
+sampling all live in the kernel (shared with every other replay loop);
+this function only packages the result as :class:`ChurnReplayResult`.
 """
 
 from __future__ import annotations
@@ -24,14 +30,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.dynamic.online import OnlineCostAccount, OnlineStrategy
-from repro.dynamic.sequence import RequestEvent, RequestSequence
+from repro.dynamic.sequence import RequestSequence
 from repro.errors import WorkloadError
-from repro.network.mutation import (
-    AttachLeaf,
-    ChurnTrace,
-    MutationOutcome,
-    apply_mutation,
-)
+from repro.network.mutation import ChurnTrace, MutationOutcome
 from repro.network.tree import HierarchicalBusNetwork
 
 __all__ = ["ChurnReplayResult", "replay_with_churn"]
@@ -90,66 +91,21 @@ def replay_with_churn(
         The strategy's account, the final network, the applied mutation
         outcomes and the served/dropped event counts.
     """
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.sinks import TrajectorySink
+
     if sample_every is not None and sample_every < 1:
         raise WorkloadError("sample_every must be a positive integer")
-    base_n = strategy.network.n_nodes
-    n_refs = base_n + trace.attach_count()
-    current_of_ref = np.full(n_refs, -1, dtype=np.int64)
-    current_of_ref[:base_n] = np.arange(base_n, dtype=np.int64)
-    next_attach_ref = base_n
-
-    outcomes: List[MutationOutcome] = []
-    served = 0
-    dropped = 0
-    samples: List[float] = []
-    sample_times: List[int] = []
-    timed = trace.events
-    ti = 0
-
-    def apply_pending(now: int) -> None:
-        nonlocal ti, next_attach_ref
-        while ti < len(timed) and timed[ti].time <= now:
-            mutation = timed[ti].mutation
-            outcome = apply_mutation(strategy.network, mutation)
-            strategy.apply_mutation(outcome)
-            outcomes.append(outcome)
-            alive = current_of_ref >= 0
-            current_of_ref[alive] = outcome.node_map[current_of_ref[alive]]
-            if isinstance(mutation, AttachLeaf):
-                current_of_ref[next_attach_ref] = int(outcome.new_node)
-                next_attach_ref += 1
-            ti += 1
-
-    for i, event in enumerate(sequence):
-        apply_pending(i)
-        if not 0 <= event.processor < n_refs:
-            raise WorkloadError(
-                f"event references processor id {event.processor}, but the "
-                f"replay universe has {n_refs} reference ids"
-            )
-        proc = int(current_of_ref[event.processor])
-        if proc < 0:
-            dropped += 1
-        else:
-            if proc == event.processor:
-                strategy.serve(event)
-            else:
-                strategy.serve(RequestEvent(proc, event.obj, event.kind))
-            served += 1
-        if sample_every is not None and (
-            (i + 1) % sample_every == 0 or i + 1 == len(sequence)
-        ):
-            samples.append(strategy.account.congestion)
-            sample_times.append(i + 1)
-
-    apply_pending(max(len(sequence), trace.max_time))
+    sink = TrajectorySink(sample_every) if sample_every is not None else None
+    engine = SimulationEngine(strategy, sinks=(sink,) if sink else ())
+    result = engine.run(sequence, trace)
 
     return ChurnReplayResult(
         account=strategy.account,
         network=strategy.network,
-        outcomes=outcomes,
-        served=served,
-        dropped=dropped,
-        trajectory=np.asarray(samples, dtype=np.float64) if sample_every else None,
-        sample_times=np.asarray(sample_times, dtype=np.int64) if sample_every else None,
+        outcomes=result.outcomes,
+        served=result.served,
+        dropped=result.dropped,
+        trajectory=sink.trajectory if sink is not None else None,
+        sample_times=sink.sample_times if sink is not None else None,
     )

@@ -42,6 +42,7 @@ from repro.network.tree import HierarchicalBusNetwork
 __all__ = [
     "OnlineRunRecord",
     "hindsight_static_manager",
+    "first_touch_manager",
     "evaluate_strategies",
     "empirical_competitive_ratio",
     "congestion_trajectory",
@@ -72,10 +73,37 @@ class OnlineRunRecord:
 def hindsight_static_manager(
     network: HierarchicalBusNetwork, sequence: RequestSequence
 ) -> StaticPlacementManager:
-    """The hindsight-static reference: extended-nibble on the aggregate."""
-    pattern = sequence.to_pattern(network)
+    """The hindsight-static reference: extended-nibble on the aggregate.
+
+    This is the one canonical construction of the reference strategy (the
+    scenario registry and the churn experiments use it too).  Events
+    addressed beyond the network's node universe -- churn reference ids of
+    processors that have not attached yet -- are excluded from the
+    aggregate; for churn-free sequences every event survives the filter.
+    """
+    base_events = [
+        ev for ev in sequence.events if ev.processor < network.n_nodes
+    ]
+    pattern = RequestSequence(base_events, sequence.n_objects).to_pattern(network)
     placement = extended_nibble(network, pattern).placement
     return StaticPlacementManager(network, placement)
+
+
+def first_touch_manager(
+    network: HierarchicalBusNetwork, sequence: RequestSequence, **kwargs
+) -> EdgeCounterManager:
+    """The naive "first-touch, never adapt" baseline.
+
+    An :class:`EdgeCounterManager` whose replication threshold can never
+    be reached within the sequence (the canonical construction shared by
+    the standard strategy set and the scenario registry).
+    """
+    return EdgeCounterManager(
+        network,
+        sequence.n_objects,
+        object_size=max(10 * len(sequence), 1),
+        **kwargs,
+    )
 
 
 def _record(name: str, account: OnlineCostAccount) -> OnlineRunRecord:
@@ -114,14 +142,7 @@ def evaluate_strategies(
             "edge-counter",
             EdgeCounterManager(network, sequence.n_objects, object_size=object_size),
         ),
-        (
-            "first-touch",
-            EdgeCounterManager(
-                network,
-                sequence.n_objects,
-                object_size=max(10 * len(sequence), 1),
-            ),
-        ),
+        ("first-touch", first_touch_manager(network, sequence)),
     ]
     if extra_strategies:
         for name, factory in extra_strategies.items():
@@ -142,20 +163,22 @@ def congestion_trajectory(
     """Serve a sequence while sampling the congestion every ``sample_every``
     events.
 
-    This is the heavy-traffic streaming read pattern the incremental engine
-    exists for: each sample is a lazily-repaired running max (O(touched
-    entries) per event) rather than a full edge/bus rescan.  Returns the
-    sampled congestion values in order (the last entry is the final
-    congestion).
+    Thin adapter over the unified simulation kernel: a
+    :class:`~repro.sim.sinks.TrajectorySink` breaks the replay at the
+    sample positions and reads the (incrementally maintained) congestion
+    there, while the spans in between stay on the chunk fast path.  Each
+    sample is a lazily-repaired running max (O(touched entries) per
+    event) rather than a full edge/bus rescan.  Returns the sampled
+    congestion values in order (the last entry is the final congestion).
     """
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.sinks import TrajectorySink
+
     if sample_every < 1:
         raise ValueError("sample_every must be a positive integer")
-    samples: List[float] = []
-    for i, event in enumerate(sequence):
-        strategy.serve(event)
-        if (i + 1) % sample_every == 0 or i + 1 == len(sequence):
-            samples.append(strategy.account.congestion)
-    return np.asarray(samples, dtype=np.float64)
+    sink = TrajectorySink(sample_every)
+    SimulationEngine(strategy, sinks=(sink,)).run(sequence)
+    return sink.trajectory
 
 
 def empirical_competitive_ratio(

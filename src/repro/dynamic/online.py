@@ -56,6 +56,35 @@ __all__ = [
 ]
 
 
+def _integer_amount(amount) -> int:
+    """Validate one charge amount against the integer-load invariant.
+
+    The exactness guarantees of the whole substrate (bit-for-bit parity,
+    rollback journals, repair-equals-rebuild; ARCHITECTURE.md invariant 2)
+    rely on charges being integer counts.  This enforces the invariant at
+    the cost-account API boundary instead of by convention: integer-valued
+    floats are accepted and normalised, fractional amounts are rejected.
+    """
+    value = float(amount)
+    if not value.is_integer():
+        raise WorkloadError(
+            "charge amounts must be integer-valued request counts "
+            f"(ARCHITECTURE.md invariant 2), got {amount!r}"
+        )
+    return int(value)
+
+
+def _integer_weights(w: np.ndarray) -> np.ndarray:
+    """Validate a batch weight vector the same way (integer-valued)."""
+    w = np.asarray(w, dtype=np.float64)
+    if w.size and not np.all(np.equal(np.mod(w, 1.0), 0.0)):
+        raise WorkloadError(
+            "batch charge weights must be integer-valued request counts "
+            "(ARCHITECTURE.md invariant 2)"
+        )
+    return w
+
+
 class OnlineCostAccount:
     """Accumulates per-edge loads (service + management traffic).
 
@@ -72,31 +101,35 @@ class OnlineCostAccount:
     ) -> None:
         self.network = network
         self.state = state if state is not None else LoadState(network)
-        self.service_units = 0.0
-        self.management_units = 0.0
+        self.service_units = 0
+        self.management_units = 0
 
     @property
     def edge_loads(self) -> np.ndarray:
         """Per-edge accumulated loads (live view of the engine state)."""
         return self.state.edge_loads
 
-    def _book(self, cost: float, management: bool) -> None:
+    def _book(self, cost: int, management: bool) -> None:
         if management:
             self.management_units += cost
         else:
             self.service_units += cost
 
-    def charge_path(self, rooted: RootedTree, src: int, dst: int, amount: float = 1.0,
+    def charge_path(self, rooted: RootedTree, src: int, dst: int, amount: int = 1,
                     management: bool = False) -> None:
-        """Charge ``amount`` on every edge of the path ``src -> dst``."""
+        """Charge ``amount`` (an integer request count) on every edge of the
+        path ``src -> dst``."""
+        amount = _integer_amount(amount)
         if amount <= 0 or src == dst:
             return
         length = self.state.apply_path(src, dst, amount)
         self._book(amount * length, management)
 
     def charge_steiner(self, rooted: RootedTree, terminals: Sequence[int],
-                       amount: float = 1.0, management: bool = False) -> None:
-        """Charge ``amount`` on every edge of the Steiner tree of ``terminals``."""
+                       amount: int = 1, management: bool = False) -> None:
+        """Charge ``amount`` (an integer request count) on every edge of the
+        Steiner tree of ``terminals``."""
+        amount = _integer_amount(amount)
         terminals = list(terminals)
         if amount <= 0 or len(terminals) < 2:
             return
@@ -107,16 +140,17 @@ class OnlineCostAccount:
         """Charge weighted request pairs ``u[i] -> v[i]`` in one batch.
 
         Produces exactly the loads and cost units of the equivalent
-        ``charge_path`` loop (all quantities are integer-valued), evaluated
-        through one path-incidence scatter.
+        ``charge_path`` loop (``w`` must be integer-valued request counts,
+        enforced like the scalar ``amount`` arguments), evaluated through
+        one path-incidence scatter.
         """
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
-        w = np.asarray(w, dtype=np.float64)
+        w = _integer_weights(w)
         if u.size == 0:
             return
         self.state.apply_pairs(u, v, w)
-        self._book(float(self.state.pair_costs(u, v) @ w), management)
+        self._book(int(round(float(self.state.pair_costs(u, v) @ w))), management)
 
     @property
     def bus_loads(self) -> np.ndarray:
@@ -286,24 +320,18 @@ class OnlineStrategy:
     ) -> OnlineCostAccount:
         """Serve a whole sequence and return the cost account.
 
-        ``chunk_size`` enables batch replay: the sequence is served in
-        chunks of that many events via :meth:`serve_chunk`.  For strategies
-        whose decisions cannot change mid-chunk this is a pure speedup; the
-        default :meth:`serve_chunk` falls back to the event loop, so
-        adaptive strategies remain exact under any chunk size.
+        Thin adapter over the unified simulation kernel
+        (:class:`repro.sim.engine.SimulationEngine`): the sequence becomes
+        a churn-free timeline served through :meth:`serve_chunk`.
+        ``chunk_size`` bounds the span length of the batch replay grid;
+        strategies whose decisions cannot change mid-chunk turn each span
+        into one vectorized scatter, while the default :meth:`serve_chunk`
+        falls back to the event loop, so adaptive strategies remain exact
+        under any chunk size.
         """
-        if sequence.n_objects > self.n_objects:
-            raise WorkloadError(
-                "sequence references more objects than the strategy was built for"
-            )
-        if chunk_size is None:
-            for event in sequence:
-                self.serve(event)
-        else:
-            if chunk_size < 1:
-                raise WorkloadError("chunk_size must be a positive integer")
-            for start in range(0, len(sequence), chunk_size):
-                self.serve_chunk(sequence, start, min(start + chunk_size, len(sequence)))
+        from repro.sim.engine import SimulationEngine
+
+        SimulationEngine(self, chunk_size=chunk_size).run(sequence)
         return self.account
 
     def holders(self, obj: int) -> Set[int]:
@@ -397,13 +425,13 @@ class StaticPlacementManager(OnlineStrategy):
             [self._nearest(int(p), int(x)) for p, x in zip(pairs[0], pairs[1])],
             dtype=np.int64,
         )
-        self.account.charge_pairs(pairs[0], targets, counts.astype(np.float64))
+        self.account.charge_pairs(pairs[0], targets, counts)
         written, write_counts = np.unique(objs[writes], return_counts=True)
         for obj, count in zip(written, write_counts):
             self.account.charge_steiner(
                 self.rooted,
                 sorted(self._placement.holders(int(obj))),
-                amount=float(count),
+                amount=int(count),
             )
 
     def run_batch(self, sequence: RequestSequence) -> OnlineCostAccount:

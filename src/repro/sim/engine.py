@@ -1,0 +1,268 @@
+"""The simulation engine: one loop behind every replay entry point.
+
+:class:`SimulationEngine` drives a :class:`~repro.sim.protocol.PlacementStrategy`
+through the merged timeline of a request sequence and an optional churn
+trace.  Between mutation points it stays on the vectorized chunk fast path
+(:meth:`serve_chunk`, one path-incidence scatter for non-adapting
+strategies); at mutation points it applies the mutation functionally,
+repairs the strategy in place and keeps the reference-id mapping of the
+churn model up to date (requests from departed or not-yet-arrived
+processors are counted as dropped).  Metrics flow through the pluggable
+sinks of :mod:`repro.sim.sinks`.
+
+:class:`RoundReplayDriver` is the round-mode counterpart used by the
+store-and-forward request replay: it charges per-round delivery batches
+into a :class:`~repro.core.loadstate.LoadState` and notifies the same sink
+set once per round.
+
+Both produce **bit-for-bit** the results of the legacy loops they
+replaced; ``tests/properties/test_sim_kernel.py`` pins that against
+verbatim copies of the pre-refactor implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.dynamic.sequence import RequestEvent, RequestSequence
+from repro.errors import WorkloadError
+from repro.network.mutation import (
+    AttachLeaf,
+    ChurnTrace,
+    MutationOutcome,
+    apply_mutation,
+)
+from repro.sim.protocol import validate_strategy
+from repro.sim.sinks import MetricsSink
+from repro.sim.timeline import MutationPoint, ServeSpan, merge_timeline
+
+__all__ = ["SimulationEngine", "SimulationResult", "RoundReplayDriver"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one engine run: strategy, substrate and sink handles."""
+
+    strategy: object
+    account: object
+    network: object
+    n_events: int
+    served: int
+    dropped: int
+    outcomes: List[MutationOutcome] = field(default_factory=list)
+    sinks: Tuple[MetricsSink, ...] = ()
+
+    @property
+    def congestion(self) -> float:
+        """Final congestion of the replayed account."""
+        return self.account.congestion
+
+    @property
+    def n_mutations(self) -> int:
+        """Number of mutations applied during the replay."""
+        return len(self.outcomes)
+
+    def sink(self, kind: Type[MetricsSink]) -> Optional[MetricsSink]:
+        """First attached sink of the given type (``None`` if absent)."""
+        for sink in self.sinks:
+            if isinstance(sink, kind):
+                return sink
+        return None
+
+
+class SimulationEngine:
+    """Drive one strategy through one request/churn timeline.
+
+    Parameters
+    ----------
+    strategy:
+        Any object implementing the
+        :class:`~repro.sim.protocol.PlacementStrategy` protocol.
+    sinks:
+        Metrics sinks; their ``interval`` hints become serve-span
+        boundaries so samples land at exact event positions while the
+        replay between them stays batched.
+    chunk_size:
+        Optional upper bound on serve-span length (the batch replay
+        grid).  ``None`` serves each uninterrupted span as one chunk.
+    """
+
+    def __init__(
+        self,
+        strategy,
+        sinks: Sequence[MetricsSink] = (),
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        validate_strategy(strategy)
+        if chunk_size is not None and chunk_size < 1:
+            raise WorkloadError("chunk_size must be a positive integer")
+        self.strategy = strategy
+        self.sinks: Tuple[MetricsSink, ...] = tuple(sinks)
+        self.chunk_size = chunk_size
+        self.n_events = 0
+        self.served = 0
+        self.dropped = 0
+        self.outcomes: List[MutationOutcome] = []
+
+    @property
+    def account(self):
+        """The strategy's cost account (live view)."""
+        return self.strategy.account
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, sequence: RequestSequence, trace: Optional[ChurnTrace] = None
+    ) -> SimulationResult:
+        """Replay ``sequence`` (interleaved with ``trace``) to completion.
+
+        Without a trace every event is served directly; with one, events
+        address processors by reference ids (original ids plus one fresh
+        id per attach in trace order), requests from departed or
+        not-yet-arrived processors are dropped, and every mutation
+        scheduled at time ``t`` is applied before the event at position
+        ``t``.
+        """
+        strategy = self.strategy
+        n_objects = getattr(strategy, "n_objects", None)
+        if n_objects is not None and sequence.n_objects > n_objects:
+            raise WorkloadError(
+                "sequence references more objects than the strategy was built for"
+            )
+        self.n_events = len(sequence)
+        self.served = 0
+        self.dropped = 0
+        self.outcomes = []
+
+        boundaries = set()
+        for sink in self.sinks:
+            interval = sink.interval
+            if interval:
+                boundaries.update(range(interval, self.n_events, interval))
+        items = merge_timeline(self.n_events, trace, self.chunk_size, boundaries)
+
+        track_refs = trace is not None
+        current_of_ref = None
+        n_refs = 0
+        next_attach_ref = 0
+        if track_refs:
+            base_n = strategy.network.n_nodes
+            n_refs = base_n + trace.attach_count()
+            current_of_ref = np.full(n_refs, -1, dtype=np.int64)
+            current_of_ref[:base_n] = np.arange(base_n, dtype=np.int64)
+            next_attach_ref = base_n
+
+        for sink in self.sinks:
+            sink.on_begin(self)
+        for item in items:
+            if isinstance(item, MutationPoint):
+                outcome = apply_mutation(strategy.network, item.mutation)
+                strategy.apply_mutation(outcome)
+                self.outcomes.append(outcome)
+                if track_refs:
+                    alive = current_of_ref >= 0
+                    current_of_ref[alive] = outcome.node_map[current_of_ref[alive]]
+                    if isinstance(item.mutation, AttachLeaf):
+                        current_of_ref[next_attach_ref] = int(outcome.new_node)
+                        next_attach_ref += 1
+                for sink in self.sinks:
+                    sink.on_mutation(self, outcome)
+            else:  # ServeSpan
+                start, stop = item.start, item.stop
+                if not track_refs:
+                    strategy.serve_chunk(sequence, start, stop)
+                    served, dropped = stop - start, 0
+                else:
+                    served, dropped = self._serve_remapped(
+                        sequence, start, stop, current_of_ref, n_refs
+                    )
+                self.served += served
+                self.dropped += dropped
+                for sink in self.sinks:
+                    sink.on_span(self, start, stop, served, dropped)
+                    sink.on_boundary(self, stop)
+        for sink in self.sinks:
+            sink.on_end(self)
+
+        return SimulationResult(
+            strategy=strategy,
+            account=strategy.account,
+            network=strategy.network,
+            n_events=self.n_events,
+            served=self.served,
+            dropped=self.dropped,
+            outcomes=self.outcomes,
+            sinks=self.sinks,
+        )
+
+    def _serve_remapped(
+        self,
+        sequence: RequestSequence,
+        start: int,
+        stop: int,
+        current_of_ref: np.ndarray,
+        n_refs: int,
+    ) -> Tuple[int, int]:
+        """Serve one span under the reference-id mapping.
+
+        The mapping is constant within a span (mutations only happen at
+        span boundaries), so the kept events form one chunk: when every
+        reference maps to itself the original sequence slice is served
+        directly (keeping its cached columnar view), otherwise a remapped
+        sub-sequence goes through the same chunk fast path.
+        """
+        kept: List[RequestEvent] = []
+        identity = True
+        for event in sequence.events[start:stop]:
+            if not 0 <= event.processor < n_refs:
+                raise WorkloadError(
+                    f"event references processor id {event.processor}, but the "
+                    f"replay universe has {n_refs} reference ids"
+                )
+            proc = int(current_of_ref[event.processor])
+            if proc < 0:
+                identity = False
+                continue
+            if proc == event.processor:
+                kept.append(event)
+            else:
+                identity = False
+                kept.append(RequestEvent(proc, event.obj, event.kind))
+        if identity:
+            self.strategy.serve_chunk(sequence, start, stop)
+        elif kept:
+            sub = RequestSequence(kept, sequence.n_objects)
+            self.strategy.serve_chunk(sub, 0, len(kept))
+        return len(kept), (stop - start) - len(kept)
+
+
+class RoundReplayDriver:
+    """Round-mode kernel: charge delivery rounds into a load state.
+
+    Used by the store-and-forward request replay: the scheduler decides
+    *which* traversals complete each round, the driver owns the substrate
+    charging and the per-round sink notifications (cumulative congestion,
+    delivery counts).
+    """
+
+    def __init__(self, state, sinks: Sequence[MetricsSink] = ()) -> None:
+        self.state = state
+        self.sinks: Tuple[MetricsSink, ...] = tuple(sinks)
+        self.n_rounds = 0
+
+    def run(self, rounds) -> int:
+        """Apply every round batch in order; returns the round count."""
+        for sink in self.sinks:
+            sink.on_begin(self)
+        for edge_ids in rounds:
+            ids = np.asarray(edge_ids, dtype=np.int64)
+            self.state.apply_edges(ids)
+            index = self.n_rounds
+            self.n_rounds += 1
+            for sink in self.sinks:
+                sink.on_round(self, index, ids.size)
+        for sink in self.sinks:
+            sink.on_end(self)
+        return self.n_rounds

@@ -1,0 +1,70 @@
+"""The formal strategy protocol the simulation kernel drives.
+
+Any object exposing this surface can be replayed by the
+:class:`~repro.sim.engine.SimulationEngine` -- the online strategies of
+:mod:`repro.dynamic.online` implement it, and future scheduling/sharding
+strategies plug in here without touching the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Set, runtime_checkable
+
+from repro.errors import SimulationError
+
+__all__ = ["PlacementStrategy", "validate_strategy"]
+
+_REQUIRED_METHODS = ("serve", "serve_chunk", "apply_mutation", "holders")
+_REQUIRED_ATTRS = ("network", "account")
+
+
+@runtime_checkable
+class PlacementStrategy(Protocol):
+    """Structural protocol of a replayable data-management strategy.
+
+    Attributes
+    ----------
+    network:
+        The current :class:`~repro.network.tree.HierarchicalBusNetwork`
+        (kept up to date across mutations by :meth:`apply_mutation`).
+    account:
+        The strategy's cost account; must expose the incremental
+        :class:`~repro.core.loadstate.LoadState` as ``account.state`` and
+        the derived ``congestion`` / ``total_load`` reads.
+    """
+
+    network: object
+    account: object
+
+    def serve(self, event) -> None:
+        """Serve one request event, charging its cost to ``account``."""
+
+    def serve_chunk(self, sequence, start: int, stop: int) -> None:
+        """Serve ``sequence[start:stop]``.
+
+        Must produce bit-for-bit the loads of serving the same events one
+        by one through :meth:`serve`; strategies that cannot vectorize
+        fall back to the event loop.
+        """
+
+    def apply_mutation(self, outcome) -> None:
+        """Carry the strategy and its account over a topology mutation."""
+
+    def holders(self, obj: int) -> Set[int]:
+        """Current holder set of an object (inspection / tests)."""
+
+
+def validate_strategy(strategy) -> None:
+    """Raise :class:`~repro.errors.SimulationError` unless ``strategy``
+    structurally implements :class:`PlacementStrategy`."""
+    missing = [
+        name
+        for name in _REQUIRED_METHODS
+        if not callable(getattr(strategy, name, None))
+    ]
+    missing += [name for name in _REQUIRED_ATTRS if not hasattr(strategy, name)]
+    if missing:
+        raise SimulationError(
+            f"{type(strategy).__name__} does not implement the "
+            f"PlacementStrategy protocol: missing {', '.join(sorted(missing))}"
+        )

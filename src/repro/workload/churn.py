@@ -9,6 +9,9 @@ renumbering a detach causes).
 
 * :func:`flash_crowd_attach` -- a burst of new processors joins (think of
   an audience arriving at once); stresses placement near the joined buses.
+* :func:`flash_crowd_recovery` -- the same burst followed by a rolling
+  departure of the newcomers (the multi-phase flash-crowd-with-recovery
+  regime of the scenario registry).
 * :func:`rolling_maintenance_detach` -- processors leave one by one at a
   fixed cadence (rolling maintenance); copies stranded on departed leaves
   are re-homed by the replay layer.
@@ -44,6 +47,7 @@ from repro.network.tree import HierarchicalBusNetwork
 
 __all__ = [
     "flash_crowd_attach",
+    "flash_crowd_recovery",
     "rolling_maintenance_detach",
     "bandwidth_degradation",
     "mutation_storm",
@@ -95,6 +99,44 @@ def flash_crowd_attach(
         events.append(TimedMutation(t, AttachLeaf(bus, name=f"crowd{k}")))
         t += int(spacing)
     return ChurnTrace(events)
+
+
+def flash_crowd_recovery(
+    network: HierarchicalBusNetwork,
+    n_new_leaves: int = 8,
+    attach_time: int = 0,
+    detach_start: int = 0,
+    detach_spacing: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> ChurnTrace:
+    """A flash crowd that later *recovers*: the newcomers leave again.
+
+    The attach burst is exactly :func:`flash_crowd_attach` (same reference
+    ids ``network.n_nodes + k``, same bus choices for a given seed); from
+    ``detach_start`` on, one newcomer departs every ``detach_spacing``
+    events, most recently attached first, so the ids of the remaining
+    newcomers stay stable while the crowd drains.  Requests addressed to a
+    departed newcomer are dropped by the replay, modelling the multi-phase
+    flash-crowd-with-recovery regime.
+    """
+    if detach_start < attach_time:
+        raise WorkloadError("recovery cannot start before the crowd arrives")
+    if detach_spacing < 0:
+        raise WorkloadError("detach_spacing must be non-negative")
+    trace = flash_crowd_attach(
+        network, n_new_leaves=n_new_leaves, time=attach_time, rng=rng, seed=seed
+    )
+    base_n = network.n_nodes
+    events: List[TimedMutation] = []
+    t = int(detach_start)
+    # detach in reverse attach order: with only attaches before, newcomer k
+    # holds id base_n + k, and removing the highest id never renumbers the
+    # remaining newcomers
+    for k in reversed(range(n_new_leaves)):
+        events.append(TimedMutation(t, DetachLeaf(base_n + k)))
+        t += int(detach_spacing)
+    return trace.concatenated_with(ChurnTrace(events))
 
 
 def rolling_maintenance_detach(

@@ -12,6 +12,7 @@ from repro.analysis.experiments import (
     experiment_nibble_optimality,
     experiment_online_streaming,
     experiment_runtime_scaling,
+    experiment_scenario_registry,
     experiment_sci_equivalence,
     experiment_topology_churn,
     standard_instance_suite,
@@ -169,3 +170,25 @@ class TestE10:
             assert rec["served"] + rec["dropped"] == rec["n_events"]
             assert rec["repair_consistent"]
             assert rec["n_mutations"] > 0
+
+
+class TestE11:
+    def test_scenario_registry_rows(self):
+        records = experiment_scenario_registry(small=True)
+        scenarios = {rec["scenario"] for rec in records}
+        assert scenarios == {
+            "adversarial-storm", "flash-crowd-recovery", "fleet-sweep",
+        }
+        for rec in records:
+            assert rec["served"] + rec["dropped"] == rec["n_events"]
+            assert rec["repair_consistent"]
+        # the fleet sweep contributes one labelled sub-run per network size
+        fleet_labels = {
+            rec["label"] for rec in records if rec["scenario"] == "fleet-sweep"
+        }
+        assert len(fleet_labels) >= 2
+
+    def test_deterministic_for_fixed_seed(self):
+        assert experiment_scenario_registry(seed=4, small=True) == (
+            experiment_scenario_registry(seed=4, small=True)
+        )

@@ -33,6 +33,31 @@ class TestCostAccount:
         account.charge_path(rooted, net.processors[0], net.processors[0], amount=5)
         assert account.total_load == 0.0
 
+    def test_fractional_amounts_rejected_at_api_boundary(self):
+        # the integer-valued-loads invariant (ARCHITECTURE.md invariant 2)
+        # is enforced by the cost account, not just by convention
+        net = single_bus(3)
+        rooted = net.rooted()
+        account = OnlineCostAccount(net)
+        p, q = net.processors[0], net.processors[1]
+        with pytest.raises(WorkloadError, match="integer-valued"):
+            account.charge_path(rooted, p, q, amount=0.5)
+        with pytest.raises(WorkloadError, match="integer-valued"):
+            account.charge_steiner(rooted, [p, q], amount=1.5)
+        with pytest.raises(WorkloadError, match="integer-valued"):
+            account.charge_pairs([p], [q], [0.25])
+        assert account.total_load == 0.0
+
+    def test_integer_valued_floats_accepted_and_booked_as_ints(self):
+        net = single_bus(3)
+        rooted = net.rooted()
+        account = OnlineCostAccount(net)
+        p, q = net.processors[0], net.processors[1]
+        account.charge_path(rooted, p, q, amount=3.0)
+        account.charge_pairs([p], [q], np.array([2.0]))
+        assert isinstance(account.service_units, int)
+        assert account.service_units == 5 * rooted.distance(p, q)
+
 
 class TestStaticPlacementManager:
     def test_matches_static_congestion_model(self):

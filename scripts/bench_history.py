@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Append a benchmark run's per-bench medians to the history file.
+
+``check_bench_regression.py`` gates one run against one baseline; this
+script keeps the *trajectory*: every CI bench run appends its medians to
+``BENCH_history.json`` (one entry per run, keyed by a label such as the
+commit SHA), so performance is visible PR-over-PR instead of only
+pass/fail.
+
+Usage::
+
+    python scripts/bench_history.py BENCH_1.json \
+        --history benchmarks/BENCH_history.json --label "$GITHUB_SHA"
+
+Appending is idempotent per label: re-recording an existing label
+replaces that entry instead of duplicating it.  The file stays a pure
+function of the recorded runs (no timestamps), so it is diff- and
+test-friendly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HISTORY_FORMAT = "repro.bench-history/v1"
+
+
+def load_medians(path: Path) -> dict:
+    """Map ``fullname`` -> median seconds from a pytest-benchmark report."""
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: float(bench["stats"]["median"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def load_history(path: Path) -> dict:
+    """Load (or initialise) the history document.
+
+    A corrupt or format-incompatible file is discarded with a warning and
+    the trajectory restarts empty: the history is an observability aid and
+    must never wedge the recording step (a cached bad file would otherwise
+    fail every future run until someone deletes the cache by hand).
+    """
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+            if document.get("format") != HISTORY_FORMAT or not isinstance(
+                document.get("runs"), list
+            ):
+                raise ValueError(
+                    f"unknown history format {document.get('format')!r}"
+                )
+            return document
+        except (ValueError, KeyError, TypeError) as exc:
+            print(
+                f"warning: discarding unreadable history {path}: {exc}",
+                file=sys.stderr,
+            )
+    return {"format": HISTORY_FORMAT, "runs": []}
+
+
+def append_run(history: dict, label: str, medians: dict) -> dict:
+    """Append one run's medians; an existing label is replaced **in place**
+    so a re-recorded run keeps its chronological position in the
+    trajectory."""
+    runs = list(history["runs"])
+    entry = {"label": label, "medians": dict(sorted(medians.items()))}
+    for index, run in enumerate(runs):
+        if run["label"] == label:
+            runs[index] = entry
+            break
+    else:
+        runs.append(entry)
+    return {"format": HISTORY_FORMAT, "runs": runs}
+
+
+def trajectory_summary(history: dict) -> str:
+    """Human-readable delta of the latest run against its predecessor."""
+    runs = history["runs"]
+    latest = runs[-1]
+    line = f"run {latest['label']!r}: {len(latest['medians'])} benchmarks"
+    if len(runs) < 2:
+        return line + " (first recorded run)"
+    previous = runs[-2]
+    shared = sorted(set(latest["medians"]) & set(previous["medians"]))
+    faster = sum(
+        1 for name in shared if latest["medians"][name] < previous["medians"][name]
+    )
+    slower = len(shared) - faster
+    return (
+        line
+        + f"; vs {previous['label']!r}: {faster} faster, {slower} slower "
+        + f"({len(shared)} shared)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="fresh pytest-benchmark JSON")
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path("benchmarks/BENCH_history.json"),
+        help="history file to append to (default: benchmarks/BENCH_history.json)",
+    )
+    parser.add_argument(
+        "--label",
+        required=True,
+        help="identity of this run (e.g. the commit SHA)",
+    )
+    args = parser.parse_args(argv)
+
+    medians = load_medians(args.report)
+    if not medians:
+        print("error: report contains no benchmarks", file=sys.stderr)
+        return 2
+    history = append_run(load_history(args.history), args.label, medians)
+    args.history.write_text(json.dumps(history, indent=2) + "\n")
+    print(trajectory_summary(history))
+    print(f"recorded {len(history['runs'])} runs in {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

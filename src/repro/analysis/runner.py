@@ -3,8 +3,9 @@
 The experiment runners in :mod:`repro.analysis.experiments` (E1 -- E11) are
 independent of each other, so a full reproduction sweep parallelises
 trivially across worker processes.  :func:`run_experiments` fans the
-selected runners out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-with deterministic per-experiment seeds and writes one JSON artifact per
+selected runners out over a persistent process pool
+(:func:`repro.parallel.persistent_pool`, reused across sweeps in one
+process) with deterministic per-experiment seeds and writes one JSON artifact per
 experiment (plus a ``summary.json``), so CI jobs and the ``repro
 run-experiments`` CLI subcommand share one machine-readable result format.
 
@@ -19,7 +20,6 @@ from __future__ import annotations
 import inspect
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis import experiments as _experiments
+from repro.parallel import run_jobs
 
 __all__ = [
     "EXPERIMENT_IDS",
@@ -288,9 +289,9 @@ def run_experiments(
     if parallel == 1 or len(jobs) <= 1:
         outcomes = [_run_single(*job) for job in jobs]
     else:
-        with ProcessPoolExecutor(max_workers=min(parallel, len(jobs))) as pool:
-            futures = [pool.submit(_run_single, *job) for job in jobs]
-            outcomes = [f.result() for f in futures]
+        # the pool persists across calls, so repeated sweeps in one
+        # process reuse warm workers (see repro.parallel)
+        outcomes = run_jobs(min(parallel, len(jobs)), _run_single, jobs)
 
     if output_dir is not None:
         outcomes = write_artifacts(outcomes, output_dir, stable=stable_artifacts)

@@ -19,7 +19,10 @@ workflows without writing Python:
 * ``repro simulate`` -- run a scenario from the declarative registry (or a
   ``ScenarioSpec`` JSON file) through the unified simulation kernel and
   write a JSON result artifact; ``--list`` shows the registered scenario
-  families.
+  families, ``--fleet`` replays all strategies in one stacked pass over
+  the timeline and ``--parallel N`` fans sweep/strategy jobs over a
+  persistent worker pool -- both produce byte-identical artifacts to the
+  serial default.
 
 Every subcommand is a thin wrapper around the library API, so the CLI is
 also a usage example.
@@ -315,7 +318,7 @@ def _cmd_simulate(args: argparse.Namespace, stream) -> int:
     else:
         print("simulate: pass --scenario, --spec or --list", file=stream)
         return 2
-    records = run_scenario(spec)
+    records = run_scenario(spec, fleet=args.fleet, parallel=args.parallel)
     print(
         f"scenario {spec.name}: {len(records)} strategy runs",
         file=stream,
@@ -500,6 +503,23 @@ def build_parser() -> argparse.ArgumentParser:
     size = simulate.add_mutually_exclusive_group()
     size.add_argument("--small", action="store_true", help="use reduced instance sizes")
     size.add_argument("--large", action="store_true", help="use the larger instance suite")
+    simulate.add_argument(
+        "--parallel",
+        type=_positive_int,
+        default=1,
+        help=(
+            "fan sweep/strategy jobs over a persistent worker pool; "
+            "artifacts are byte-identical to a serial run"
+        ),
+    )
+    simulate.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "replay all strategies of a scenario in one stacked pass over "
+            "the timeline (bit-for-bit equal to the sequential default)"
+        ),
+    )
     simulate.add_argument("--output", "-o", default=None)
     simulate.set_defaults(func=_cmd_simulate)
 

@@ -9,7 +9,7 @@ from repro.core.congestion import (
     object_edge_loads,
     total_communication_load,
 )
-from repro.core.loadstate import LoadSnapshot, LoadState
+from repro.core.loadstate import LaneState, LoadSnapshot, LoadState, StackedLoadState
 from repro.core.nibble import (
     NibbleResult,
     center_of_gravity,
@@ -60,6 +60,8 @@ __all__ = [
     "total_communication_load",
     "LoadState",
     "LoadSnapshot",
+    "StackedLoadState",
+    "LaneState",
     "NibbleResult",
     "center_of_gravity",
     "gravity_candidates",

@@ -35,17 +35,29 @@ All loads of the cost model are integer-valued (request counts) and bus
 loads are half-integers, so every update -- in any order, including the
 negated rollback replay -- is exact in double precision.  This is what makes
 the bit-for-bit parity guarantees of the property tests possible.
+
+:class:`StackedLoadState` extends the same substrate to *fleets*: K
+strategy lanes replaying the same timeline hold their loads as one
+``(K, n_rows)`` array over one shared :class:`~repro.core.pathmatrix.PathMatrix`
+and one shared scatter-entry cache, so batched charges amortise the
+index computations across all lanes and a topology repair debits/credits
+every lane in a single array surgery.  :meth:`StackedLoadState.lane`
+returns a :class:`LaneState` view exposing the per-lane slice of the
+replay API (``apply_path`` / ``apply_steiner`` / ``apply_pairs`` /
+``congestion`` / ``repair``), bit-for-bit equal to a standalone
+:class:`LoadState` fed the same charges -- the exactness argument above
+is order-free, so lane rows and standalone arrays agree bitwise.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import AlgorithmError, MutationError
 
-__all__ = ["LoadState", "LoadSnapshot"]
+__all__ = ["LoadState", "LoadSnapshot", "StackedLoadState", "LaneState"]
 
 
 class LoadSnapshot:
@@ -67,24 +79,14 @@ class LoadSnapshot:
         self.epoch = epoch
 
 
-class LoadState:
-    """Incremental edge/bus load and congestion bookkeeping for one network.
+class _SubstrateGeometry:
+    """Topology-derived arrays and scatter-entry caches of a load substrate.
 
-    Parameters
-    ----------
-    network:
-        The :class:`~repro.network.tree.HierarchicalBusNetwork`.
-    rooted:
-        Optional rooted view; defaults to the network's cached canonical
-        rooting (the same one the batch evaluators use).
-
-    Internally all loads live in one fused array of length
-    ``n_edges + n_nodes``: the edge block holds per-edge loads, the node
-    block holds *doubled* bus loads (the plain incident-edge sum; halving
-    happens on read so every increment stays integer-valued and exact).
-    Relative loads divide the fused array by a fused bandwidth array, which
-    turns both the rescan and the per-delta running-max repair into a
-    single gather / divide / max.
+    Shared by :class:`LoadState` (one lane, 1-D fused array) and
+    :class:`StackedLoadState` (K lanes, 2-D fused array): both keep the
+    same endpoint/denominator/incidence arrays and the same per-path /
+    per-terminal-set scatter-entry caches, so the two substrate shapes
+    cannot diverge in how they address the fused load rows.
     """
 
     __slots__ = (
@@ -93,7 +95,6 @@ class LoadState:
         "pm",
         "n_edges",
         "n_nodes",
-        "_loads",
         "_denom",
         "_edge_u",
         "_edge_v",
@@ -101,30 +102,23 @@ class LoadState:
         "_bus_nodes",
         "_inc_indptr",
         "_inc_edges",
-        "_congestion",
-        "_stale",
-        "_journal",
-        "_snapshots",
         "_path_cache",
         "_steiner_cache",
         "_topology_epoch",
     )
 
-    def __init__(self, network, rooted=None) -> None:
+    def _init_geometry(self, network, rooted) -> None:
         self.network = network
         self.rooted = rooted if rooted is not None else network.rooted()
         self.pm = self.rooted.path_matrix()
 
-        n_edges = network.n_edges
-        n_nodes = network.n_nodes
-        self.n_edges = n_edges
-        self.n_nodes = n_nodes
-        self._loads = np.zeros(n_edges + n_nodes, dtype=np.float64)
+        self.n_edges = network.n_edges
+        self.n_nodes = network.n_nodes
 
         edges = network.edges
         self._edge_u = np.array([e.u for e in edges], dtype=np.int64)
         self._edge_v = np.array([e.v for e in edges], dtype=np.int64)
-        is_bus = np.zeros(n_nodes, dtype=bool)
+        is_bus = np.zeros(self.n_nodes, dtype=bool)
         if network.buses:
             is_bus[list(network.buses)] = True
         self._node_is_bus = is_bus
@@ -133,10 +127,6 @@ class LoadState:
         self._denom = self._build_denominators(network)
         self._inc_indptr, self._inc_edges = self._build_incident_csr()
 
-        self._congestion = 0.0
-        self._stale = False
-        self._journal: List[Tuple[str, object, object]] = []
-        self._snapshots: List[LoadSnapshot] = []
         self._path_cache: dict = {}
         self._steiner_cache: dict = {}
         self._topology_epoch = 0
@@ -173,6 +163,107 @@ class LoadState:
         indptr[1:] = np.cumsum(np.bincount(endpoints, minlength=self.n_nodes))
         return indptr, eids[order]
 
+    def incident_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids incident to ``node`` (precomputed CSR slice)."""
+        return self._inc_edges[self._inc_indptr[node] : self._inc_indptr[node + 1]]
+
+    # ------------------------------------------------------------------ #
+    # scatter entries (shared by all lanes of a substrate)
+    # ------------------------------------------------------------------ #
+    def _make_entry(self, edge_ids: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Precompute the scatter entry of a fixed edge set (path / Steiner).
+
+        The edge ids of a tree path or Steiner tree are distinct, so the
+        fused indices (edges, then touched bus rows) can use plain fancy
+        indexing instead of ``np.add.at``; the entry carries the per-index
+        increments (1 per edge, the endpoint multiplicity per bus -- a bus
+        interior to a path is touched by two of its edges) and the gathered
+        denominators for the one-gather running-max repair.
+        """
+        nodes = np.concatenate([self._edge_u[edge_ids], self._edge_v[edge_ids]])
+        buses = nodes[self._node_is_bus[nodes]]
+        bus_nodes, mult = np.unique(buses, return_counts=True)
+        fused = np.concatenate([edge_ids, self.n_edges + bus_nodes])
+        inc = np.concatenate([np.ones(edge_ids.size), mult.astype(np.float64)])
+        return (edge_ids, fused, inc, self._denom[fused])
+
+    def _path_entry(self, src: int, dst: int) -> Tuple[np.ndarray, ...]:
+        key = (src, dst) if src < dst else (dst, src)
+        entry = self._path_cache.get(key)
+        if entry is None:
+            ids = np.asarray(self.rooted.path_edge_ids(src, dst), dtype=np.int64)
+            entry = self._make_entry(ids)
+            self._path_cache[key] = entry
+        return entry
+
+    def _steiner_entry(self, key: frozenset) -> Tuple[np.ndarray, ...]:
+        entry = self._steiner_cache.get(key)
+        if entry is None:
+            ids = np.asarray(self.rooted.steiner_edge_ids(key), dtype=np.int64)
+            entry = self._make_entry(ids)
+            self._steiner_cache[key] = entry
+        return entry
+
+    def _refresh_cached_denoms(self) -> None:
+        """Re-gather the denominators cached inside every scatter entry."""
+        for cache in (self._path_cache, self._steiner_cache):
+            for key, (ids, fused, inc, _denom) in list(cache.items()):
+                cache[key] = (ids, fused, inc, self._denom[fused])
+
+    # ------------------------------------------------------------------ #
+    # structural helpers shared with the strategies
+    # ------------------------------------------------------------------ #
+    def path_length(self, src: int, dst: int) -> int:
+        """Number of edges on the path ``src -> dst`` (cached)."""
+        if src == dst:
+            return 0
+        return int(self._path_entry(src, dst)[0].size)
+
+    def pair_costs(self, u, v) -> np.ndarray:
+        """Path lengths of the pairs ``u[i] -> v[i]`` (vectorized)."""
+        return self.pm.distances(u, v)
+
+    def nearest_in_set(self, nodes, candidates: Sequence[int]) -> np.ndarray:
+        """Nearest candidate per node (ties to the smallest id), vectorized."""
+        return self.pm.nearest_in_set(np.asarray(nodes, dtype=np.int64), candidates)
+
+
+class LoadState(_SubstrateGeometry):
+    """Incremental edge/bus load and congestion bookkeeping for one network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.network.tree.HierarchicalBusNetwork`.
+    rooted:
+        Optional rooted view; defaults to the network's cached canonical
+        rooting (the same one the batch evaluators use).
+
+    Internally all loads live in one fused array of length
+    ``n_edges + n_nodes``: the edge block holds per-edge loads, the node
+    block holds *doubled* bus loads (the plain incident-edge sum; halving
+    happens on read so every increment stays integer-valued and exact).
+    Relative loads divide the fused array by a fused bandwidth array, which
+    turns both the rescan and the per-delta running-max repair into a
+    single gather / divide / max.
+    """
+
+    __slots__ = (
+        "_loads",
+        "_congestion",
+        "_stale",
+        "_journal",
+        "_snapshots",
+    )
+
+    def __init__(self, network, rooted=None) -> None:
+        self._init_geometry(network, rooted)
+        self._loads = np.zeros(self.n_edges + self.n_nodes, dtype=np.float64)
+        self._congestion = 0.0
+        self._stale = False
+        self._journal: List[Tuple[str, object, object]] = []
+        self._snapshots: List[LoadSnapshot] = []
+
     # ------------------------------------------------------------------ #
     # reads
     # ------------------------------------------------------------------ #
@@ -189,10 +280,6 @@ class LoadState:
     def bus_load(self, bus: int) -> float:
         """Load of one bus (half the incident-edge load sum)."""
         return float(self._loads[self.n_edges + bus]) * 0.5
-
-    def incident_edge_ids(self, node: int) -> np.ndarray:
-        """Edge ids incident to ``node`` (precomputed CSR slice)."""
-        return self._inc_edges[self._inc_indptr[node] : self._inc_indptr[node + 1]]
 
     @property
     def total_load(self) -> float:
@@ -224,23 +311,6 @@ class LoadState:
     # ------------------------------------------------------------------ #
     # delta application
     # ------------------------------------------------------------------ #
-    def _make_entry(self, edge_ids: np.ndarray) -> Tuple[np.ndarray, ...]:
-        """Precompute the scatter entry of a fixed edge set (path / Steiner).
-
-        The edge ids of a tree path or Steiner tree are distinct, so the
-        fused indices (edges, then touched bus rows) can use plain fancy
-        indexing instead of ``np.add.at``; the entry carries the per-index
-        increments (1 per edge, the endpoint multiplicity per bus -- a bus
-        interior to a path is touched by two of its edges) and the gathered
-        denominators for the one-gather running-max repair.
-        """
-        nodes = np.concatenate([self._edge_u[edge_ids], self._edge_v[edge_ids]])
-        buses = nodes[self._node_is_bus[nodes]]
-        bus_nodes, mult = np.unique(buses, return_counts=True)
-        fused = np.concatenate([edge_ids, self.n_edges + bus_nodes])
-        inc = np.concatenate([np.ones(edge_ids.size), mult.astype(np.float64)])
-        return (edge_ids, fused, inc, self._denom[fused])
-
     def _apply_entry(self, entry: Tuple[np.ndarray, ...], amount: float) -> None:
         _ids, fused, inc, denom = entry
         loads = self._loads
@@ -254,15 +324,6 @@ class LoadState:
                 self._stale = True
         if self._snapshots:
             self._journal.append(("entry", entry, amount))
-
-    def _path_entry(self, src: int, dst: int) -> Tuple[np.ndarray, ...]:
-        key = (src, dst) if src < dst else (dst, src)
-        entry = self._path_cache.get(key)
-        if entry is None:
-            ids = np.asarray(self.rooted.path_edge_ids(src, dst), dtype=np.int64)
-            entry = self._make_entry(ids)
-            self._path_cache[key] = entry
-        return entry
 
     def apply_path(self, src: int, dst: int, amount: float = 1.0) -> int:
         """Charge ``amount`` on every edge of the tree path ``src -> dst``.
@@ -284,11 +345,7 @@ class LoadState:
         Returns the number of Steiner edges.  Cached per terminal set.
         """
         key = frozenset(int(t) for t in terminals)
-        entry = self._steiner_cache.get(key)
-        if entry is None:
-            ids = np.asarray(self.rooted.steiner_edge_ids(key), dtype=np.int64)
-            entry = self._make_entry(ids)
-            self._steiner_cache[key] = entry
+        entry = self._steiner_entry(key)
         if entry[0].size and amount != 0:
             self._apply_entry(entry, amount)
         return int(entry[0].size)
@@ -451,23 +508,6 @@ class LoadState:
                 return
         raise AlgorithmError("snapshot does not belong to this LoadState")
 
-    # ------------------------------------------------------------------ #
-    # structural helpers shared with the strategies
-    # ------------------------------------------------------------------ #
-    def path_length(self, src: int, dst: int) -> int:
-        """Number of edges on the path ``src -> dst`` (cached)."""
-        if src == dst:
-            return 0
-        return int(self._path_entry(src, dst)[0].size)
-
-    def pair_costs(self, u, v) -> np.ndarray:
-        """Path lengths of the pairs ``u[i] -> v[i]`` (vectorized)."""
-        return self.pm.distances(u, v)
-
-    def nearest_in_set(self, nodes, candidates: Sequence[int]) -> np.ndarray:
-        """Nearest candidate per node (ties to the smallest id), vectorized."""
-        return self.pm.nearest_in_set(np.asarray(nodes, dtype=np.int64), candidates)
-
     def load_profile(self):
         """Materialise the current state as a static :class:`LoadProfile`."""
         from repro.core.congestion import LoadProfile
@@ -547,9 +587,7 @@ class LoadState:
                     2.0 * network.bus_bandwidth(outcome.changed_bus)
                 )
             # scatter entries cache their denominator gather: refresh it
-            for cache in (self._path_cache, self._steiner_cache):
-                for key, (ids, fused, inc, _denom) in list(cache.items()):
-                    cache[key] = (ids, fused, inc, self._denom[fused])
+            self._refresh_cached_denoms()
         else:
             edge_block = self._loads[:n_edges_old]
             node_block = self._loads[n_edges_old:]
@@ -604,3 +642,404 @@ class LoadState:
         self._congestion = 0.0
         self._stale = False
         self._journal.clear()
+
+
+class StackedLoadState(_SubstrateGeometry):
+    """K load lanes over one shared substrate (the fleet-replay engine).
+
+    Replaying the same request/churn timeline under K strategies against K
+    independent :class:`LoadState` instances pays K times for everything
+    that only depends on the *topology*: scatter-entry construction, bus
+    folds, congestion rescans and churn repairs.  The stacked state keeps
+    one fused load array of shape ``(K, n_edges + n_nodes)`` instead, with
+
+    * **shared geometry** -- one :class:`~repro.core.pathmatrix.PathMatrix`,
+      one denominator array and one path/Steiner scatter-entry cache for
+      all lanes;
+    * **lane-broadcast batch charges** -- :meth:`apply_edge_loads_lanes`
+      adds one per-edge column per lane in a single batched scatter (the
+      bus fold and the per-lane running-max repair are vectorized over the
+      lane axis);
+    * **per-lane running-max congestion** -- ``_congestion`` / ``_stale``
+      are arrays over lanes, maintained with exactly the rules of
+      :class:`LoadState`;
+    * **one shared churn repair** -- :meth:`repair` carries *all* lanes
+      over a topology mutation with a single 2-D array surgery
+      (debit/credit per lane row), and is idempotent per
+      :class:`~repro.network.mutation.MutationOutcome` so every lane's
+      strategy can call it through its own view without double-applying.
+
+    All charges are integer-valued (ARCHITECTURE.md invariant 2), so each
+    lane row is bit-for-bit the fused array of a standalone
+    :class:`LoadState` fed the same charges in any order -- the fleet
+    parity tests pin this down.
+
+    Lanes do not journal: :meth:`LaneState.snapshot` raises.  Search
+    layers needing tentative moves keep using :class:`LoadState`.
+    """
+
+    __slots__ = (
+        "n_lanes",
+        "_loads",
+        "_congestion",
+        "_stale",
+        "_lanes",
+        "_applied_outcomes",
+    )
+
+    def __init__(self, network, n_lanes: int, rooted=None) -> None:
+        if n_lanes < 1:
+            raise AlgorithmError("a stacked load state needs at least one lane")
+        self._init_geometry(network, rooted)
+        self.n_lanes = int(n_lanes)
+        self._loads = np.zeros(
+            (self.n_lanes, self.n_edges + self.n_nodes), dtype=np.float64
+        )
+        self._congestion = np.zeros(self.n_lanes, dtype=np.float64)
+        self._stale = np.zeros(self.n_lanes, dtype=bool)
+        self._lanes = tuple(LaneState(self, k) for k in range(self.n_lanes))
+        self._applied_outcomes: Optional[List] = None
+
+    @property
+    def lanes(self) -> Tuple["LaneState", ...]:
+        """All lane views, in lane order."""
+        return self._lanes
+
+    def lane(self, index: int) -> "LaneState":
+        """The view of one lane (stable across repairs)."""
+        return self._lanes[index]
+
+    # ------------------------------------------------------------------ #
+    # per-lane primitives (called through the LaneState views)
+    # ------------------------------------------------------------------ #
+    def _lane_congestion(self, k: int) -> float:
+        if self._stale[k]:
+            row = self._loads[k]
+            self._congestion[k] = float((row / self._denom).max()) if row.size else 0.0
+            self._stale[k] = False
+        return float(self._congestion[k])
+
+    def _apply_entry_lane(self, k: int, entry: Tuple[np.ndarray, ...], amount: float) -> None:
+        _ids, fused, inc, denom = entry
+        row = self._loads[k]
+        row[fused] += inc * amount
+        if not self._stale[k]:
+            if amount >= 0:
+                value = float((row[fused] / denom).max())
+                if value > self._congestion[k]:
+                    self._congestion[k] = value
+            else:
+                self._stale[k] = True
+
+    # ------------------------------------------------------------------ #
+    # lane-broadcast batch application
+    # ------------------------------------------------------------------ #
+    def apply_edge_loads_lanes(self, lanes, columns: np.ndarray) -> None:
+        """Add one per-edge load column per listed lane, batched.
+
+        ``columns`` has shape ``(n_edges, len(lanes))`` (column ``j`` goes
+        to lane ``lanes[j]``); the bus fold and the congestion update run
+        once over the whole block instead of once per lane.  Lane ids must
+        be distinct.  Produces bit-for-bit the loads and congestion of
+        ``LoadState.apply_edge_loads`` called per lane.
+        """
+        lanes = np.asarray(lanes, dtype=np.int64)
+        cols = np.asarray(columns, dtype=np.float64)
+        if cols.ndim == 1:
+            cols = cols[:, None]
+        if cols.shape != (self.n_edges, lanes.size):
+            raise AlgorithmError("edge-load column block has the wrong shape")
+        if np.unique(lanes).size != lanes.size:
+            # a buffered fancy-index "+=" would drop all but one duplicate
+            raise AlgorithmError("lane ids must be distinct")
+        n_edges = self.n_edges
+        self._loads[lanes, :n_edges] += cols.T
+        bus2 = np.zeros((self.n_nodes, lanes.size), dtype=np.float64)
+        np.add.at(bus2, self._edge_u, cols)
+        np.add.at(bus2, self._edge_v, cols)
+        bus2[~self._node_is_bus] = 0.0
+        self._loads[lanes, n_edges:] += bus2.T
+        negative = (cols < 0).any(axis=0)
+        if negative.any():
+            self._stale[lanes[negative]] = True
+        fresh = lanes[~negative & ~self._stale[lanes]]
+        if fresh.size:
+            values = (self._loads[fresh] / self._denom).max(axis=1)
+            self._congestion[fresh] = np.maximum(self._congestion[fresh], values)
+
+    # ------------------------------------------------------------------ #
+    # reads over the whole fleet
+    # ------------------------------------------------------------------ #
+    @property
+    def congestions(self) -> np.ndarray:
+        """Per-lane congestion values (stale lanes rescanned first)."""
+        if self._stale.any():
+            rows = np.flatnonzero(self._stale)
+            self._congestion[rows] = (self._loads[rows] / self._denom).max(axis=1)
+            self._stale[rows] = False
+        return self._congestion.copy()
+
+    def verify_bus_loads(self, lane: Optional[int] = None) -> bool:
+        """Debug check: incremental bus loads match a CSR recomputation."""
+        lanes = range(self.n_lanes) if lane is None else (lane,)
+        for k in lanes:
+            row = self._loads[k]
+            for bus in self._bus_nodes:
+                expected = row[self.incident_edge_ids(int(bus))].sum()
+                if expected != row[self.n_edges + bus]:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # shared topology repair
+    # ------------------------------------------------------------------ #
+    def repair(self, outcomes) -> None:
+        """Carry every lane over one or more topology mutations, in place.
+
+        One 2-D array surgery debits/credits all lane rows at once; the
+        per-lane result is bit-for-bit what :meth:`LoadState.repair` does
+        to a standalone state.  The repair is **idempotent per call
+        arguments**: each lane's strategy calls it through its own view
+        with the same outcome (or outcome sequence), only the first call
+        applies the mutations, and every later identical call is a no-op
+        (re-applying would fail anyway -- an outcome's ``old_network`` no
+        longer matches after the first application).  Only the previous
+        call's outcomes are remembered, so no unbounded history of old
+        networks is kept alive.
+        """
+        from repro.network.mutation import MutationOutcome
+
+        if isinstance(outcomes, MutationOutcome):
+            outcomes = [outcomes]
+        else:
+            outcomes = list(outcomes)
+        previous = self._applied_outcomes
+        if (
+            previous is not None
+            and len(previous) == len(outcomes)
+            and all(a is b for a, b in zip(previous, outcomes))
+        ):
+            return
+        for outcome in outcomes:
+            self._repair_one(outcome)
+        self._applied_outcomes = outcomes
+
+    def _repair_one(self, outcome) -> None:
+        from repro.network.mutation import AttachLeaf, DetachLeaf, SplitBus
+
+        if outcome.old_network is not self.network:
+            raise MutationError(
+                "mutation outcome does not apply to this state's network"
+            )
+        new_rooted = self.rooted.repaired(outcome)
+        new_pm = self.pm.repaired(outcome, new_rooted)
+        network = outcome.network
+        n_edges_old = self.n_edges
+        mutation = outcome.mutation
+
+        if not outcome.structural:
+            if outcome.changed_edge is not None:
+                self._denom[outcome.changed_edge] = network.edge_bandwidth(
+                    outcome.changed_edge
+                )
+            if outcome.changed_bus is not None:
+                self._denom[n_edges_old + outcome.changed_bus] = (
+                    2.0 * network.bus_bandwidth(outcome.changed_bus)
+                )
+            self._refresh_cached_denoms()
+        else:
+            edge_block = self._loads[:, :n_edges_old]
+            node_block = self._loads[:, n_edges_old:]
+            zero = np.zeros((self.n_lanes, 1), dtype=np.float64)
+            if isinstance(mutation, AttachLeaf):
+                loads = np.concatenate([edge_block, zero, node_block, zero], axis=1)
+            elif isinstance(mutation, DetachLeaf):
+                node_rows = node_block.copy()
+                node_rows[:, outcome.touched_bus] -= edge_block[:, outcome.removed_edge]
+                loads = np.concatenate(
+                    [
+                        edge_block[:, outcome.edge_map >= 0],
+                        node_rows[:, outcome.node_map >= 0],
+                    ],
+                    axis=1,
+                )
+            elif isinstance(mutation, SplitBus):
+                mids = np.asarray(outcome.moved_edge_ids, dtype=np.int64)
+                moved_sum = edge_block[:, mids].sum(axis=1)
+                node_rows = node_block.copy()
+                node_rows[:, outcome.touched_bus] -= moved_sum
+                loads = np.concatenate(
+                    [edge_block, zero, node_rows, moved_sum[:, None]], axis=1
+                )
+            else:
+                raise MutationError(
+                    f"no repair rule for mutation {type(mutation).__name__}"
+                )
+            self._loads = loads
+            self.n_edges = network.n_edges
+            self.n_nodes = network.n_nodes
+            self._edge_u = new_pm._edge_u
+            self._edge_v = new_pm._edge_v
+            self._node_is_bus = new_pm._bus_mask
+            self._bus_nodes = np.flatnonzero(new_pm._bus_mask)
+
+            self._denom = self._build_denominators(network)
+            self._inc_indptr, self._inc_edges = self._build_incident_csr()
+
+            self._path_cache.clear()
+            self._steiner_cache.clear()
+
+        self.network = network
+        self.rooted = new_rooted
+        self.pm = new_pm
+        self._stale[:] = True
+        self._topology_epoch += 1
+
+
+class LaneState:
+    """One lane of a :class:`StackedLoadState`, shaped like a :class:`LoadState`.
+
+    Exposes the replay slice of the :class:`LoadState` API (charges, reads,
+    repair) against the lane's row of the shared fused array, so a
+    strategy's :class:`~repro.dynamic.online.OnlineCostAccount` can sit on
+    a fleet lane without knowing it.  Journalling (snapshot / rollback /
+    commit) is not supported on lanes -- tentative-move search layers keep
+    their own standalone :class:`LoadState`.
+    """
+
+    __slots__ = ("parent", "lane_index")
+
+    def __init__(self, parent: StackedLoadState, lane_index: int) -> None:
+        self.parent = parent
+        self.lane_index = int(lane_index)
+
+    # -- geometry proxies ---------------------------------------------- #
+    @property
+    def network(self):
+        return self.parent.network
+
+    @property
+    def rooted(self):
+        return self.parent.rooted
+
+    @property
+    def pm(self):
+        return self.parent.pm
+
+    @property
+    def n_edges(self) -> int:
+        return self.parent.n_edges
+
+    @property
+    def n_nodes(self) -> int:
+        return self.parent.n_nodes
+
+    # -- reads ---------------------------------------------------------- #
+    @property
+    def edge_loads(self) -> np.ndarray:
+        """Per-edge accumulated loads (live view of the lane row)."""
+        return self.parent._loads[self.lane_index, : self.parent.n_edges]
+
+    @property
+    def bus_loads(self) -> np.ndarray:
+        """Per-node bus loads (zero for processors), derived incrementally."""
+        return self.parent._loads[self.lane_index, self.parent.n_edges :] * 0.5
+
+    def bus_load(self, bus: int) -> float:
+        """Load of one bus (half the incident-edge load sum)."""
+        return float(self.parent._loads[self.lane_index, self.parent.n_edges + bus]) * 0.5
+
+    def incident_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids incident to ``node`` (shared CSR slice)."""
+        return self.parent.incident_edge_ids(node)
+
+    @property
+    def total_load(self) -> float:
+        """Total communication load (sum of the lane's edge loads)."""
+        return float(self.edge_loads.sum())
+
+    @property
+    def congestion(self) -> float:
+        """Max relative load over edges and buses (lazily repaired)."""
+        return self.parent._lane_congestion(self.lane_index)
+
+    def verify_bus_loads(self) -> bool:
+        """Debug check: the lane's bus rows match a CSR recomputation."""
+        return self.parent.verify_bus_loads(self.lane_index)
+
+    # -- delta application ---------------------------------------------- #
+    def apply_path(self, src: int, dst: int, amount: float = 1.0) -> int:
+        """Charge ``amount`` on every edge of the tree path ``src -> dst``."""
+        if src == dst:
+            return 0
+        entry = self.parent._path_entry(src, dst)
+        if amount != 0:
+            self.parent._apply_entry_lane(self.lane_index, entry, amount)
+        return int(entry[0].size)
+
+    def apply_steiner(self, terminals: Iterable[int], amount: float = 1.0) -> int:
+        """Charge ``amount`` on every edge of the Steiner tree of ``terminals``."""
+        key = frozenset(int(t) for t in terminals)
+        entry = self.parent._steiner_entry(key)
+        if entry[0].size and amount != 0:
+            self.parent._apply_entry_lane(self.lane_index, entry, amount)
+        return int(entry[0].size)
+
+    def apply_edge_loads(self, vector: np.ndarray) -> None:
+        """Add a whole per-edge load vector to this lane."""
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.parent.n_edges,):
+            raise AlgorithmError("edge-load vector has the wrong shape")
+        self.parent.apply_edge_loads_lanes([self.lane_index], vec[:, None])
+
+    def apply_pairs(self, u, v, w) -> None:
+        """Charge weighted request pairs ``u[i] -> v[i]`` in one batch."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if u.size == 0:
+            return
+        self.apply_edge_loads(self.parent.pm.pair_edge_loads(u, v, w))
+
+    # -- structural helpers --------------------------------------------- #
+    def path_length(self, src: int, dst: int) -> int:
+        """Number of edges on the path ``src -> dst`` (shared cache)."""
+        return self.parent.path_length(src, dst)
+
+    def pair_costs(self, u, v) -> np.ndarray:
+        """Path lengths of the pairs ``u[i] -> v[i]`` (vectorized)."""
+        return self.parent.pair_costs(u, v)
+
+    def nearest_in_set(self, nodes, candidates: Sequence[int]) -> np.ndarray:
+        """Nearest candidate per node (ties to the smallest id), vectorized."""
+        return self.parent.nearest_in_set(nodes, candidates)
+
+    def load_profile(self):
+        """Materialise the lane's current state as a static ``LoadProfile``."""
+        from repro.core.congestion import LoadProfile
+
+        return LoadProfile(
+            network=self.parent.network,
+            edge_loads=self.edge_loads.copy(),
+            bus_loads=self.bus_loads,
+        )
+
+    # -- repair ---------------------------------------------------------- #
+    def repair(self, outcomes) -> None:
+        """Carry the whole stacked substrate over a mutation (idempotent)."""
+        self.parent.repair(outcomes)
+
+    # -- unsupported LoadState surface ----------------------------------- #
+    def snapshot(self):
+        """Lanes do not journal; tentative-move search needs a LoadState."""
+        raise AlgorithmError(
+            "fleet lanes do not support snapshot/rollback: use a standalone "
+            "LoadState for tentative-move search"
+        )
+
+    def trial_congestions(self, columns):
+        """Unsupported on lanes (see :meth:`snapshot`)."""
+        raise AlgorithmError(
+            "fleet lanes do not support trial evaluation: use a standalone "
+            "LoadState for tentative-move search"
+        )

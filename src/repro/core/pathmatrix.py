@@ -30,7 +30,7 @@ LCAs are computed for whole index arrays at once by binary lifting over a
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -61,7 +61,13 @@ class PathMatrix:
         "_edge_u",
         "_edge_v",
         "_bus_mask",
+        "_all_dist",
     )
+
+    # All-pairs distance matrices are only materialised below this node
+    # count (2048**2 int64 entries = 32 MiB); larger networks keep using
+    # the batched on-demand LCA evaluation.
+    _ALL_DIST_MAX_NODES = 2048
 
     def __init__(self, rooted) -> None:
         network = rooted.network
@@ -117,6 +123,7 @@ class PathMatrix:
         if network.buses:
             bus_mask[list(network.buses)] = True
         self._bus_mask = bus_mask
+        self._all_dist = None
 
     # ------------------------------------------------------------------ #
     # incremental repair after topology mutations
@@ -150,6 +157,7 @@ class PathMatrix:
         new._parent_edge = rooted._parent_edge
         new._depth = rooted._depth
 
+        new._all_dist = None
         mutation = outcome.mutation
         if not outcome.structural:
             new._up = self._up
@@ -335,8 +343,29 @@ class PathMatrix:
         """Path lengths (edge counts) for broadcastable index arrays."""
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
+        if self._all_dist is not None:
+            return self._all_dist[u, v]
         a = self.lca(u, v)
         return self._depth[u] + self._depth[v] - 2 * self._depth[a]
+
+    def all_distances(self) -> Optional[np.ndarray]:
+        """The full node-to-node distance matrix, cached on first use.
+
+        Replay layers that resolve nearest copies for many candidate sets
+        (the static-fleet chunk path) gather from this matrix instead of
+        paying one binary-lifting LCA pass per set.  Only materialised for
+        networks up to ``_ALL_DIST_MAX_NODES`` nodes (32 MiB); returns
+        ``None`` above that, and callers fall back to :meth:`distances`.
+        Entries are identical to :meth:`distances` (same LCA arithmetic),
+        so using the cache never changes results.
+        """
+        if self._all_dist is None and self.n_nodes <= self._ALL_DIST_MAX_NODES:
+            ids = np.arange(self.n_nodes, dtype=np.int64)
+            anc = self.lca(ids[:, None], ids[None, :])
+            self._all_dist = (
+                self._depth[:, None] + self._depth[None, :] - 2 * self._depth[anc]
+            )
+        return self._all_dist
 
     def nearest_in_set(
         self, nodes: np.ndarray, candidates: Sequence[int]
@@ -392,6 +421,58 @@ class PathMatrix:
     ) -> np.ndarray:
         """Per-edge loads of weighted request pairs ``u[i] -> v[i]``."""
         return self.edge_loads_from_deltas(self.pair_deltas(u, v, w))
+
+    def pair_deltas_lanes(
+        self,
+        u: np.ndarray,
+        targets: np.ndarray,
+        w: np.ndarray,
+        anc: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-lane node-delta columns for shared sources, per-lane targets.
+
+        The fleet replay shape: every lane serves the same weighted request
+        sources ``u`` (with weights ``w``), but lane ``k`` routes pair ``i``
+        to its own target ``targets[i, k]``.  Column ``k`` of the result is
+        exactly ``pair_deltas(u, targets[:, k], w)`` (integer-exact, so
+        bit-for-bit), evaluated with one batched LCA pass and three 2-D
+        scatters instead of K separate calls.  Callers that already hold
+        ``lca(u[:, None], targets)`` (the fleet path derives its distance
+        booking from the same ancestors) pass it as ``anc`` to avoid a
+        second lifting pass.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if targets.ndim != 2 or targets.shape[0] != u.size:
+            raise InvalidNodeError("targets must have shape (len(u), n_lanes)")
+        n_lanes = targets.shape[1]
+        delta = np.zeros((self.n_nodes, n_lanes), dtype=np.float64)
+        if u.size == 0:
+            return delta
+        if anc is None:
+            anc = self.lca(u[:, None], targets)
+        lanes = np.broadcast_to(
+            np.arange(n_lanes, dtype=np.int64), targets.shape
+        )
+        srcs = np.broadcast_to(u[:, None], targets.shape)
+        wcol = np.broadcast_to(w[:, None], targets.shape)
+        np.add.at(delta, (srcs, lanes), wcol)
+        np.add.at(delta, (targets, lanes), wcol)
+        np.add.at(delta, (anc, lanes), -2.0 * wcol)
+        return delta
+
+    def pair_edge_loads_lanes(
+        self,
+        u: np.ndarray,
+        targets: np.ndarray,
+        w: np.ndarray,
+        anc: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-lane edge-load columns ``(n_edges, n_lanes)`` (see above)."""
+        return self.edge_loads_from_deltas(
+            self.pair_deltas_lanes(u, targets, w, anc)
+        )
 
     def steiner_edge_loads(
         self,

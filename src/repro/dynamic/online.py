@@ -64,7 +64,14 @@ def _integer_amount(amount) -> int:
     rely on charges being integer counts.  This enforces the invariant at
     the cost-account API boundary instead of by convention: integer-valued
     floats are accepted and normalised, fractional amounts are rejected.
+
+    A genuinely-integer amount (the event-loop hot path charges plain
+    Python ints on every request) short-circuits without the float
+    round-trip; the ``float``/``is_integer`` check only runs for float
+    inputs, so per-event validation costs one ``isinstance``.
     """
+    if isinstance(amount, (int, np.integer)):
+        return int(amount)
     value = float(amount)
     if not value.is_integer():
         raise WorkloadError(
@@ -75,14 +82,25 @@ def _integer_amount(amount) -> int:
 
 
 def _integer_weights(w: np.ndarray) -> np.ndarray:
-    """Validate a batch weight vector the same way (integer-valued)."""
-    w = np.asarray(w, dtype=np.float64)
-    if w.size and not np.all(np.equal(np.mod(w, 1.0), 0.0)):
+    """Validate a batch weight vector the same way, once per chunk.
+
+    Whole chunk arrays are validated in one vectorized pass at the batch
+    boundary (never per event inside the chunk loop); integer-dtype
+    arrays -- the shape every chunk aggregation produces -- skip the
+    modulo scan entirely, and only float-dtype input pays for the check.
+    Fractional entries raise :class:`~repro.errors.WorkloadError` exactly
+    as before.
+    """
+    arr = np.asarray(w)
+    if arr.dtype.kind in "iub":
+        return arr.astype(np.float64)
+    arr = arr.astype(np.float64)
+    if arr.size and not np.all(np.equal(np.mod(arr, 1.0), 0.0)):
         raise WorkloadError(
             "batch charge weights must be integer-valued request counts "
             "(ARCHITECTURE.md invariant 2)"
         )
-    return w
+    return arr
 
 
 class OnlineCostAccount:
@@ -359,12 +377,15 @@ class StaticPlacementManager(OnlineStrategy):
         # nearest-copy table per object, resolved for all processors in one
         # batched distance evaluation on first touch
         self._nearest_cache: Dict[int, np.ndarray] = {}
+        # per-object Steiner edge ids of the holder sets (write broadcasts)
+        self._steiner_ids_cache: Dict[int, np.ndarray] = {}
         self._procs = np.asarray(network.processors, dtype=np.int64)
 
     def holders(self, obj: int) -> Set[int]:
         return set(self._placement.holders(obj))
 
-    def _nearest(self, proc: int, obj: int) -> int:
+    def _nearest_table(self, obj: int) -> np.ndarray:
+        """Per-node nearest-copy table of one object (cached, batch-built)."""
         table = self._nearest_cache.get(obj)
         if table is None:
             table = np.full(self.network.n_nodes, -1, dtype=np.int64)
@@ -372,12 +393,74 @@ class StaticPlacementManager(OnlineStrategy):
                 self._procs, self._placement.holders(obj)
             )
             self._nearest_cache[obj] = table
-        return int(table[proc])
+        return table
+
+    def _nearest_tables_bulk(self, objs) -> None:
+        """Build the nearest-copy tables of many objects in one LCA pass.
+
+        One distance evaluation against the union of all missing objects'
+        holder sets replaces one :meth:`PathMatrix.nearest_in_set` call per
+        object; each per-object table is then a gather + argmin over the
+        shared distance block.  Holder columns stay sorted ascending, so
+        ties resolve to the smallest id exactly like ``nearest_in_set``.
+        """
+        missing = [int(obj) for obj in objs if obj not in self._nearest_cache]
+        if not missing:
+            return
+        holders = {
+            obj: sorted({int(h) for h in self._placement.holders(obj)})
+            for obj in missing
+        }
+        union = sorted({h for hs in holders.values() for h in hs})
+        column = {h: j for j, h in enumerate(union)}
+        pm = self.rooted.path_matrix()
+        # Materialise the all-pairs gather cache only when the requested
+        # block is a sizeable fraction of the full matrix: under topology
+        # churn the path matrix (and hence the cache) is replaced at every
+        # structural mutation, and rebuilding an O(n^2) matrix to answer a
+        # handful-of-holders query would dwarf the replay itself.
+        if 4 * self._procs.size * len(union) >= pm.n_nodes * pm.n_nodes:
+            pm.all_distances()
+        dist = pm.distances(
+            self._procs[:, None], np.asarray(union, dtype=np.int64)[None, :]
+        )
+        n_nodes = self.network.n_nodes
+        for obj in missing:
+            hs = np.asarray(holders[obj], dtype=np.int64)
+            sub = dist[:, [column[h] for h in hs]]
+            table = np.full(n_nodes, -1, dtype=np.int64)
+            table[self._procs] = hs[np.argmin(sub, axis=1)]
+            self._nearest_cache[obj] = table
+
+    def _nearest(self, proc: int, obj: int) -> int:
+        return int(self._nearest_table(obj)[proc])
+
+    def _steiner_edge_ids_for(self, obj: int, entry_source) -> np.ndarray:
+        """Edge ids of one object's write-broadcast Steiner tree (cached).
+
+        ``entry_source`` is any substrate exposing ``_steiner_entry`` (the
+        manager's own state, or the shared stacked state in fleet mode);
+        the ids only depend on the topology and the holder set, so the
+        per-object cache survives substrate swaps and bandwidth mutations
+        and is cleared with the other holder-derived caches on structural
+        repair.
+        """
+        edge_ids = self._steiner_ids_cache.get(obj)
+        if edge_ids is None:
+            terminals = self._placement.holders(obj)
+            if len(terminals) < 2:
+                edge_ids = np.empty(0, dtype=np.int64)
+            else:
+                key = frozenset(int(t) for t in terminals)
+                edge_ids = entry_source._steiner_entry(key)[0]
+            self._steiner_ids_cache[obj] = edge_ids
+        return edge_ids
 
     def _repair_strategy_state(self, outcome) -> None:
         if not outcome.structural:
             return
         self._nearest_cache.clear()  # tables are sized to the old node count
+        self._steiner_ids_cache.clear()  # edge ids renumber under mutations
         self._procs = np.asarray(outcome.network.processors, dtype=np.int64)
         if outcome.removed_node is None:
             return  # attach/split keep node ids stable
@@ -401,6 +484,40 @@ class StaticPlacementManager(OnlineStrategy):
                 self.rooted, sorted(self._placement.holders(event.obj))
             )
 
+    @staticmethod
+    def _aggregate_chunk(sequence: RequestSequence, start: int, stop: int):
+        """Shared chunk aggregation of the sequential and fleet paths.
+
+        Collapses ``sequence[start:stop]`` into unique ``(processor,
+        object)`` request pairs with multiplicities, the pair rows grouped
+        per object, and the written objects with write counts.  Both
+        :meth:`serve_chunk` and :meth:`serve_chunk_fleet` feed off this one
+        function, so the two paths cannot drift apart in how they
+        aggregate -- the bit-for-bit fleet parity contract depends on
+        that.  Returns ``None`` for an empty chunk.
+        """
+        procs, objs, writes = sequence.as_arrays()
+        procs = procs[start:stop]
+        objs = objs[start:stop]
+        writes = writes[start:stop]
+        if procs.size == 0:
+            return None
+        pairs, counts = np.unique(
+            np.stack([procs, objs]), axis=1, return_counts=True
+        )
+        # group the pair rows per object in one sort pass (pairs sort by
+        # processor first, so the object row is not globally sorted); the
+        # stable order keeps each group's row indices ascending
+        order = np.argsort(pairs[1], kind="stable")
+        uniq_objs, starts = np.unique(pairs[1][order], return_index=True)
+        bounds = np.append(starts[1:], order.size)
+        by_object = [
+            (int(obj), order[lo:hi])
+            for obj, lo, hi in zip(uniq_objs, starts, bounds)
+        ]
+        written, write_counts = np.unique(objs[writes], return_counts=True)
+        return pairs[0], counts, by_object, written, write_counts
+
     def serve_chunk(self, sequence: RequestSequence, start: int, stop: int) -> None:
         """Vectorized batch replay of one chunk (exact event-loop parity).
 
@@ -410,23 +527,17 @@ class StaticPlacementManager(OnlineStrategy):
         quantities are integer-valued, so the resulting loads and cost units
         are bit-for-bit equal to serving the same events one by one.
         """
-        procs, objs, writes = sequence.as_arrays()
-        procs = procs[start:stop]
-        objs = objs[start:stop]
-        writes = writes[start:stop]
-        if procs.size == 0:
+        aggregated = self._aggregate_chunk(sequence, start, stop)
+        if aggregated is None:
             return
-        # aggregate (processor, object) multiplicity, then resolve each
-        # unique pair's reference copy once
-        pairs, counts = np.unique(
-            np.stack([procs, objs]), axis=1, return_counts=True
-        )
-        targets = np.array(
-            [self._nearest(int(p), int(x)) for p, x in zip(pairs[0], pairs[1])],
-            dtype=np.int64,
-        )
-        self.account.charge_pairs(pairs[0], targets, counts)
-        written, write_counts = np.unique(objs[writes], return_counts=True)
+        u, counts, by_object, written, write_counts = aggregated
+        # resolve each unique pair's reference copy via the per-object
+        # tables (built in one bulk LCA pass, gathered per object)
+        self._nearest_tables_bulk([obj for obj, _ in by_object])
+        targets = np.empty(u.size, dtype=np.int64)
+        for obj, rows in by_object:
+            targets[rows] = self._nearest_table(obj)[u[rows]]
+        self.account.charge_pairs(u, targets, counts)
         for obj, count in zip(written, write_counts):
             self.account.charge_steiner(
                 self.rooted,
@@ -437,6 +548,82 @@ class StaticPlacementManager(OnlineStrategy):
     def run_batch(self, sequence: RequestSequence) -> OnlineCostAccount:
         """Replay the whole sequence as one batch (see :meth:`serve_chunk`)."""
         return self.run(sequence, chunk_size=max(1, len(sequence)))
+
+    @classmethod
+    def serve_chunk_fleet(
+        cls, managers: Sequence["StaticPlacementManager"], sequence, start, stop
+    ) -> None:
+        """Serve one chunk for a whole fleet of static managers at once.
+
+        The fleet-replay group hook (see
+        :func:`~repro.sim.protocol.fleet_groups`): all managers replay the
+        same events, so the chunk aggregation (unique ``(processor,
+        object)`` pairs and write counts) is computed **once**, nearest-copy
+        targets are gathered per lane from the cached per-object tables,
+        the LCA/distance pass runs batched over all lanes and the resulting
+        per-lane edge-load columns go into the shared
+        :class:`~repro.core.loadstate.StackedLoadState` as one
+        lane-broadcast scatter.  Per-lane write broadcasts reuse the shared
+        Steiner scatter-entry cache.
+
+        All charged quantities are integer request counts, so every lane's
+        loads and cost units are bit-for-bit those of calling the member's
+        :meth:`serve_chunk` on its own.  Falls back to exactly that when
+        the managers' accounts do not sit on lanes of one stacked state.
+        """
+        from repro.core.loadstate import LaneState
+
+        states = [getattr(m.account, "state", None) for m in managers]
+        stacked = (
+            all(isinstance(s, LaneState) for s in states)
+            and len({id(s.parent) for s in states}) == 1
+        )
+        if not stacked:
+            for manager in managers:
+                manager.serve_chunk(sequence, start, stop)
+            return
+
+        aggregated = cls._aggregate_chunk(sequence, start, stop)
+        if aggregated is None:
+            return
+        u, counts, by_object, written, write_counts = aggregated
+        targets = np.empty((u.size, len(managers)), dtype=np.int64)
+        for k, manager in enumerate(managers):
+            manager._nearest_tables_bulk([obj for obj, _ in by_object])
+            for obj, rows in by_object:
+                targets[rows, k] = manager._nearest_table(obj)[u[rows]]
+
+        parent = states[0].parent
+        lanes = [s.lane_index for s in states]
+        w = counts.astype(np.float64)
+        # one batched LCA pass feeds both the distance booking and the
+        # pair scatters (same depth arithmetic as pm.distances)
+        pm = parent.pm
+        anc = pm.lca(u[:, None], targets)
+        depth = pm.depths
+        dists = depth[u][:, None] + depth[targets] - 2 * depth[anc]
+        columns = pm.pair_edge_loads_lanes(u, targets, w, anc)
+        parent.apply_edge_loads_lanes(lanes, columns)
+        for k, manager in enumerate(managers):
+            manager.account._book(int(round(float(dists[:, k] @ w))), False)
+
+        # write broadcasts: one per-lane Steiner column through the shared
+        # entry cache, applied as a second lane-broadcast scatter.  All
+        # charges in a span are non-negative, so the end-of-span congestion
+        # (the only observation point) equals the per-charge running max of
+        # the sequential path bit-for-bit.
+        if written.size:
+            steiner_cols = np.zeros((parent.n_edges, len(managers)))
+            for k, manager in enumerate(managers):
+                column = steiner_cols[:, k]
+                booked = 0
+                for obj, count in zip(written, write_counts):
+                    edge_ids = manager._steiner_edge_ids_for(int(obj), parent)
+                    if edge_ids.size:
+                        column[edge_ids] += count
+                        booked += int(count) * int(edge_ids.size)
+                manager.account._book(booked, False)
+            parent.apply_edge_loads_lanes(lanes, steiner_cols)
 
 
 @dataclass

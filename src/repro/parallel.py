@@ -1,0 +1,82 @@
+"""Persistent worker pools shared by the sweep layers.
+
+Both sweep entry points -- the experiment runner of
+:mod:`repro.analysis.runner` and the scenario sweeps of
+:mod:`repro.sim.scenario` -- fan independent jobs out over worker
+processes.  Spinning a fresh :class:`~concurrent.futures.ProcessPoolExecutor`
+up per call throws the workers' warm state away: imports, and (for
+scenario sweeps) the per-worker substrate caches that let one worker
+build a network size's substrate once and replay every strategy/spec job
+against it.  This module keeps one pool alive per worker count instead;
+repeated sweeps in one process (experiment batteries, test suites, the
+CLI called from a driver loop) reuse the same workers and their caches.
+
+Pools are shut down at interpreter exit.  Determinism is unaffected:
+jobs carry their own seeds and the callers collect futures in submission
+order, so results are independent of which worker runs what.
+
+One pool lives per distinct worker count, so a driver alternating
+between, say, ``--parallel 2`` and ``--parallel 8`` keeps two pools (10
+resident workers) warm; call :func:`shutdown_pools` to release them
+early when that matters.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict
+
+__all__ = ["persistent_pool", "run_jobs", "shutdown_pools"]
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def persistent_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The shared process pool for ``max_workers`` workers (created lazily).
+
+    The pool stays alive across calls so worker-side caches persist; it is
+    shut down automatically at interpreter exit (or explicitly via
+    :func:`shutdown_pools`).  A pool whose workers died (OOM kill,
+    segfault) enters the executor's broken state permanently -- that one
+    is discarded and replaced with a fresh pool instead of poisoning
+    every later sweep in the process.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    pool = _POOLS.get(max_workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        pool.shutdown(wait=False)
+        pool = None
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        _POOLS[max_workers] = pool
+    return pool
+
+
+def run_jobs(max_workers: int, fn, jobs):
+    """Run ``fn(*args)`` for every ``args`` in ``jobs`` on the shared pool.
+
+    Results come back in submission order (determinism does not depend on
+    worker scheduling).  If collecting a result raises, the not-yet-started
+    jobs are cancelled so no orphaned work keeps running in the persistent
+    pool, and the exception propagates.
+    """
+    pool = persistent_pool(max_workers)
+    futures = [pool.submit(fn, *args) for args in jobs]
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+def shutdown_pools() -> None:
+    """Shut every persistent pool down and drop the registry."""
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

@@ -32,7 +32,7 @@ kernel with bit-for-bit identical results (pinned by
 """
 
 from repro.sim.engine import RoundReplayDriver, SimulationEngine, SimulationResult
-from repro.sim.protocol import PlacementStrategy, validate_strategy
+from repro.sim.protocol import PlacementStrategy, fleet_groups, validate_strategy
 from repro.sim.scenario import (
     SCENARIO_FAMILIES,
     BuiltScenario,
@@ -57,6 +57,7 @@ __all__ = [
     "SimulationResult",
     "RoundReplayDriver",
     "PlacementStrategy",
+    "fleet_groups",
     "validate_strategy",
     "MetricsSink",
     "TrajectorySink",

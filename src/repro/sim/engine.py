@@ -28,18 +28,99 @@ from typing import List, Optional, Sequence, Tuple, Type
 import numpy as np
 
 from repro.dynamic.sequence import RequestEvent, RequestSequence
-from repro.errors import WorkloadError
+from repro.errors import SimulationError, WorkloadError
 from repro.network.mutation import (
     AttachLeaf,
     ChurnTrace,
     MutationOutcome,
     apply_mutation,
 )
-from repro.sim.protocol import validate_strategy
+from repro.sim.protocol import fleet_groups, validate_strategy
 from repro.sim.sinks import MetricsSink
 from repro.sim.timeline import MutationPoint, ServeSpan, merge_timeline
 
 __all__ = ["SimulationEngine", "SimulationResult", "RoundReplayDriver"]
+
+
+def _remap_span(
+    sequence: RequestSequence,
+    start: int,
+    stop: int,
+    current_of_ref: np.ndarray,
+    n_refs: int,
+) -> Tuple[Optional[RequestSequence], int, int, int, int]:
+    """Resolve one serve span under the reference-id mapping.
+
+    The mapping is constant within a span (mutations only happen at span
+    boundaries), so the kept events form one chunk.  Returns
+    ``(sub, sub_start, sub_stop, served, dropped)``: when every reference
+    maps to itself the original sequence slice is returned directly
+    (keeping its cached columnar view), otherwise a remapped sub-sequence
+    covering exactly the kept events; ``sub`` is ``None`` when every event
+    of the span dropped.
+    """
+    kept: List[RequestEvent] = []
+    identity = True
+    for event in sequence.events[start:stop]:
+        if not 0 <= event.processor < n_refs:
+            raise WorkloadError(
+                f"event references processor id {event.processor}, but the "
+                f"replay universe has {n_refs} reference ids"
+            )
+        proc = int(current_of_ref[event.processor])
+        if proc < 0:
+            identity = False
+            continue
+        if proc == event.processor:
+            kept.append(event)
+        else:
+            identity = False
+            kept.append(RequestEvent(proc, event.obj, event.kind))
+    if identity:
+        return sequence, start, stop, stop - start, 0
+    if kept:
+        sub = RequestSequence(kept, sequence.n_objects)
+        return sub, 0, len(kept), len(kept), (stop - start) - len(kept)
+    return None, 0, 0, 0, stop - start
+
+
+class _ReferenceTracker:
+    """Reference-id -> current-node mapping of a churn replay.
+
+    Events address processors by *reference id*: original node ids plus
+    one fresh id per attach in trace order.  Departed (or not-yet-arrived)
+    references map to ``-1`` and their requests drop.  One implementation
+    serves both :meth:`SimulationEngine.run` and
+    :meth:`SimulationEngine.run_fleet`, so the two paths cannot drift in
+    churn reference semantics (invariant 7 depends on that).
+    """
+
+    __slots__ = ("current_of_ref", "n_refs", "_next_attach")
+
+    def __init__(self, base_n: int, trace: ChurnTrace) -> None:
+        self.n_refs = base_n + trace.attach_count()
+        self.current_of_ref = np.full(self.n_refs, -1, dtype=np.int64)
+        self.current_of_ref[:base_n] = np.arange(base_n, dtype=np.int64)
+        self._next_attach = base_n
+
+    def apply_outcome(self, mutation, outcome: MutationOutcome) -> None:
+        """Renumber live references through one applied mutation."""
+        alive = self.current_of_ref >= 0
+        self.current_of_ref[alive] = outcome.node_map[self.current_of_ref[alive]]
+        if isinstance(mutation, AttachLeaf):
+            self.current_of_ref[self._next_attach] = int(outcome.new_node)
+            self._next_attach += 1
+
+
+def _sink_boundaries(sink_sets, n_events: int) -> set:
+    """Span-break positions requested by the sinks' ``interval`` hints."""
+    boundaries = set()
+    for sinks in sink_sets:
+        for sink in sinks:
+            interval = sink.interval
+            if interval:
+                boundaries.update(range(interval, n_events, interval))
+    return boundaries
 
 
 @dataclass
@@ -136,23 +217,12 @@ class SimulationEngine:
         self.dropped = 0
         self.outcomes = []
 
-        boundaries = set()
-        for sink in self.sinks:
-            interval = sink.interval
-            if interval:
-                boundaries.update(range(interval, self.n_events, interval))
+        boundaries = _sink_boundaries([self.sinks], self.n_events)
         items = merge_timeline(self.n_events, trace, self.chunk_size, boundaries)
 
-        track_refs = trace is not None
-        current_of_ref = None
-        n_refs = 0
-        next_attach_ref = 0
-        if track_refs:
-            base_n = strategy.network.n_nodes
-            n_refs = base_n + trace.attach_count()
-            current_of_ref = np.full(n_refs, -1, dtype=np.int64)
-            current_of_ref[:base_n] = np.arange(base_n, dtype=np.int64)
-            next_attach_ref = base_n
+        tracker = None
+        if trace is not None:
+            tracker = _ReferenceTracker(strategy.network.n_nodes, trace)
 
         for sink in self.sinks:
             sink.on_begin(self)
@@ -161,22 +231,19 @@ class SimulationEngine:
                 outcome = apply_mutation(strategy.network, item.mutation)
                 strategy.apply_mutation(outcome)
                 self.outcomes.append(outcome)
-                if track_refs:
-                    alive = current_of_ref >= 0
-                    current_of_ref[alive] = outcome.node_map[current_of_ref[alive]]
-                    if isinstance(item.mutation, AttachLeaf):
-                        current_of_ref[next_attach_ref] = int(outcome.new_node)
-                        next_attach_ref += 1
+                if tracker is not None:
+                    tracker.apply_outcome(item.mutation, outcome)
                 for sink in self.sinks:
                     sink.on_mutation(self, outcome)
             else:  # ServeSpan
                 start, stop = item.start, item.stop
-                if not track_refs:
+                if tracker is None:
                     strategy.serve_chunk(sequence, start, stop)
                     served, dropped = stop - start, 0
                 else:
                     served, dropped = self._serve_remapped(
-                        sequence, start, stop, current_of_ref, n_refs
+                        sequence, start, stop,
+                        tracker.current_of_ref, tracker.n_refs,
                     )
                 self.served += served
                 self.dropped += dropped
@@ -205,37 +272,202 @@ class SimulationEngine:
         current_of_ref: np.ndarray,
         n_refs: int,
     ) -> Tuple[int, int]:
-        """Serve one span under the reference-id mapping.
+        """Serve one span under the reference-id mapping (see
+        :func:`_remap_span`; the kept chunk goes through the same chunk
+        fast path)."""
+        sub, sub_start, sub_stop, served, dropped = _remap_span(
+            sequence, start, stop, current_of_ref, n_refs
+        )
+        if sub is not None and sub_stop > sub_start:
+            self.strategy.serve_chunk(sub, sub_start, sub_stop)
+        return served, dropped
 
-        The mapping is constant within a span (mutations only happen at
-        span boundaries), so the kept events form one chunk: when every
-        reference maps to itself the original sequence slice is served
-        directly (keeping its cached columnar view), otherwise a remapped
-        sub-sequence goes through the same chunk fast path.
+    # ------------------------------------------------------------------ #
+    # fleet replay: all strategies in one stacked pass over the timeline
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def run_fleet(
+        cls,
+        strategies: Sequence[object],
+        sequence: RequestSequence,
+        trace: Optional[ChurnTrace] = None,
+        sinks: Optional[Sequence[Sequence[MetricsSink]]] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """Replay one timeline under every strategy at once, stacked.
+
+        The comparative experiment shape of the paper -- the same
+        request/churn timeline under a whole strategy family -- pays K
+        full passes when run strategy by strategy.  ``run_fleet`` decodes
+        the timeline **once**, rebinds every strategy's (fresh) cost
+        account onto one lane of a shared
+        :class:`~repro.core.loadstate.StackedLoadState`, and serves each
+        span for all K strategies against the stacked substrate:
+
+        * strategies whose class implements the ``serve_chunk_fleet``
+          group hook (see :func:`~repro.sim.protocol.fleet_groups`) share
+          the chunk aggregation, the batched LCA/distance pass and one
+          lane-broadcast edge scatter;
+        * every other strategy is served through its own ``serve_chunk``
+          against its lane, so adaptive strategies remain exact;
+        * churn mutations are applied once, the stacked substrate is
+          repaired once for all lanes, and the reference-id remapping of
+          each span is resolved once.
+
+        Per-lane metrics flow through per-strategy sink sets (``sinks[k]``
+        observes lane ``k`` through its own engine view).  Serve spans
+        break at the union of all lanes' sink intervals; with equal sink
+        configurations per lane -- the scenario-registry shape -- that is
+        exactly the sequential span structure.
+
+        The results are **bit-for-bit** those of K sequential
+        :meth:`run` calls over fresh strategies (loads, congestion,
+        trajectories, drops, cost breakdowns); all charges are integer
+        request counts, so lane arithmetic is exact in any order.
+        ``tests/properties/test_fleet_parity.py`` pins this.
+
+        Parameters
+        ----------
+        strategies:
+            Distinct, freshly-built strategies sharing one network object
+            and unused cost accounts (their states are rebound to fleet
+            lanes, which do not support snapshots).
+        sequence / trace / chunk_size:
+            As in :meth:`run`.
+        sinks:
+            Optional per-strategy sink sets (``len(sinks) == K``).
+
+        Returns
+        -------
+        list of SimulationResult, in strategy order.
         """
-        kept: List[RequestEvent] = []
-        identity = True
-        for event in sequence.events[start:stop]:
-            if not 0 <= event.processor < n_refs:
-                raise WorkloadError(
-                    f"event references processor id {event.processor}, but the "
-                    f"replay universe has {n_refs} reference ids"
+        from repro.core.loadstate import LoadState, StackedLoadState
+
+        strategies = list(strategies)
+        if not strategies:
+            raise SimulationError("run_fleet needs at least one strategy")
+        if len(set(map(id, strategies))) != len(strategies):
+            raise SimulationError("fleet strategies must be distinct instances")
+        if sinks is None:
+            sinks = [()] * len(strategies)
+        sinks = [tuple(lane_sinks) for lane_sinks in sinks]
+        if len(sinks) != len(strategies):
+            raise SimulationError("run_fleet needs one sink set per strategy")
+
+        base_net = strategies[0].network
+        for strategy in strategies:
+            validate_strategy(strategy)
+            if strategy.network is not base_net:
+                raise SimulationError(
+                    "fleet strategies must share one network object (build "
+                    "them against the same HierarchicalBusNetwork instance)"
                 )
-            proc = int(current_of_ref[event.processor])
-            if proc < 0:
-                identity = False
-                continue
-            if proc == event.processor:
-                kept.append(event)
-            else:
-                identity = False
-                kept.append(RequestEvent(proc, event.obj, event.kind))
-        if identity:
-            self.strategy.serve_chunk(sequence, start, stop)
-        elif kept:
-            sub = RequestSequence(kept, sequence.n_objects)
-            self.strategy.serve_chunk(sub, 0, len(kept))
-        return len(kept), (stop - start) - len(kept)
+            n_objects = getattr(strategy, "n_objects", None)
+            if n_objects is not None and sequence.n_objects > n_objects:
+                raise WorkloadError(
+                    "sequence references more objects than the strategy was "
+                    "built for"
+                )
+
+        # validate freshness over the whole fleet BEFORE rebinding any
+        # account: a rejected fleet must leave every strategy untouched
+        for strategy in strategies:
+            account = strategy.account
+            state = getattr(account, "state", None)
+            fresh = (
+                isinstance(state, LoadState)
+                and not np.any(state._loads)
+                and not account.service_units
+                and not account.management_units
+            )
+            if not fresh:
+                raise SimulationError(
+                    "fleet strategies must be freshly built: their cost "
+                    "accounts are rebound onto lanes of one stacked substrate"
+                )
+        stacked = StackedLoadState(base_net, len(strategies))
+        for k, strategy in enumerate(strategies):
+            strategy.account.state = stacked.lane(k)
+
+        engines = [
+            cls(strategy, sinks=sinks[k], chunk_size=chunk_size)
+            for k, strategy in enumerate(strategies)
+        ]
+        n_events = len(sequence)
+        for engine in engines:
+            engine.n_events = n_events
+            engine.served = 0
+            engine.dropped = 0
+            engine.outcomes = []
+
+        boundaries = _sink_boundaries(
+            [engine.sinks for engine in engines], n_events
+        )
+        items = merge_timeline(n_events, trace, chunk_size, boundaries)
+
+        tracker = None
+        if trace is not None:
+            tracker = _ReferenceTracker(base_net.n_nodes, trace)
+
+        groups = fleet_groups(strategies)
+
+        for engine in engines:
+            for sink in engine.sinks:
+                sink.on_begin(engine)
+        for item in items:
+            if isinstance(item, MutationPoint):
+                outcome = apply_mutation(strategies[0].network, item.mutation)
+                for k, strategy in enumerate(strategies):
+                    # the lane repair is idempotent per outcome, so the
+                    # stacked substrate is repaired exactly once
+                    strategy.apply_mutation(outcome)
+                    engines[k].outcomes.append(outcome)
+                if tracker is not None:
+                    tracker.apply_outcome(item.mutation, outcome)
+                for engine in engines:
+                    for sink in engine.sinks:
+                        sink.on_mutation(engine, outcome)
+            else:  # ServeSpan
+                start, stop = item.start, item.stop
+                if tracker is None:
+                    sub, sub_start, sub_stop = sequence, start, stop
+                    served, dropped = stop - start, 0
+                else:
+                    sub, sub_start, sub_stop, served, dropped = _remap_span(
+                        sequence, start, stop,
+                        tracker.current_of_ref, tracker.n_refs,
+                    )
+                if sub is not None and sub_stop > sub_start:
+                    for group_cls, members in groups:
+                        if group_cls is None:
+                            members[0].serve_chunk(sub, sub_start, sub_stop)
+                        else:
+                            group_cls.serve_chunk_fleet(
+                                members, sub, sub_start, sub_stop
+                            )
+                for engine in engines:
+                    engine.served += served
+                    engine.dropped += dropped
+                    for sink in engine.sinks:
+                        sink.on_span(engine, start, stop, served, dropped)
+                        sink.on_boundary(engine, stop)
+        for engine in engines:
+            for sink in engine.sinks:
+                sink.on_end(engine)
+
+        return [
+            SimulationResult(
+                strategy=engine.strategy,
+                account=engine.strategy.account,
+                network=engine.strategy.network,
+                n_events=engine.n_events,
+                served=engine.served,
+                dropped=engine.dropped,
+                outcomes=engine.outcomes,
+                sinks=engine.sinks,
+            )
+            for engine in engines
+        ]
 
 
 class RoundReplayDriver:

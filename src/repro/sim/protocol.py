@@ -4,15 +4,26 @@ Any object exposing this surface can be replayed by the
 :class:`~repro.sim.engine.SimulationEngine` -- the online strategies of
 :mod:`repro.dynamic.online` implement it, and future scheduling/sharding
 strategies plug in here without touching the kernel.
+
+**Fleet capability.**  A strategy *class* may additionally expose a
+``serve_chunk_fleet(members, sequence, start, stop)`` classmethod: given
+several instances of that class whose cost accounts sit on lanes of one
+shared :class:`~repro.core.loadstate.StackedLoadState`, it serves the
+chunk for all of them in one batched pass (shared aggregation and
+edge-batch gathers, per-lane placement decisions).  It must produce
+bit-for-bit the loads and cost units of calling each member's
+``serve_chunk`` separately; strategies without the hook are simply served
+one by one by the fleet engine, so adaptive strategies stay exact.
+:func:`fleet_groups` is the partitioning rule the engine uses.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Set, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
 
 from repro.errors import SimulationError
 
-__all__ = ["PlacementStrategy", "validate_strategy"]
+__all__ = ["PlacementStrategy", "validate_strategy", "fleet_groups"]
 
 _REQUIRED_METHODS = ("serve", "serve_chunk", "apply_mutation", "holders")
 _REQUIRED_ATTRS = ("network", "account")
@@ -68,3 +79,31 @@ def validate_strategy(strategy) -> None:
             f"{type(strategy).__name__} does not implement the "
             f"PlacementStrategy protocol: missing {', '.join(sorted(missing))}"
         )
+
+
+def fleet_groups(
+    strategies: Sequence[object],
+) -> List[Tuple[Optional[type], List[object]]]:
+    """Partition a strategy fleet into batched groups and singletons.
+
+    Strategies whose class defines the ``serve_chunk_fleet`` hook are
+    grouped by exact class (one batched call per class and serve span);
+    every other strategy forms a ``(None, [strategy])`` entry served
+    through its own ``serve_chunk``.  Group order follows first
+    appearance, members keep fleet order -- the partition is deterministic
+    so fleet replays are reproducible.
+    """
+    groups: List[Tuple[Optional[type], List[object]]] = []
+    index: dict = {}
+    for strategy in strategies:
+        hook = getattr(type(strategy), "serve_chunk_fleet", None)
+        if callable(hook):
+            key = type(strategy)
+            if key in index:
+                groups[index[key]][1].append(strategy)
+            else:
+                index[key] = len(groups)
+                groups.append((key, [strategy]))
+        else:
+            groups.append((None, [strategy]))
+    return groups

@@ -433,43 +433,146 @@ def _build_sink(spec: Mapping, n_events: int) -> MetricsSink:
     raise SimulationError(f"unknown sink kind {kind!r}")
 
 
+def _materialise_entry(
+    spec: ScenarioSpec, entry: Optional[Mapping], index: int
+) -> BuiltScenario:
+    """Materialise one sweep entry (``None`` = the spec's base scenario)."""
+    network_spec = dict(spec.network)
+    label = spec.name
+    if entry is not None:
+        args = dict(network_spec.get("args", {}))
+        args.update(entry.get("network_args", {}))
+        network_spec["args"] = args
+        label = f"{spec.name}/{entry.get('label', index)}"
+    net = _build_network(network_spec)
+    sequence, coupled_trace = _build_workload(net, spec.workload)
+    churn_trace = _build_churn(net, spec.churn, len(sequence))
+    if coupled_trace is not None and churn_trace is not None:
+        trace = coupled_trace.concatenated_with(churn_trace)
+    else:
+        trace = coupled_trace if coupled_trace is not None else churn_trace
+    return BuiltScenario(
+        name=spec.name,
+        label=label,
+        network=net,
+        sequence=sequence,
+        trace=trace,
+        strategies=_build_strategies(net, sequence, spec.strategies),
+        sink_specs=spec.sinks,
+    )
+
+
 def build_scenario(spec: ScenarioSpec) -> List[BuiltScenario]:
     """Materialise a spec into one built scenario per sweep entry."""
     entries: Sequence[Optional[Mapping]] = spec.sweep or (None,)
-    built: List[BuiltScenario] = []
-    for entry in entries:
-        network_spec = dict(spec.network)
-        label = spec.name
-        if entry is not None:
-            args = dict(network_spec.get("args", {}))
-            args.update(entry.get("network_args", {}))
-            network_spec["args"] = args
-            label = f"{spec.name}/{entry.get('label', len(built))}"
-        net = _build_network(network_spec)
-        sequence, coupled_trace = _build_workload(net, spec.workload)
-        churn_trace = _build_churn(net, spec.churn, len(sequence))
-        if coupled_trace is not None and churn_trace is not None:
-            trace = coupled_trace.concatenated_with(churn_trace)
-        else:
-            trace = coupled_trace if coupled_trace is not None else churn_trace
-        built.append(
-            BuiltScenario(
-                name=spec.name,
-                label=label,
-                network=net,
-                sequence=sequence,
-                trace=trace,
-                strategies=_build_strategies(net, sequence, spec.strategies),
-                sink_specs=spec.sinks,
-            )
-        )
-    return built
+    return [
+        _materialise_entry(spec, entry, index)
+        for index, entry in enumerate(entries)
+    ]
 
 
 # --------------------------------------------------------------------------- #
 # running
 # --------------------------------------------------------------------------- #
-def run_scenario(spec: ScenarioSpec) -> List[Dict[str, object]]:
+def _strategy_record(
+    built: BuiltScenario, sname: str, result
+) -> Dict[str, object]:
+    """The plain-dict result record of one (sub-scenario, strategy) run."""
+    record: Dict[str, object] = {
+        "scenario": built.name,
+        "label": built.label,
+        "strategy": sname,
+        "n_events": result.n_events,
+        "served": result.served,
+        "dropped": result.dropped,
+        "n_mutations": result.n_mutations,
+        "congestion": float(result.congestion),
+        "total_load": float(result.account.total_load),
+        "n_processors_final": result.network.n_processors,
+        "repair_consistent": bool(result.account.state.verify_bus_loads()),
+    }
+    trajectory = result.sink(TrajectorySink)
+    if trajectory is not None:
+        record["trajectory"] = [float(x) for x in trajectory.trajectory]
+    drops = result.sink(DropAccountingSink)
+    if drops is not None:
+        # the sink's per-span view: how many replay segments lost
+        # requests (the engine totals must agree with it)
+        record["drop_spans"] = len(drops.span_drops)
+        if (drops.served, drops.dropped) != (result.served, result.dropped):
+            raise SimulationError(
+                "drop-accounting sink disagrees with the engine totals"
+            )
+    breakdown = result.sink(CostBreakdownSink)
+    if breakdown is not None:
+        record.update(
+            {
+                "service_load": breakdown.breakdown["service_load"],
+                "management_load": breakdown.breakdown["management_load"],
+            }
+        )
+    return record
+
+
+def _run_entry(
+    built: BuiltScenario, fleet: bool, strategy_index: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Replay one built sub-scenario (all strategies, or one by index)."""
+    from repro.sim.engine import SimulationEngine
+
+    strategies = built.strategies
+    if strategy_index is not None:
+        strategies = [strategies[strategy_index]]
+    if fleet and len(strategies) > 1:
+        instances = [factory() for _, factory in strategies]
+        sink_sets = [built.make_sinks() for _ in strategies]
+        results = SimulationEngine.run_fleet(
+            instances, built.sequence, built.trace, sinks=sink_sets
+        )
+        return [
+            _strategy_record(built, sname, result)
+            for (sname, _), result in zip(strategies, results)
+        ]
+    records = []
+    for sname, factory in strategies:
+        engine = SimulationEngine(factory(), sinks=built.make_sinks())
+        result = engine.run(built.sequence, built.trace)
+        records.append(_strategy_record(built, sname, result))
+    return records
+
+
+# Per-worker substrate cache: one materialised sub-scenario per
+# (spec JSON, sweep entry), reused across the strategy jobs the pool
+# hands this worker.  Bounded to keep long-lived workers small.
+_WORKER_BUILT: Dict[Tuple[str, int], BuiltScenario] = {}
+_WORKER_BUILT_MAX = 8
+
+
+def _worker_run_job(
+    spec_json: str, entry_index: int, strategy_index: Optional[int], fleet: bool
+) -> List[Dict[str, object]]:
+    """One sweep job, executed in a worker process.
+
+    The worker materialises the sub-scenario's substrate (network,
+    sequence, churn trace) once per ``(spec, entry)`` and keeps it cached,
+    so fanning the strategy jobs of one network size to one worker pays
+    the build exactly once per worker.
+    """
+    key = (spec_json, entry_index)
+    built = _WORKER_BUILT.get(key)
+    if built is None:
+        spec = ScenarioSpec.from_json(spec_json)
+        entries: Sequence[Optional[Mapping]] = spec.sweep or (None,)
+        built = _materialise_entry(spec, entries[entry_index], entry_index)
+        if len(_WORKER_BUILT) >= _WORKER_BUILT_MAX:
+            _WORKER_BUILT.pop(next(iter(_WORKER_BUILT)))
+        _WORKER_BUILT[key] = built
+    return _run_entry(built, fleet, strategy_index)
+
+
+def run_scenario(
+    spec: ScenarioSpec, fleet: bool = False, parallel: int = 1
+) -> List[Dict[str, object]]:
     """Replay every strategy of every sub-scenario through the kernel.
 
     Returns one plain-dict record per (sub-scenario, strategy) pair: the
@@ -477,50 +580,49 @@ def run_scenario(spec: ScenarioSpec) -> List[Dict[str, object]]:
     the sampled congestion trajectory, the cost breakdown and the
     substrate self-check (incremental bus loads equal a from-scratch
     recomputation after all repairs).
-    """
-    from repro.sim.engine import SimulationEngine
 
-    records: List[Dict[str, object]] = []
-    for built in build_scenario(spec):
-        for sname, factory in built.strategies:
-            sinks = built.make_sinks()
-            engine = SimulationEngine(factory(), sinks=sinks)
-            result = engine.run(built.sequence, built.trace)
-            record: Dict[str, object] = {
-                "scenario": built.name,
-                "label": built.label,
-                "strategy": sname,
-                "n_events": result.n_events,
-                "served": result.served,
-                "dropped": result.dropped,
-                "n_mutations": result.n_mutations,
-                "congestion": float(result.congestion),
-                "total_load": float(result.account.total_load),
-                "n_processors_final": result.network.n_processors,
-                "repair_consistent": bool(result.account.state.verify_bus_loads()),
-            }
-            trajectory = result.sink(TrajectorySink)
-            if trajectory is not None:
-                record["trajectory"] = [float(x) for x in trajectory.trajectory]
-            drops = result.sink(DropAccountingSink)
-            if drops is not None:
-                # the sink's per-span view: how many replay segments lost
-                # requests (the engine totals must agree with it)
-                record["drop_spans"] = len(drops.span_drops)
-                if (drops.served, drops.dropped) != (result.served, result.dropped):
-                    raise SimulationError(
-                        "drop-accounting sink disagrees with the engine totals"
-                    )
-            breakdown = result.sink(CostBreakdownSink)
-            if breakdown is not None:
-                record.update(
-                    {
-                        "service_load": breakdown.breakdown["service_load"],
-                        "management_load": breakdown.breakdown["management_load"],
-                    }
-                )
-            records.append(record)
-    return records
+    Parameters
+    ----------
+    fleet:
+        Replay each sub-scenario's strategies through the stacked fleet
+        engine (:meth:`~repro.sim.engine.SimulationEngine.run_fleet`): the
+        timeline is decoded once and all strategies share one substrate.
+        Records are bit-for-bit identical to the sequential default.
+    parallel:
+        Fan the sweep jobs out over a persistent process pool
+        (:func:`repro.parallel.persistent_pool`).  Without ``fleet`` each
+        (sweep entry, strategy) pair is one job and workers cache the
+        entry's substrate, so one worker builds each network size once;
+        with ``fleet`` each sweep entry is one job.  Records (and
+        therefore artifacts) are byte-identical for any value.
+    """
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    if parallel == 1:
+        return [
+            record
+            for built in build_scenario(spec)
+            for record in _run_entry(built, fleet)
+        ]
+
+    from repro.parallel import run_jobs
+
+    spec_json = spec.to_json()
+    entries: Sequence[Optional[Mapping]] = spec.sweep or (None,)
+    if fleet:
+        jobs = [(index, None) for index in range(len(entries))]
+    else:
+        jobs = [
+            (index, strategy_index)
+            for index in range(len(entries))
+            for strategy_index in range(len(spec.strategies))
+        ]
+    results = run_jobs(
+        min(parallel, len(jobs)),
+        _worker_run_job,
+        [(spec_json, index, strategy_index, fleet) for index, strategy_index in jobs],
+    )
+    return [record for records in results for record in records]
 
 
 # --------------------------------------------------------------------------- #

@@ -6,6 +6,17 @@ hook receives the driving engine (or round driver), so sinks read metrics
 straight off the shared load-state substrate instead of keeping private
 bookkeeping -- the same "one substrate" rule the strategies follow.
 
+**Fleet replay.**  Under
+:meth:`~repro.sim.engine.SimulationEngine.run_fleet` each strategy keeps
+its own sink set, and every hook receives that strategy's per-lane engine
+view -- ``sim.account`` reads the strategy's lane of the stacked
+substrate, so sinks work unchanged and record exactly what they would in
+a sequential run.  One caveat: serve spans break at the *union* of all
+lanes' ``interval`` hints, so per-span observations (e.g. the
+span-granular drop list) match the sequential run exactly when every
+lane uses the same sink configuration -- the scenario registry's shape;
+totals and sampled values match in any case.
+
 Built-in sinks:
 
 * :class:`TrajectorySink` -- congestion sampled every ``sample_every``

@@ -157,3 +157,44 @@ class TestEdgeCounterManager:
         seq = RequestSequence([RequestEvent(net.processors[0], 1, "read")], 2)
         with pytest.raises(WorkloadError):
             manager.run(seq)
+
+
+class TestIntegerValidationHoist:
+    """The invariant-2 checks run once per batch, not per event, and the
+    scalar path short-circuits genuine ints -- without loosening anything."""
+
+    def test_numpy_integer_amounts_accepted(self):
+        net = single_bus(3)
+        rooted = net.rooted()
+        account = OnlineCostAccount(net)
+        p, q = net.processors[0], net.processors[1]
+        account.charge_path(rooted, p, q, amount=np.int64(2))
+        assert isinstance(account.service_units, int)
+        assert account.service_units == 2 * rooted.distance(p, q)
+
+    def test_integer_dtype_batches_skip_the_modulo_scan(self):
+        from repro.dynamic.online import _integer_weights
+
+        out = _integer_weights(np.array([1, 2, 3], dtype=np.int64))
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_fractional_batch_weights_still_raise(self):
+        from repro.dynamic.online import _integer_weights
+
+        with pytest.raises(WorkloadError, match="integer-valued"):
+            _integer_weights(np.array([1.0, 2.5]))
+        net = single_bus(3)
+        account = OnlineCostAccount(net)
+        p, q = net.processors[0], net.processors[1]
+        with pytest.raises(WorkloadError, match="integer-valued"):
+            account.charge_pairs([p], [q], np.array([0.5]))
+        assert account.total_load == 0.0
+
+    def test_fractional_scalar_amounts_still_raise(self):
+        from repro.dynamic.online import _integer_amount
+
+        with pytest.raises(WorkloadError, match="integer-valued"):
+            _integer_amount(2.5)
+        assert _integer_amount(7) == 7
+        assert _integer_amount(3.0) == 3

@@ -9,9 +9,12 @@ split request assignments.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.baselines import full_replication_placement, random_placement
+from repro.errors import ReproError
+from repro.network.builders import balanced_tree
 from repro.core.congestion import (
     _reference_compute_loads,
     _reference_object_edge_loads,
@@ -211,3 +214,41 @@ class TestBatchParity:
 
         pat = uniform_pattern(small_bus, 2, seed=0)
         assert batch_congestions(small_bus, pat, []).shape == (0,)
+
+
+class TestLaneKernels:
+    """The fleet kernels agree with their per-lane scalar counterparts."""
+
+    def test_all_distances_matches_on_demand_lca(self):
+        net = balanced_tree(2, 3, 2)
+        pm = net.rooted().path_matrix()
+        ids = np.arange(net.n_nodes)
+        expected = pm._depth[ids[:, None]] + pm._depth[ids[None, :]] - (
+            2 * pm._depth[pm.lca(ids[:, None], ids[None, :])]
+        )
+        cached = pm.all_distances()
+        assert cached is not None
+        assert np.array_equal(cached, expected)
+        # distances() now gathers from the cache; values are unchanged
+        u = np.array([0, 3, 5])
+        v = np.array([7, 7, 0])
+        assert np.array_equal(pm.distances(u, v), expected[u, v])
+
+    def test_pair_edge_loads_lanes_matches_per_lane_columns(self):
+        rng = np.random.default_rng(5)
+        net = balanced_tree(2, 3, 2)
+        pm = net.rooted().path_matrix()
+        procs = np.asarray(net.processors)
+        u = rng.choice(procs, size=40)
+        targets = rng.choice(procs, size=(40, 6))
+        w = rng.integers(1, 5, size=40).astype(np.float64)
+        stacked = pm.pair_edge_loads_lanes(u, targets, w)
+        for lane in range(targets.shape[1]):
+            expected = pm.pair_edge_loads(u, targets[:, lane], w)
+            assert np.array_equal(stacked[:, lane], expected)
+
+    def test_pair_deltas_lanes_shape_guard(self):
+        net = balanced_tree(2, 2, 2)
+        pm = net.rooted().path_matrix()
+        with pytest.raises(ReproError):
+            pm.pair_deltas_lanes(np.array([0, 1]), np.array([0, 1]), np.ones(2))

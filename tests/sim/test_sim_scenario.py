@@ -137,3 +137,46 @@ class TestBuildAndRun:
         assert record["strategy"] == "first-touch"
         # never adapting means no management traffic at all
         assert record["management_load"] == 0
+
+
+class TestFleetAndParallel:
+    """The stacked fleet engine and the worker-pool sweep path must be
+    invisible in the records: identical content for any mode."""
+
+    @pytest.mark.parametrize("name", ["zipf", "storm", "fleet-sweep"])
+    def test_fleet_records_equal_serial(self, name):
+        spec = scenario_spec(name, seed=0, small=True)
+        serial = run_scenario(spec)
+        fleet = run_scenario(spec, fleet=True)
+        assert json.dumps(serial) == json.dumps(fleet)
+
+    def test_parallel_records_equal_serial(self):
+        spec = scenario_spec("fleet-sweep", seed=0, small=True)
+        serial = run_scenario(spec)
+        assert json.dumps(serial) == json.dumps(run_scenario(spec, parallel=2))
+        assert json.dumps(serial) == json.dumps(
+            run_scenario(spec, fleet=True, parallel=2)
+        )
+
+    def test_parallel_with_churn_scenario(self):
+        spec = scenario_spec("storm", seed=1, small=True)
+        serial = run_scenario(spec)
+        assert json.dumps(serial) == json.dumps(run_scenario(spec, parallel=2))
+
+    def test_parallel_rejects_bad_worker_count(self):
+        spec = scenario_spec("zipf", seed=0, small=True)
+        with pytest.raises(ValueError):
+            run_scenario(spec, parallel=0)
+
+    def test_worker_substrate_cache_is_reused(self):
+        from repro.sim.scenario import _worker_run_job
+
+        spec = scenario_spec("zipf", seed=0, small=True)
+        spec_json = spec.to_json()
+        first = _worker_run_job(spec_json, 0, 0, False)
+        second = _worker_run_job(spec_json, 0, 1, False)
+        from repro.sim import scenario as scenario_module
+
+        assert (spec_json, 0) in scenario_module._WORKER_BUILT
+        serial = run_scenario(spec)
+        assert json.dumps(first + second) == json.dumps(serial)

@@ -324,3 +324,41 @@ class TestSimulateCommand:
         # the CLI --seed default did not produce this run; the artifact must
         # not claim it did (the spec document carries its own seeds)
         assert json.loads(out.read_text())["seed"] is None
+
+
+class TestSimulateParallelAndFleet:
+    def test_parallel_artifact_byte_identical_to_serial(self, tmp_path):
+        serial, parallel = tmp_path / "serial.json", tmp_path / "parallel.json"
+        code, _ = run_cli(
+            ["simulate", "--scenario", "fleet-sweep", "--small", "-o", str(serial)]
+        )
+        assert code == 0
+        code, _ = run_cli(
+            [
+                "simulate", "--scenario", "fleet-sweep", "--small",
+                "--parallel", "2", "-o", str(parallel),
+            ]
+        )
+        assert code == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_fleet_artifact_byte_identical_to_serial(self, tmp_path):
+        serial, fleet = tmp_path / "serial.json", tmp_path / "fleet.json"
+        code, _ = run_cli(
+            ["simulate", "--scenario", "storm", "--small", "-o", str(serial)]
+        )
+        assert code == 0
+        code, _ = run_cli(
+            [
+                "simulate", "--scenario", "storm", "--small",
+                "--fleet", "-o", str(fleet),
+            ]
+        )
+        assert code == 0
+        assert serial.read_bytes() == fleet.read_bytes()
+
+    def test_parallel_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--scenario", "zipf", "--parallel", "0"]
+            )

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Optional, Sequence
 
-__all__ = ["format_value", "format_table", "markdown_table", "records_to_table"]
+__all__ = [
+    "format_value",
+    "format_table",
+    "markdown_table",
+    "records_to_table",
+    "markdown_section",
+]
 
 
 def format_value(value: Any, precision: int = 3) -> str:
@@ -59,6 +65,37 @@ def markdown_table(
     lines.append("|" + "|".join(["---"] * len(headers)) + "|")
     for row in rendered:
         lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_section(
+    title: str,
+    records: Iterable[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    max_rows: Optional[int] = None,
+    level: int = 2,
+) -> str:
+    """A markdown heading plus the records rendered as a table.
+
+    The assembly unit of the artifact-generated reports
+    (:mod:`repro.lab.reports`): deterministic for deterministic records.
+    ``max_rows`` truncates long record lists with an explicit
+    ``(+k more rows)`` line, so a generated report never silently hides
+    how much data backs it.
+    """
+    rows, headers = records_to_table(records, columns)
+    dropped = 0
+    if max_rows is not None and len(rows) > max_rows:
+        dropped = len(rows) - max_rows
+        rows = rows[:max_rows]
+    lines = [f"{'#' * level} {title}", ""]
+    if rows:
+        lines.append(markdown_table(rows, headers, precision))
+        if dropped:
+            lines.append(f"\n*(+{dropped} more rows in the underlying artifact)*")
+    else:
+        lines.append("*(no rows)*")
     return "\n".join(lines)
 
 

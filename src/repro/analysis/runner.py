@@ -178,13 +178,26 @@ def write_artifacts(
 ) -> List[ExperimentOutcome]:
     """Write one ``<id>.json`` per outcome plus ``summary.json``.
 
-    ``stable=True`` zeroes the wall-clock fields (``elapsed_seconds`` /
-    ``total_seconds``) in the written files, making artifacts a pure
-    function of ``(experiment id, seed, sizes)``.  This is the contract the
-    determinism tests pin down: the same sweep run with any ``--parallel``
-    value produces byte-identical stable artifacts.  (One inherent
-    exception: E6's *records* are themselves wall-clock runtime
-    measurements, so its payload varies run to run by design.)
+    ``stable=True`` makes the written files a pure function of
+    ``(experiment id, seed, sizes)``.  Exactly these fields are rewritten
+    -- nothing else in the payloads is touched, and the *returned*
+    outcomes keep their real values:
+
+    * per-experiment ``<id>.json``: the top-level ``elapsed_seconds``
+      becomes ``0.0`` (the ``records`` are never modified);
+    * ``summary.json``: every row's ``seconds`` becomes ``0.0``, every
+      row's ``artifact`` is reduced to its basename (no absolute paths),
+      and ``total_seconds`` becomes ``0.0``.
+
+    This is the contract the determinism tests pin down
+    (``tests/analysis/test_runner.py::TestArtifacts``): the same sweep run
+    with any ``--parallel`` value produces byte-identical stable
+    artifacts, and the lab registry (:mod:`repro.lab.registry`) -- which
+    stores only the ``records`` -- hashes identically whether or not the
+    sweep was run with ``--stable-artifacts``.  (One inherent exception:
+    E6's *records* are themselves wall-clock runtime measurements, so its
+    payload varies run to run by design and is excluded from the
+    registry suites.)
 
     Returns new outcomes with their ``artifact`` fields pointing at the
     written files.
@@ -242,6 +255,7 @@ def run_experiments(
     large: bool = False,
     output_dir: Optional["str | Path"] = None,
     stable_artifacts: bool = False,
+    registry: Optional["str | Path"] = None,
 ) -> List[ExperimentOutcome]:
     """Run a set of experiments, optionally across worker processes.
 
@@ -266,7 +280,13 @@ def run_experiments(
     stable_artifacts:
         Zero the wall-clock fields in the written artifacts so they are
         byte-identical across runs and ``--parallel`` values (see
-        :func:`write_artifacts`).
+        :func:`write_artifacts` for the exact field list).
+    registry:
+        If given, record every successful run into the persistent lab
+        registry rooted there (:class:`repro.lab.registry.LabRegistry`),
+        keyed by ``(spec_hash, per-experiment seed, engine version)`` --
+        the artifact write path of the experiment lab.  E6 and failed
+        runs are skipped (wall-clock records / nothing to register).
 
     Returns
     -------
@@ -295,4 +315,18 @@ def run_experiments(
 
     if output_dir is not None:
         outcomes = write_artifacts(outcomes, output_dir, stable=stable_artifacts)
+    if registry is not None:
+        from repro.lab.registry import (
+            NONDETERMINISTIC_EXPERIMENTS,
+            LabRegistry,
+            experiment_entry,
+        )
+
+        lab = LabRegistry(registry)
+        for outcome in outcomes:
+            if outcome.ok and outcome.experiment not in NONDETERMINISTIC_EXPERIMENTS:
+                entry = experiment_entry(
+                    outcome.experiment, outcome.seed, small=small, large=large
+                )
+                lab.record(entry, outcome.records)
     return outcomes

@@ -22,7 +22,13 @@ workflows without writing Python:
   families, ``--fleet`` replays all strategies in one stacked pass over
   the timeline and ``--parallel N`` fans sweep/strategy jobs over a
   persistent worker pool -- both produce byte-identical artifacts to the
-  serial default.
+  serial default;
+* ``repro lab`` -- the experiment lab (see docs/LAB.md): a persistent run
+  registry keyed by ``(spec_hash, seed, engine_version)``.
+  ``run-missing`` executes only the suite entries without stored
+  artifacts (a killed sweep resumes), ``status`` shows what is stored,
+  ``report`` regenerates RESULTS.md purely from artifacts (``--check``
+  fails on drift) and ``gc`` reclaims runs no longer keyed by the suite.
 
 Every subcommand is a thin wrapper around the library API, so the CLI is
 also a usage example.
@@ -232,6 +238,7 @@ def _cmd_run_experiments(args: argparse.Namespace, stream) -> int:
         large=args.large,
         output_dir=args.output_dir,
         stable_artifacts=args.stable_artifacts,
+        registry=args.registry,
     )
     _print_records([o.summary_row() for o in outcomes], stream)
     failed = [o for o in outcomes if not o.ok]
@@ -337,6 +344,83 @@ def _cmd_simulate(args: argparse.Namespace, stream) -> int:
         }
         Path(args.output).write_text(json.dumps(document, indent=2))
         print(f"wrote simulation report to {args.output}", file=stream)
+    return 0
+
+
+def _lab_suite_entries(args: argparse.Namespace):
+    from repro.lab.registry import LabRegistry, suite_entries
+
+    registry = LabRegistry(args.registry)
+    entries = suite_entries(
+        args.suite, seed=args.seed, small=args.small, large=args.large
+    )
+    return registry, entries
+
+
+def _cmd_lab_run_missing(args: argparse.Namespace, stream) -> int:
+    from repro.lab.registry import run_missing
+
+    registry, entries = _lab_suite_entries(args)
+    result = run_missing(
+        registry,
+        entries,
+        parallel=args.parallel,
+        fleet=args.fleet,
+        progress=lambda line: print(f"ran {line}", file=stream),
+    )
+    print(
+        f"suite {args.suite}: {result.total} entries, "
+        f"{result.already_stored} already stored, "
+        f"{result.n_executed} executed",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_lab_status(args: argparse.Namespace, stream) -> int:
+    registry, entries = _lab_suite_entries(args)
+    rows = registry.status_rows(entries)
+    _print_records(rows, stream)
+    stored = sum(1 for row in rows if row["stored"])
+    print(
+        f"{stored} of {len(rows)} suite entries stored in {args.registry}",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_lab_report(args: argparse.Namespace, stream) -> int:
+    from repro.lab.reports import check_results, generate_results
+
+    registry, entries = _lab_suite_entries(args)
+    if args.check:
+        drift = check_results(
+            registry, entries, args.output, bench_history=args.bench_history
+        )
+        if drift:
+            print(f"{args.output} is out of date:", file=stream)
+            for line in drift:
+                print(line, file=stream)
+            return 1
+        print(f"{args.output} matches the registry artifacts", file=stream)
+        return 0
+    text = generate_results(registry, entries, bench_history=args.bench_history)
+    if args.write:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=stream)
+    else:
+        print(text, file=stream)
+    return 0
+
+
+def _cmd_lab_gc(args: argparse.Namespace, stream) -> int:
+    registry, entries = _lab_suite_entries(args)
+    removed = registry.gc(entries, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for item in removed:
+        print(f"{verb} {item}", file=stream)
+    print(f"{verb} {len(removed)} stored runs not keyed by suite "
+          f"{args.suite}", file=stream)
     return 0
 
 
@@ -452,8 +536,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--stable-artifacts",
         action="store_true",
         help=(
-            "zero wall-clock fields in the artifacts so the files are "
+            "zero wall-clock fields in the artifacts -- exactly "
+            "elapsed_seconds, the summary's per-row seconds/artifact "
+            "basenames and total_seconds -- so the files are "
             "byte-identical for any --parallel value"
+        ),
+    )
+    run.add_argument(
+        "--registry",
+        default=None,
+        help=(
+            "also record every successful run into the lab registry "
+            "rooted here (see `repro lab`)"
         ),
     )
     run.set_defaults(func=_cmd_run_experiments)
@@ -522,6 +616,110 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--output", "-o", default=None)
     simulate.set_defaults(func=_cmd_simulate)
+
+    lab = sub.add_parser(
+        "lab",
+        help=(
+            "experiment lab: persistent run registry, resumable sweeps and "
+            "artifact-generated reports (docs/LAB.md)"
+        ),
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+
+    def _lab_common(p):
+        p.add_argument(
+            "--registry",
+            default="lab/registry",
+            help="registry root directory (default: lab/registry)",
+        )
+        p.add_argument(
+            "--suite",
+            choices=["ci", "scenarios", "experiments", "full"],
+            default="ci",
+            help=(
+                "which suite keys the registry; `ci` is pinned to "
+                "(seed 0, small) so the committed registry is reproducible"
+            ),
+        )
+        p.add_argument("--seed", type=int, default=0, help="suite base seed")
+        size = p.add_mutually_exclusive_group()
+        size.add_argument(
+            "--small", action="store_true", help="use reduced instance sizes"
+        )
+        size.add_argument(
+            "--large", action="store_true", help="use the larger instance suite"
+        )
+
+    lab_run = lab_sub.add_parser(
+        "run-missing",
+        help=(
+            "execute exactly the suite entries without stored artifacts; "
+            "each finished run registers immediately, so a killed sweep "
+            "resumes without redoing completed work"
+        ),
+    )
+    _lab_common(lab_run)
+    lab_run.add_argument(
+        "--parallel",
+        type=_positive_int,
+        default=1,
+        help="fan missing entries over the persistent worker pool",
+    )
+    lab_run.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "replay scenario entries through the stacked fleet engine "
+            "(pure accelerator: artifacts are bit-for-bit unchanged)"
+        ),
+    )
+    lab_run.set_defaults(func=_cmd_lab_run_missing)
+
+    lab_status = lab_sub.add_parser(
+        "status", help="show which suite entries have stored runs"
+    )
+    _lab_common(lab_status)
+    lab_status.set_defaults(func=_cmd_lab_status)
+
+    lab_report = lab_sub.add_parser(
+        "report",
+        help=(
+            "regenerate RESULTS.md purely from registry artifacts "
+            "(--write saves it, --check fails on drift, default prints)"
+        ),
+    )
+    _lab_common(lab_report)
+    lab_report.add_argument(
+        "--output", "-o", default="RESULTS.md", help="report path"
+    )
+    lab_report.add_argument(
+        "--bench-history",
+        default="benchmarks/BENCH_history.json",
+        help="committed bench trajectory for the derived speedup section",
+    )
+    mode = lab_report.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true", help="write the report to --output"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if --output differs from a regeneration",
+    )
+    lab_report.set_defaults(func=_cmd_lab_report)
+
+    lab_gc = lab_sub.add_parser(
+        "gc",
+        help=(
+            "remove stored runs not keyed by the suite (old engine "
+            "versions, stale specs, orphaned artifacts)"
+        ),
+    )
+    _lab_common(lab_gc)
+    lab_gc.add_argument(
+        "--dry-run", action="store_true", help="only print what would be removed"
+    )
+    lab_gc.set_defaults(func=_cmd_lab_gc)
 
     return parser
 

@@ -22,6 +22,7 @@ __all__ = [
     "InfeasibleError",
     "SimulationError",
     "SerializationError",
+    "LabError",
 ]
 
 
@@ -91,3 +92,13 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """A serialized network or workload could not be decoded."""
+
+
+class LabError(ReproError):
+    """The experiment-lab run registry was used inconsistently.
+
+    Raised when a registry index or artifact is malformed, when an entry
+    required by a report is missing from the registry, and when a
+    ``run-missing`` job fails (a failed run is never registered, so a
+    resumed sweep retries it).
+    """

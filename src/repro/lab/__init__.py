@@ -1,0 +1,47 @@
+"""Experiment lab: persistent run registry and artifact-generated reports.
+
+``repro.lab`` makes sweeps resumable and reported numbers reproducible:
+
+* :mod:`repro.lab.registry` -- a content-addressed run registry keyed by
+  ``(spec_hash, seed, engine_version)`` with a resumable ``run_missing``
+  sweep driver over the persistent worker pool;
+* :mod:`repro.lab.reports` -- ``RESULTS.md`` generated purely from stored
+  artifacts (plus the committed benchmark trajectory), checked against
+  drift in CI.
+
+The ``repro lab`` CLI (``run-missing`` / ``status`` / ``report`` / ``gc``)
+exposes both; see ``docs/LAB.md`` for the workflow.
+"""
+
+from repro.lab.registry import (
+    ENGINE_VERSION,
+    LAB_SUITES,
+    LabEntry,
+    LabRegistry,
+    RunKey,
+    RunMissingResult,
+    canonical_hash,
+    canonical_json,
+    experiment_entry,
+    run_missing,
+    scenario_entry,
+    suite_entries,
+)
+from repro.lab.reports import check_results, generate_results
+
+__all__ = [
+    "ENGINE_VERSION",
+    "LAB_SUITES",
+    "LabEntry",
+    "LabRegistry",
+    "RunKey",
+    "RunMissingResult",
+    "canonical_hash",
+    "canonical_json",
+    "check_results",
+    "experiment_entry",
+    "generate_results",
+    "run_missing",
+    "scenario_entry",
+    "suite_entries",
+]

@@ -1,0 +1,522 @@
+"""Persistent run registry: every reported number traces back to an artifact.
+
+The registry is a directory (``lab/registry`` in the repo by convention)
+holding one JSON artifact per completed run plus a single ``index.json``.
+Runs are keyed by ``(spec_hash, seed, engine_version)``:
+
+* ``spec_hash`` -- SHA-256 of the canonical JSON form of what ran: a
+  :class:`~repro.sim.scenario.ScenarioSpec` round-trip document for
+  scenario entries (:meth:`ScenarioSpec.spec_hash`), or the
+  ``{"kind": "experiment", "experiment": ..., "small": ..., "large": ...}``
+  document for the E1--E11 experiment runners.  Content-addressed: any
+  change to the network, workload, churn, strategies or embedded seeds
+  changes the hash.
+* ``seed`` -- the entry's own seed (for experiments: the per-experiment
+  seed derived by :func:`repro.analysis.runner.experiment_seeds`).
+* ``engine_version`` -- :data:`repro.version.__version__`; bumping the
+  package version invalidates every stored run (``gc`` reclaims the old
+  ones).
+
+Artifacts live under ``artifacts/<hash[:2]>/<hash>-s<seed>-v<version>.json``
+and contain only deterministic data (result records and the spec document
+-- never wall-clock fields or absolute paths), so the whole registry is a
+pure function of the registered suite and byte-identical across machines,
+worker counts and interrupted/resumed sweeps.  ``index.json`` is rewritten
+sorted on every update and carries no timestamps for the same reason.
+
+:func:`run_missing` is the resumable sweep driver: it diffs a suite of
+:class:`LabEntry` definitions against the stored keys and executes *only*
+the missing ones, fanning them over the persistent worker pool
+(:func:`repro.parallel.iter_jobs`) and registering each artifact the
+moment its job completes -- a killed sweep re-run with the same arguments
+redoes only the unfinished entries.  Failed runs are never registered, so
+they are retried on the next pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import LabError
+from repro.version import __version__ as ENGINE_VERSION
+
+__all__ = [
+    "ENGINE_VERSION",
+    "INDEX_FORMAT",
+    "ARTIFACT_FORMAT",
+    "LAB_SUITES",
+    "RunKey",
+    "LabEntry",
+    "LabRegistry",
+    "RunMissingResult",
+    "canonical_json",
+    "canonical_hash",
+    "experiment_entry",
+    "scenario_entry",
+    "suite_entries",
+    "run_missing",
+]
+
+INDEX_FORMAT = "repro.lab-index/v1"
+ARTIFACT_FORMAT = "repro.lab-artifact/v1"
+
+#: Experiments whose *records* are wall-clock measurements (E6 is the
+#: runtime-scaling experiment) cannot be content-addressed -- their payload
+#: is not a function of the seed -- so the suites exclude them.
+NONDETERMINISTIC_EXPERIMENTS = ("E6",)
+
+
+# --------------------------------------------------------------------------- #
+# hashing
+# --------------------------------------------------------------------------- #
+def canonical_json(document: Mapping) -> str:
+    """Canonical JSON of a plain document: sorted keys, fixed separators.
+
+    The encoding is invariant under dict key order and JSON round-trips,
+    so it is a stable basis for content addressing.
+    """
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def canonical_hash(document: Mapping) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(document).encode("ascii")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# keys and entries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RunKey:
+    """The registry key of one run: ``(spec_hash, seed, engine_version)``."""
+
+    spec_hash: str
+    seed: int
+    engine_version: str = ENGINE_VERSION
+
+    def as_string(self) -> str:
+        """The index key string ``<spec_hash>:<seed>:<engine_version>``."""
+        return f"{self.spec_hash}:{self.seed}:{self.engine_version}"
+
+
+@dataclass(frozen=True)
+class LabEntry:
+    """One registered unit of work: what to run and how it is keyed.
+
+    ``document`` is the canonical spec document that gets hashed -- the
+    :meth:`ScenarioSpec.to_dict` round-trip form for scenarios (so
+    ``entry.spec_hash == spec.spec_hash()``) or
+    ``{"kind": "experiment", "experiment": id, "small": ..., "large": ...}``
+    for experiments -- and is stored verbatim inside the artifact for
+    provenance.
+    """
+
+    name: str
+    kind: str  # "scenario" | "experiment"
+    seed: int
+    document: Mapping = field(hash=False)
+
+    @property
+    def spec_hash(self) -> str:
+        return canonical_hash(self.document)
+
+    @property
+    def key(self) -> RunKey:
+        return RunKey(spec_hash=self.spec_hash, seed=self.seed)
+
+    def to_job_json(self) -> str:
+        """Self-contained JSON of the entry (what worker processes get)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "kind": self.kind,
+                "seed": self.seed,
+                "document": dict(self.document),
+            }
+        )
+
+    @classmethod
+    def from_job_json(cls, text: str) -> "LabEntry":
+        doc = json.loads(text)
+        return cls(
+            name=doc["name"],
+            kind=doc["kind"],
+            seed=int(doc["seed"]),
+            document=doc["document"],
+        )
+
+
+def scenario_entry(spec, seed: int) -> LabEntry:
+    """Registry entry for one :class:`~repro.sim.scenario.ScenarioSpec`.
+
+    ``seed`` is the base seed the spec was instantiated with; the spec's
+    own embedded seeds are part of the hashed document, so the key is
+    content-addressed either way.
+    """
+    return LabEntry(
+        name=spec.name,
+        kind="scenario",
+        seed=int(seed),
+        document=spec.to_dict(),
+    )
+
+
+def experiment_entry(
+    exp_id: str, seed: int, small: bool = False, large: bool = False
+) -> LabEntry:
+    """Registry entry for one experiment runner (E1--E11, minus E6).
+
+    ``seed`` is the *per-experiment* seed (derive it with
+    :func:`repro.analysis.runner.experiment_seeds` for sweep-independent
+    keys).
+    """
+    if exp_id in NONDETERMINISTIC_EXPERIMENTS:
+        raise LabError(
+            f"experiment {exp_id} has wall-clock records and cannot be "
+            "content-addressed in the registry"
+        )
+    return LabEntry(
+        name=exp_id,
+        kind="experiment",
+        seed=int(seed),
+        document={
+            "kind": "experiment",
+            "experiment": exp_id,
+            "small": bool(small),
+            "large": bool(large),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# suites
+# --------------------------------------------------------------------------- #
+def _scenario_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
+    from repro.sim.scenario import list_scenarios, scenario_spec
+
+    return [
+        scenario_entry(scenario_spec(name, seed=seed, small=small, large=large), seed)
+        for name in list_scenarios()
+    ]
+
+
+def _experiment_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
+    from repro.analysis.runner import EXPERIMENT_IDS, experiment_seeds
+
+    ids = [i for i in EXPERIMENT_IDS if i not in NONDETERMINISTIC_EXPERIMENTS]
+    seeds = experiment_seeds(seed, ids)
+    return [
+        experiment_entry(exp_id, seeds[exp_id], small=small, large=large)
+        for exp_id in ids
+    ]
+
+
+def _full_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
+    return _scenario_suite(seed, small, large) + _experiment_suite(seed, small, large)
+
+
+def _ci_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
+    # pinned: the committed registry and RESULTS.md are regenerated from
+    # exactly this suite in CI, so it ignores the size/seed knobs
+    return _full_suite(seed=0, small=True, large=False)
+
+
+LAB_SUITES: Dict[str, Callable[[int, bool, bool], List[LabEntry]]] = {
+    "ci": _ci_suite,
+    "scenarios": _scenario_suite,
+    "experiments": _experiment_suite,
+    "full": _full_suite,
+}
+
+
+def suite_entries(
+    suite: str = "ci", seed: int = 0, small: bool = False, large: bool = False
+) -> List[LabEntry]:
+    """The entries of a named suite.
+
+    ``scenarios`` is every registered scenario family, ``experiments`` is
+    every deterministic experiment runner (E1--E11 minus E6), ``full`` is
+    both, and ``ci`` is the *pinned* full suite at ``seed=0, small=True``
+    regardless of the knobs -- the committed registry is regenerated from
+    it, so it must mean the same thing on every machine.
+    """
+    factory = LAB_SUITES.get(suite)
+    if factory is None:
+        raise LabError(f"unknown lab suite {suite!r} (have: {sorted(LAB_SUITES)})")
+    return factory(seed, small, large)
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+def _json_default(value):
+    """Match the experiment artifact encoder (numpy scalars/arrays)."""
+    from repro.analysis.runner import _json_default as runner_default
+
+    return runner_default(value)
+
+
+class LabRegistry:
+    """A content-addressed run registry rooted at one directory.
+
+    Layout::
+
+        <root>/index.json                          sorted key -> entry map
+        <root>/artifacts/<h[:2]>/<h>-s<seed>-v<version>.json
+
+    Every write keeps the invariant that the directory is a pure function
+    of the set of registered runs: the index is rewritten fully sorted,
+    artifacts are canonical JSON, and nothing machine- or time-dependent
+    is ever stored.
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    # -- index ------------------------------------------------------------- #
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def load_index(self) -> Dict[str, Dict[str, object]]:
+        """The key -> entry-record map (empty for a fresh registry)."""
+        if not self.index_path.exists():
+            return {}
+        try:
+            document = json.loads(self.index_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise LabError(f"corrupt registry index {self.index_path}: {exc}") from exc
+        if document.get("format") != INDEX_FORMAT:
+            raise LabError(
+                f"unknown registry index format {document.get('format')!r} "
+                f"in {self.index_path}"
+            )
+        return dict(document.get("entries", {}))
+
+    def _write_index(self, entries: Mapping[str, Mapping]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": INDEX_FORMAT,
+            "entries": {key: entries[key] for key in sorted(entries)},
+        }
+        self.index_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+
+    # -- artifacts --------------------------------------------------------- #
+    def artifact_path(self, key: RunKey) -> Path:
+        """The content-addressed artifact location of a key."""
+        name = f"{key.spec_hash}-s{key.seed}-v{key.engine_version}.json"
+        return self.root / "artifacts" / key.spec_hash[:2] / name
+
+    def has(self, key: RunKey) -> bool:
+        """True iff the key is indexed *and* its artifact file exists.
+
+        A dangling index entry (artifact deleted by hand or by a killed
+        write) counts as missing, so ``run-missing`` heals it.
+        """
+        return key.as_string() in self.load_index() and self.artifact_path(key).exists()
+
+    def get(self, key: RunKey) -> Dict[str, object]:
+        """Load the artifact payload of a key."""
+        path = self.artifact_path(key)
+        if not path.exists():
+            raise LabError(f"no artifact for {key.as_string()} in {self.root}")
+        payload = json.loads(path.read_text())
+        if payload.get("format") != ARTIFACT_FORMAT:
+            raise LabError(f"unknown artifact format {payload.get('format')!r} in {path}")
+        return payload
+
+    def record(self, entry: LabEntry, records: Sequence[Mapping]) -> Path:
+        """Register one completed run: write its artifact, update the index.
+
+        The artifact is written before the index entry, so a crash between
+        the two leaves either a complete (artifact, index) pair or a
+        harmless orphan artifact that the next ``record`` overwrites with
+        identical bytes.
+        """
+        key = entry.key
+        payload = {
+            "format": ARTIFACT_FORMAT,
+            "kind": entry.kind,
+            "name": entry.name,
+            "seed": entry.seed,
+            "spec_hash": entry.spec_hash,
+            "engine_version": key.engine_version,
+            "spec": dict(entry.document),
+            "n_records": len(records),
+            "records": list(records),
+        }
+        path = self.artifact_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=_json_default)
+        )
+        entries = self.load_index()
+        entries[key.as_string()] = {
+            "name": entry.name,
+            "kind": entry.kind,
+            "seed": entry.seed,
+            "spec_hash": entry.spec_hash,
+            "engine_version": key.engine_version,
+            "artifact": path.relative_to(self.root).as_posix(),
+            "n_records": len(records),
+        }
+        self._write_index(entries)
+        return path
+
+    # -- suite queries ------------------------------------------------------ #
+    def missing(self, entries: Sequence[LabEntry]) -> List[LabEntry]:
+        """The suite entries with no stored run, in suite order."""
+        index = self.load_index()
+        return [
+            entry
+            for entry in entries
+            if not (
+                entry.key.as_string() in index
+                and self.artifact_path(entry.key).exists()
+            )
+        ]
+
+    def status_rows(self, entries: Sequence[LabEntry]) -> List[Dict[str, object]]:
+        """One status record per suite entry (for the ``status`` table)."""
+        missing = {e.key.as_string() for e in self.missing(entries)}
+        return [
+            {
+                "name": entry.name,
+                "kind": entry.kind,
+                "seed": entry.seed,
+                "spec_hash": entry.spec_hash[:12],
+                "version": entry.key.engine_version,
+                "stored": entry.key.as_string() not in missing,
+            }
+            for entry in entries
+        ]
+
+    def gc(
+        self, entries: Sequence[LabEntry], dry_run: bool = False
+    ) -> List[str]:
+        """Drop every stored run not keyed by the given suite.
+
+        Reclaims runs of old engine versions, stale spec contents and
+        entries removed from the suite.  Orphaned artifact files (present
+        on disk but absent from the index) are removed too.  Returns the
+        removed key strings / artifact paths; with ``dry_run`` nothing is
+        touched.
+        """
+        keep_keys = {entry.key.as_string() for entry in entries}
+        index = self.load_index()
+        removed: List[str] = []
+        survivors: Dict[str, Dict[str, object]] = {}
+        for key_string, record in index.items():
+            if key_string in keep_keys:
+                survivors[key_string] = record
+            else:
+                removed.append(key_string)
+                if not dry_run:
+                    (self.root / str(record["artifact"])).unlink(missing_ok=True)
+        accounted = {self.root / str(r["artifact"]) for r in index.values()}
+        for path in sorted((self.root / "artifacts").glob("*/*.json")):
+            if path not in accounted:  # orphan: on disk but never indexed
+                removed.append(path.relative_to(self.root).as_posix())
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+        if not dry_run:
+            if self.index_path.exists() or survivors:
+                self._write_index(survivors)
+            for bucket in sorted((self.root / "artifacts").glob("*")):
+                if bucket.is_dir() and not any(bucket.iterdir()):
+                    bucket.rmdir()
+        return removed
+
+
+# --------------------------------------------------------------------------- #
+# run-missing: the resumable sweep
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RunMissingResult:
+    """What one ``run-missing`` pass did."""
+
+    total: int
+    already_stored: int
+    executed: List[str]  # key strings, in completion order
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.executed)
+
+
+def _execute_entry(job_json: str, fleet: bool = False) -> List[Dict[str, object]]:
+    """Run one entry and return its records (module-level: pickles to workers)."""
+    entry = LabEntry.from_job_json(job_json)
+    if entry.kind == "scenario":
+        from repro.sim.scenario import ScenarioSpec, run_scenario
+
+        spec = ScenarioSpec.from_dict(entry.document)
+        return run_scenario(spec, fleet=fleet)
+    if entry.kind == "experiment":
+        from repro.analysis.runner import _run_single
+
+        document = entry.document
+        outcome = _run_single(
+            document["experiment"],
+            entry.seed,
+            bool(document.get("small", False)),
+            bool(document.get("large", False)),
+        )
+        if outcome.error is not None:
+            raise LabError(
+                f"experiment {entry.name} (seed {entry.seed}) failed: "
+                f"{outcome.error}"
+            )
+        return list(outcome.records)
+    raise LabError(f"unknown lab entry kind {entry.kind!r}")
+
+
+def run_missing(
+    registry: LabRegistry,
+    entries: Sequence[LabEntry],
+    parallel: int = 1,
+    fleet: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RunMissingResult:
+    """Execute exactly the suite entries the registry does not hold yet.
+
+    Each finished run is registered immediately (artifact written, index
+    updated), so interrupting the sweep at any point loses only the jobs
+    in flight: the next ``run_missing`` with the same suite executes the
+    remainder and the final registry is byte-identical to an
+    uninterrupted sweep.  ``fleet`` replays scenario entries through the
+    stacked fleet engine -- a pure accelerator, records (and therefore
+    artifacts) are bit-for-bit unchanged.
+    """
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    missing = registry.missing(entries)
+    executed: List[str] = []
+
+    def note(entry: LabEntry) -> None:
+        executed.append(entry.key.as_string())
+        if progress is not None:
+            progress(f"{entry.kind} {entry.name} (seed {entry.seed})")
+
+    if parallel == 1 or len(missing) <= 1:
+        for entry in missing:
+            registry.record(entry, _execute_entry(entry.to_job_json(), fleet))
+            note(entry)
+    else:
+        from repro.parallel import iter_jobs
+
+        jobs = [(entry.to_job_json(), fleet) for entry in missing]
+        for index, records in iter_jobs(min(parallel, len(jobs)), _execute_entry, jobs):
+            registry.record(missing[index], records)
+            note(missing[index])
+    return RunMissingResult(
+        total=len(entries),
+        already_stored=len(entries) - len(missing),
+        executed=executed,
+    )

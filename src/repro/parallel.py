@@ -24,10 +24,10 @@ early when that matters.
 from __future__ import annotations
 
 import atexit
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict
 
-__all__ = ["persistent_pool", "run_jobs", "shutdown_pools"]
+__all__ = ["persistent_pool", "run_jobs", "iter_jobs", "shutdown_pools"]
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
 
@@ -70,6 +70,32 @@ def run_jobs(max_workers: int, fn, jobs):
         for future in futures:
             future.cancel()
         raise
+
+
+def iter_jobs(max_workers: int, fn, jobs):
+    """Yield ``(index, fn(*jobs[index]))`` pairs in *completion* order.
+
+    The streaming counterpart of :func:`run_jobs` for callers that persist
+    each result as soon as it exists (the lab registry's ``run-missing``
+    writes every finished artifact immediately, so a killed sweep keeps
+    all completed work).  ``index`` is the job's position in ``jobs``;
+    callers that need submission order can reassemble it.  If a job
+    raises, or the consumer abandons the generator, the not-yet-started
+    jobs are cancelled so no orphaned work keeps running in the
+    persistent pool.
+    """
+    pool = persistent_pool(max_workers)
+    futures = {pool.submit(fn, *args): index for index, args in enumerate(jobs)}
+    try:
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+    finally:
+        for future in futures:
+            future.cancel()
 
 
 def shutdown_pools() -> None:

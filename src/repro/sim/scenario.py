@@ -239,6 +239,32 @@ class ScenarioSpec:
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
+    def canonical_json(self) -> str:
+        """The canonical (hashable) encoding of the spec.
+
+        Keys are sorted recursively and separators are fixed, so the
+        encoding -- and therefore :meth:`spec_hash` -- is invariant under
+        dict key order, JSON round-trips (``from_json(to_json(...))``)
+        and list/tuple representation of the sequence fields.  Any change
+        to the *content* of the spec (network, workload, churn,
+        strategies, sinks, sweep, embedded seeds) changes the encoding.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+
+    def spec_hash(self) -> str:
+        """SHA-256 of :meth:`canonical_json` (the lab registry's key).
+
+        This is the ``spec_hash`` component of the persistent run
+        registry's ``(spec_hash, seed, engine_version)`` key (see
+        :mod:`repro.lab.registry`): two specs share a hash iff their
+        JSON round-trip forms are identical.
+        """
+        import hashlib
+
+        return hashlib.sha256(self.canonical_json().encode("ascii")).hexdigest()
+
 
 @dataclass
 class BuiltScenario:

@@ -127,6 +127,73 @@ class TestParallelDeterminism:
         # the returned outcomes still carry the real timings
         assert outcomes[0].elapsed_seconds > 0.0
 
+    def test_stable_artifacts_field_contract_is_pinned(self, tmp_path):
+        """Exactly these fields are stabilised -- and nothing else.
+
+        The documented contract of ``--stable-artifacts``: per-experiment
+        artifacts have only ``elapsed_seconds`` zeroed; the summary has
+        ``total_seconds`` zeroed and, per row, ``seconds`` zeroed and
+        ``artifact`` reduced to a basename.  ``records`` are never touched.
+        """
+        run_experiments(
+            ids=["E1"], parallel=1, seed=2,
+            output_dir=tmp_path / "stable", stable_artifacts=True,
+        )
+        run_experiments(
+            ids=["E1"], parallel=1, seed=2,
+            output_dir=tmp_path / "raw", stable_artifacts=False,
+        )
+        stable = json.loads((tmp_path / "stable" / "E1.json").read_text())
+        raw = json.loads((tmp_path / "raw" / "E1.json").read_text())
+        assert set(stable) == set(raw)
+        differing = {k for k in raw if stable[k] != raw[k]}
+        assert differing <= {"elapsed_seconds"}
+        assert stable["records"] == raw["records"]
+
+        stable_summary = json.loads(
+            (tmp_path / "stable" / "summary.json").read_text()
+        )
+        raw_summary = json.loads((tmp_path / "raw" / "summary.json").read_text())
+        assert stable_summary["total_seconds"] == 0.0
+        (stable_row,) = stable_summary["experiments"]
+        (raw_row,) = raw_summary["experiments"]
+        assert set(stable_row) == set(raw_row)
+        assert stable_row["seconds"] == 0.0
+        assert stable_row["artifact"] == "E1.json"
+        row_diff = {k for k in raw_row if stable_row[k] != raw_row[k]}
+        assert row_diff <= {"seconds", "artifact"}
+
+
+class TestRegistryIntegration:
+    def test_registry_records_successful_runs(self, tmp_path):
+        from repro.lab.registry import LabRegistry, experiment_entry
+
+        reg_root = tmp_path / "reg"
+        outcomes = run_experiments(
+            ids=["E1", "E4"], parallel=1, seed=0, small=True, registry=reg_root
+        )
+        registry = LabRegistry(reg_root)
+        seeds = experiment_seeds(0, ["E1", "E4"])
+        for outcome in outcomes:
+            entry = experiment_entry(
+                outcome.experiment, seeds[outcome.experiment], small=True
+            )
+            assert registry.has(entry.key)
+            assert registry.get(entry.key)["records"] == outcome.records
+
+    def test_registry_skips_e6_and_failures(self, tmp_path, monkeypatch):
+        from repro.analysis import runner as runner_mod
+        from repro.lab.registry import LabRegistry
+
+        def boom(**kwargs):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(runner_mod.EXPERIMENT_RUNNERS, "E1", boom)
+        reg_root = tmp_path / "reg"
+        run_experiments(ids=["E1", "E6"], parallel=1, small=True, registry=reg_root)
+        index = LabRegistry(reg_root).load_index()
+        assert index == {}
+
 
 class TestOutcome:
     def test_summary_row_shape(self):

@@ -1,0 +1,105 @@
+"""Artifact-generated reports: determinism, completeness, drift checking."""
+
+import json
+
+import pytest
+
+from repro.errors import LabError
+from repro.lab.registry import LabRegistry, run_missing
+from repro.lab.reports import GENERATED_MARKER, check_results, generate_results
+
+
+@pytest.fixture(scope="session")
+def full_registry(tmp_path_factory, tiny_suite):
+    registry = LabRegistry(tmp_path_factory.mktemp("reports") / "reg")
+    run_missing(registry, tiny_suite, parallel=1)
+    return registry
+
+
+@pytest.fixture(scope="session")
+def bench_history(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_history.json"
+    path.write_text(
+        json.dumps(
+            {
+                "format": "repro.bench-history/v1",
+                "runs": [
+                    {
+                        "label": "probe",
+                        "medians": {
+                            "benchmarks/bench_fleet.py::test_sequential_fleet_small": 4.0,
+                            "benchmarks/bench_fleet.py::test_fleet_replay_small": 1.0,
+                        },
+                    }
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestGenerate:
+    def test_partial_registry_is_refused(self, tmp_path, tiny_suite):
+        registry = LabRegistry(tmp_path / "reg")
+        run_missing(registry, tiny_suite[:2], parallel=1)
+        with pytest.raises(LabError, match="run-missing"):
+            generate_results(registry, tiny_suite)
+
+    def test_report_structure(self, full_registry, tiny_suite):
+        text = generate_results(full_registry, tiny_suite)
+        assert text.startswith("# Results")
+        assert GENERATED_MARKER in text
+        assert "## Scenario results" in text
+        assert "## Competitive ratios vs hindsight-static" in text
+        assert "## Experiments" in text
+        assert "### E1" in text and "### E4" in text
+        # every scenario strategy run appears as a table row
+        for payload_name in ("zipf", "storm"):
+            assert f"| {payload_name} |" in text
+
+    def test_report_is_deterministic(self, full_registry, tiny_suite):
+        assert generate_results(full_registry, tiny_suite) == generate_results(
+            full_registry, tiny_suite
+        )
+
+    def test_bench_section_derives_ratios(
+        self, full_registry, tiny_suite, bench_history
+    ):
+        text = generate_results(full_registry, tiny_suite, bench_history=bench_history)
+        assert "## Benchmark trajectory (derived speedup ratios)" in text
+        assert "4.00x" in text  # 4.0 / 1.0 from the probe history
+        assert "| probe |" in text
+
+    def test_missing_bench_history_is_omitted(
+        self, full_registry, tiny_suite, tmp_path
+    ):
+        text = generate_results(
+            full_registry, tiny_suite, bench_history=tmp_path / "absent.json"
+        )
+        assert "Benchmark trajectory" not in text
+
+    def test_no_absolute_paths_in_report(self, full_registry, tiny_suite):
+        # location-independence: the report must regenerate byte-identically
+        # from any checkout directory
+        text = generate_results(full_registry, tiny_suite)
+        assert str(full_registry.root) not in text
+
+
+class TestCheck:
+    def test_in_sync_report_passes(self, full_registry, tiny_suite, tmp_path):
+        results = tmp_path / "RESULTS.md"
+        results.write_text(generate_results(full_registry, tiny_suite))
+        assert check_results(full_registry, tiny_suite, results) == []
+
+    def test_drift_is_reported(self, full_registry, tiny_suite, tmp_path):
+        results = tmp_path / "RESULTS.md"
+        results.write_text(
+            generate_results(full_registry, tiny_suite) + "hand-edited line\n"
+        )
+        drift = check_results(full_registry, tiny_suite, results)
+        assert drift
+        assert any("hand-edited line" in line for line in drift)
+
+    def test_missing_file_is_reported(self, full_registry, tiny_suite, tmp_path):
+        drift = check_results(full_registry, tiny_suite, tmp_path / "absent.md")
+        assert drift and "does not exist" in drift[0]

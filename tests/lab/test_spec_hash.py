@@ -1,0 +1,121 @@
+"""Spec-hash contract tests: content addressing of ScenarioSpecs.
+
+The registry key is only useful if the hash is *stable* under every
+representation detail that does not change what runs (JSON round-trips,
+dict key order, list/tuple) and *distinct* under every detail that does
+(network, workload, churn, strategies, seed).
+"""
+
+import json
+
+from repro.lab.registry import canonical_hash, scenario_entry
+from repro.sim.scenario import ScenarioSpec, scenario_spec
+
+
+def _base_spec(**overrides):
+    kwargs = dict(
+        name="hash-probe",
+        description="spec used by the hashing tests",
+        network={"builder": "balanced-tree", "args": {"arity": 2, "depth": 2}},
+        workload={
+            "kind": "pattern",
+            "generator": "zipf",
+            "args": {"n_objects": 8, "requests_per_processor": 4, "seed": 3},
+            "sequence_seed": 4,
+        },
+        churn=(
+            {
+                "generator": "mutation-storm",
+                "args": {"n_mutations": 4, "start": {"events_div": 4}, "seed": 5},
+            },
+        ),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestHashStability:
+    def test_json_round_trip_preserves_hash(self):
+        spec = _base_spec()
+        round_tripped = ScenarioSpec.from_json(spec.to_json())
+        assert round_tripped.spec_hash() == spec.spec_hash()
+
+    def test_indented_json_round_trip_preserves_hash(self):
+        spec = _base_spec()
+        round_tripped = ScenarioSpec.from_json(spec.to_json(indent=2))
+        assert round_tripped.spec_hash() == spec.spec_hash()
+
+    def test_dict_key_order_is_irrelevant(self):
+        spec = _base_spec()
+        # same mappings, reversed insertion order everywhere
+        shuffled = _base_spec(
+            network={"args": {"depth": 2, "arity": 2}, "builder": "balanced-tree"},
+            workload={
+                "sequence_seed": 4,
+                "args": {"seed": 3, "requests_per_processor": 4, "n_objects": 8},
+                "generator": "zipf",
+                "kind": "pattern",
+            },
+        )
+        assert shuffled.spec_hash() == spec.spec_hash()
+
+    def test_canonical_json_is_key_sorted(self):
+        document = json.loads(_base_spec().canonical_json())
+        assert list(document) == sorted(document)
+
+    def test_registered_family_hash_is_reproducible(self):
+        a = scenario_spec("storm", seed=7, small=True)
+        b = scenario_spec("storm", seed=7, small=True)
+        assert a.spec_hash() == b.spec_hash()
+
+
+class TestHashDistinctness:
+    def test_network_change_changes_hash(self):
+        changed = _base_spec(
+            network={"builder": "balanced-tree", "args": {"arity": 2, "depth": 3}}
+        )
+        assert changed.spec_hash() != _base_spec().spec_hash()
+
+    def test_workload_change_changes_hash(self):
+        changed = _base_spec(
+            workload={
+                "kind": "pattern",
+                "generator": "hotspot",
+                "args": {"n_objects": 8, "seed": 3},
+                "sequence_seed": 4,
+            }
+        )
+        assert changed.spec_hash() != _base_spec().spec_hash()
+
+    def test_churn_change_changes_hash(self):
+        assert _base_spec(churn=()).spec_hash() != _base_spec().spec_hash()
+
+    def test_strategy_change_changes_hash(self):
+        changed = _base_spec(strategies=({"kind": "hindsight-static"},))
+        assert changed.spec_hash() != _base_spec().spec_hash()
+
+    def test_seed_change_changes_hash(self):
+        # family factories embed the seed in the spec, so the content
+        # address changes even though the registry key also carries it
+        assert (
+            scenario_spec("zipf", seed=0, small=True).spec_hash()
+            != scenario_spec("zipf", seed=1, small=True).spec_hash()
+        )
+
+    def test_size_change_changes_hash(self):
+        assert (
+            scenario_spec("zipf", seed=0, small=True).spec_hash()
+            != scenario_spec("zipf", seed=0, large=True).spec_hash()
+        )
+
+
+class TestEntryHashing:
+    def test_entry_hash_matches_spec_hash(self):
+        spec = _base_spec()
+        assert scenario_entry(spec, seed=0).spec_hash == spec.spec_hash()
+
+    def test_canonical_hash_is_key_order_invariant(self):
+        a = {"x": 1, "y": {"a": 2, "b": 3}}
+        b = {"y": {"b": 3, "a": 2}, "x": 1}
+        assert canonical_hash(a) == canonical_hash(b)
+        assert canonical_hash(a) != canonical_hash({"x": 1, "y": {"a": 2, "b": 4}})

@@ -362,3 +362,86 @@ class TestSimulateParallelAndFleet:
             build_parser().parse_args(
                 ["simulate", "--scenario", "zipf", "--parallel", "0"]
             )
+
+
+class TestLab:
+    """The `repro lab` command group: run-missing, status, report, gc."""
+
+    @pytest.fixture(scope="class")
+    def ci_registry(self, tmp_path_factory):
+        """A tmp registry populated once with the pinned ci suite."""
+        root = tmp_path_factory.mktemp("lab") / "registry"
+        code, text = run_cli(
+            ["lab", "run-missing", "--registry", str(root), "--suite", "ci"]
+        )
+        assert code == 0
+        return root, text
+
+    def test_run_missing_populates_then_noops(self, ci_registry):
+        root, first_text = ci_registry
+        assert "0 already stored" in first_text
+        code, text = run_cli(
+            ["lab", "run-missing", "--registry", str(root), "--suite", "ci"]
+        )
+        assert code == 0
+        assert "0 executed" in text
+
+    def test_status_reports_stored_counts(self, ci_registry, tmp_path):
+        root, _ = ci_registry
+        code, text = run_cli(
+            ["lab", "status", "--registry", str(root), "--suite", "ci"]
+        )
+        assert code == 0
+        assert text.rstrip().endswith(f"suite entries stored in {root}")
+        # a fresh registry stores nothing
+        code, text = run_cli(
+            ["lab", "status", "--registry", str(tmp_path / "empty"), "--suite", "ci"]
+        )
+        assert code == 0
+        assert "0 of" in text
+
+    def test_report_write_and_check_round_trip(self, ci_registry, tmp_path):
+        root, _ = ci_registry
+        results = tmp_path / "RESULTS.md"
+        code, _ = run_cli(
+            [
+                "lab", "report", "--registry", str(root), "--suite", "ci",
+                "--write", "-o", str(results),
+                "--bench-history", str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 0
+        assert results.read_text().startswith("# Results")
+
+        code, text = run_cli(
+            [
+                "lab", "report", "--registry", str(root), "--suite", "ci",
+                "--check", "-o", str(results),
+                "--bench-history", str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 0
+        assert "matches the registry artifacts" in text
+
+        results.write_text(results.read_text() + "drifted\n")
+        code, text = run_cli(
+            [
+                "lab", "report", "--registry", str(root), "--suite", "ci",
+                "--check", "-o", str(results),
+                "--bench-history", str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 1
+        assert "out of date" in text
+
+    def test_gc_of_complete_suite_is_noop(self, ci_registry):
+        root, _ = ci_registry
+        code, text = run_cli(
+            ["lab", "gc", "--registry", str(root), "--suite", "ci", "--dry-run"]
+        )
+        assert code == 0
+        assert "would remove 0 stored runs" in text
+
+    def test_write_and_check_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lab", "report", "--write", "--check"])

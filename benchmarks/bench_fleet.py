@@ -11,7 +11,7 @@ and serves every chunk for all strategies at once.
 This benchmark measures both sides on an 8-placement static fleet (the
 extended-nibble hindsight reference plus the full baseline family) and
 gates the headline number: on the largest scenario the stacked pass must
-be at least **3x** faster than sequential per-strategy replay.  Both
+be at least **1.7x** faster than sequential per-strategy replay.  Both
 sides time *replay only* -- strategies are freshly built (and their
 placement-derived caches warmed) outside the timed region, identically
 for both arms -- and take best-of-N so a scheduler hiccup cannot fail
@@ -165,12 +165,20 @@ def test_fleet_speedup_gate():
     """Gate the headline number of the fleet engine.
 
     An 8-strategy stacked replay of the largest scenario must beat
-    sequential per-strategy replay by at least 3x.  This is the
-    machine-independent claim of the PR, so it runs on the large scenario
-    even in quick mode (the scenario builds in about a second); both
-    sides take best-of-N over identically warmed fresh managers.
+    sequential per-strategy replay by at least 1.7x.  This is a
+    machine-independent claim, so it runs on the large scenario even in
+    quick mode (the scenario builds in about a second); both sides take
+    best-of-N over identically warmed fresh managers.
+
+    The floor was 3.0x when the sequential side spent most of its time
+    in the 2D ``np.unique`` chunk aggregation; the compiled-kernel work
+    (shared int64-key aggregation + compiled apply/rescan) made the
+    *sequential* path ~5-8x faster, so the stacked-vs-sequential ratio
+    legitimately compressed (~2.0x numpy, ~2.6x compiled measured).
+    Absolute fleet replay time is gated by the baseline regression
+    check, not this ratio.
     """
-    floor = 3.0
+    floor = 1.7
     repeats = 3
     net, seq, _ = fleet_scenario("large")
 

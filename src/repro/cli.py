@@ -335,10 +335,13 @@ def _cmd_simulate(args: argparse.Namespace, stream) -> int:
         stream,
     )
     if args.output:
+        from repro.core.kernels import active_backend
+
         document = {
             "format": "repro.sim-result/v1",
             "scenario": spec.name,
             "seed": seed,
+            "backend": active_backend(),
             "spec": spec.to_dict(),
             "records": records,
         }
@@ -378,12 +381,15 @@ def _cmd_lab_run_missing(args: argparse.Namespace, stream) -> int:
 
 
 def _cmd_lab_status(args: argparse.Namespace, stream) -> int:
+    from repro.core.kernels import active_backend
+
     registry, entries = _lab_suite_entries(args)
     rows = registry.status_rows(entries)
     _print_records(rows, stream)
     stored = sum(1 for row in rows if row["stored"])
     print(
-        f"{stored} of {len(rows)} suite entries stored in {args.registry}",
+        f"{stored} of {len(rows)} suite entries stored in {args.registry} "
+        f"(kernel backend: {active_backend()})",
         file=stream,
     )
     return 0

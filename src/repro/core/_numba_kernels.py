@@ -1,0 +1,239 @@
+"""Numba ``@njit`` twins of the compiled kernel loops.
+
+Importing this module requires ``numba`` (the optional ``[compiled]``
+extra); :mod:`repro.core.kernels` imports it lazily and treats an
+``ImportError`` as "backend unavailable".  Every function mirrors the C
+implementation embedded in :mod:`repro.core.kernels` loop for loop, and
+``fastmath`` stays **off** so float additions keep IEEE semantics -- the
+bit-for-bit "compiled equals reference" invariant (ARCHITECTURE.md
+invariant 9) depends on it.  The differential suite pins these against
+the numpy ``_reference_*`` twins whenever numba is installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["OPS"]
+
+_jit = njit(cache=True, fastmath=False)
+
+
+@_jit
+def _nb_lca(up, depth, u, v):
+    levels, n = up.shape
+    m = u.size
+    out = np.empty(m, dtype=np.int64)
+    for i in range(m):
+        a = u[i]
+        b = v[i]
+        da = depth[a]
+        db = depth[b]
+        if da < db:
+            a, b = b, a
+            da, db = db, da
+        diff = da - db
+        k = 0
+        while diff != 0:
+            if diff & 1:
+                a = up[k, a]
+            diff >>= 1
+            k += 1
+        if a != b:
+            for k in range(levels - 1, -1, -1):
+                ua = up[k, a]
+                ub = up[k, b]
+                if ua != ub:
+                    a = ua
+                    b = ub
+            a = up[0, a]
+        out[i] = a
+    return out
+
+
+# Zero-skip CSR scatter (see the C twins in repro.core.kernels for why
+# skipping all-zero delta rows is bitwise-identical to the full scatter).
+@_jit
+def _nb_scatter_paths_1d(out, rp_edges, rp_indptr, delta):
+    for v in range(rp_indptr.size - 1):
+        d = delta[v]
+        if d != 0.0:
+            for t in range(rp_indptr[v], rp_indptr[v + 1]):
+                out[rp_edges[t]] += d
+
+
+@_jit
+def _nb_scatter_paths_2d(out, rp_edges, rp_indptr, delta):
+    ncols = out.shape[1]
+    for v in range(rp_indptr.size - 1):
+        nonzero = False
+        for c in range(ncols):
+            if delta[v, c] != 0.0:
+                nonzero = True
+                break
+        if nonzero:
+            for t in range(rp_indptr[v], rp_indptr[v + 1]):
+                e = rp_edges[t]
+                for c in range(ncols):
+                    out[e, c] += delta[v, c]
+
+
+@_jit
+def _nb_pair_scatter(delta, u, v, anc, w):
+    for i in range(u.size):
+        delta[u[i]] += w[i]
+        delta[v[i]] += w[i]
+        delta[anc[i]] -= 2.0 * w[i]
+
+
+@_jit
+def _nb_pair_scatter_lanes(delta, u, targets, anc, w):
+    m, lanes = targets.shape
+    for i in range(m):
+        wi = w[i]
+        w2 = 2.0 * wi
+        ui = u[i]
+        for k in range(lanes):
+            delta[ui, k] += wi
+            delta[targets[i, k], k] += wi
+            delta[anc[i, k], k] -= w2
+    return delta
+
+
+@_jit
+def _nb_bus_fold_1d(out, edge_u, edge_v, is_bus, vec):
+    for e in range(edge_u.size):
+        out[edge_u[e]] += vec[e]
+        out[edge_v[e]] += vec[e]
+    for i in range(out.shape[0]):
+        if not is_bus[i]:
+            out[i] = 0.0
+
+
+@_jit
+def _nb_bus_fold_2d(out, edge_u, edge_v, is_bus, vec):
+    ncols = out.shape[1]
+    for e in range(edge_u.size):
+        bu = edge_u[e]
+        bv = edge_v[e]
+        for c in range(ncols):
+            out[bu, c] += vec[e, c]
+            out[bv, c] += vec[e, c]
+    for i in range(out.shape[0]):
+        if not is_bus[i]:
+            for c in range(ncols):
+                out[i, c] = 0.0
+
+
+@_jit
+def _nb_apply_column(loads, vec, edge_u, edge_v, is_bus, n_edges, sign):
+    # x == 0.0 entries skip the adds (same zero-skip argument as the CSR
+    # scatter: the accumulator holds no -0.0, so +/- (+/-)0.0 is a no-op
+    # and (+/-)0.0 >= 0 keeps the flag unchanged)
+    any_neg = False
+    if sign >= 0.0:
+        for e in range(n_edges):
+            x = vec[e]
+            if not (x >= 0.0):
+                any_neg = True
+            if x != 0.0:
+                loads[e] += x
+                if is_bus[edge_u[e]]:
+                    loads[n_edges + edge_u[e]] += x
+                if is_bus[edge_v[e]]:
+                    loads[n_edges + edge_v[e]] += x
+    else:
+        for e in range(n_edges):
+            x = vec[e]
+            if not (x >= 0.0):
+                any_neg = True
+            if x != 0.0:
+                loads[e] -= x
+                if is_bus[edge_u[e]]:
+                    loads[n_edges + edge_u[e]] -= x
+                if is_bus[edge_v[e]]:
+                    loads[n_edges + edge_v[e]] -= x
+    return any_neg
+
+
+@_jit
+def _nb_apply_columns_lanes(loads, lanes, cols, edge_u, edge_v, is_bus, n_edges):
+    n_lanes = lanes.size
+    neg = np.zeros(n_lanes, dtype=np.bool_)
+    for j in range(n_lanes):
+        row = lanes[j]
+        for e in range(n_edges):
+            x = cols[e, j]
+            if not (x >= 0.0):
+                neg[j] = True
+            loads[row, e] += x
+            if is_bus[edge_u[e]]:
+                loads[row, n_edges + edge_u[e]] += x
+            if is_bus[edge_v[e]]:
+                loads[row, n_edges + edge_v[e]] += x
+    return neg
+
+
+@_jit
+def _nb_rescan(loads, denom):
+    best = loads[0] / denom[0]
+    for i in range(1, loads.size):
+        v = loads[i] / denom[i]
+        if v > best:
+            best = v
+    return best
+
+
+@_jit
+def _nb_rescan_rows(loads, rows, denom):
+    out = np.empty(rows.size, dtype=np.float64)
+    row_len = loads.shape[1]
+    for j in range(rows.size):
+        r = rows[j]
+        best = loads[r, 0] / denom[0]
+        for i in range(1, row_len):
+            v = loads[r, i] / denom[i]
+            if v > best:
+                best = v
+        out[j] = best
+    return out
+
+
+def _scatter_paths(out, rp_edges, rp_nodes, rp_indptr, delta):
+    if out.ndim == 1:
+        _nb_scatter_paths_1d(out, rp_edges, rp_indptr, delta)
+    else:
+        _nb_scatter_paths_2d(out, rp_edges, rp_indptr, delta)
+
+
+def _pair_scatter_lanes(delta, u, targets, anc, w):
+    _nb_pair_scatter_lanes(delta, u, targets, anc, w)
+
+
+def _bus_fold(out, edge_u, edge_v, is_bus, vec):
+    if out.ndim == 1:
+        _nb_bus_fold_1d(out, edge_u, edge_v, is_bus, vec)
+    else:
+        _nb_bus_fold_2d(out, edge_u, edge_v, is_bus, vec)
+
+
+def _apply_column(loads, vec, edge_u, edge_v, is_bus, n_edges, sign):
+    return bool(_nb_apply_column(loads, vec, edge_u, edge_v, is_bus, n_edges, sign))
+
+
+def _rescan(loads, denom):
+    return float(_nb_rescan(loads, denom))
+
+
+OPS = {
+    "lca": _nb_lca,
+    "scatter_paths": _scatter_paths,
+    "pair_scatter": _nb_pair_scatter,
+    "pair_scatter_lanes": _pair_scatter_lanes,
+    "bus_fold": _bus_fold,
+    "apply_column": _apply_column,
+    "apply_columns_lanes": _nb_apply_columns_lanes,
+    "rescan": _rescan,
+    "rescan_rows": _nb_rescan_rows,
+}

@@ -55,6 +55,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import AlgorithmError, MutationError
 
 __all__ = ["LoadState", "LoadSnapshot", "StackedLoadState", "LaneState"]
@@ -115,14 +116,13 @@ class _SubstrateGeometry:
         self.n_edges = network.n_edges
         self.n_nodes = network.n_nodes
 
-        edges = network.edges
-        self._edge_u = np.array([e.u for e in edges], dtype=np.int64)
-        self._edge_v = np.array([e.v for e in edges], dtype=np.int64)
-        is_bus = np.zeros(self.n_nodes, dtype=bool)
-        if network.buses:
-            is_bus[list(network.buses)] = True
-        self._node_is_bus = is_bus
-        self._bus_nodes = np.asarray(sorted(network.buses), dtype=np.int64)
+        # endpoint / bus arrays are shared with the path matrix (identical
+        # construction from network.edges; both sides treat them as
+        # immutable), so huge networks hold one int32 copy, not two
+        self._edge_u = self.pm._edge_u
+        self._edge_v = self.pm._edge_v
+        self._node_is_bus = self.pm._bus_mask
+        self._bus_nodes = np.flatnonzero(self.pm._bus_mask)
 
         self._denom = self._build_denominators(network)
         self._inc_indptr, self._inc_edges = self._build_incident_csr()
@@ -154,10 +154,10 @@ class _SubstrateGeometry:
         before its ``v`` endpoint.  Used for per-bus reads and the
         consistency check; shared by ``__init__`` and :meth:`repair`.
         """
-        endpoints = np.empty(2 * self.n_edges, dtype=np.int64)
+        endpoints = np.empty(2 * self.n_edges, dtype=kernels.INDEX_DTYPE)
         endpoints[0::2] = self._edge_u
         endpoints[1::2] = self._edge_v
-        eids = np.repeat(np.arange(self.n_edges, dtype=np.int64), 2)
+        eids = np.repeat(np.arange(self.n_edges, dtype=kernels.INDEX_DTYPE), 2)
         order = np.argsort(endpoints, kind="stable")
         indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
         indptr[1:] = np.cumsum(np.bincount(endpoints, minlength=self.n_nodes))
@@ -166,6 +166,39 @@ class _SubstrateGeometry:
     def incident_edge_ids(self, node: int) -> np.ndarray:
         """Edge ids incident to ``node`` (precomputed CSR slice)."""
         return self._inc_edges[self._inc_indptr[node] : self._inc_indptr[node + 1]]
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the substrate arrays (the memory audit hook).
+
+        Counts the fused load array, the denominator / incidence arrays and
+        the shared :class:`~repro.core.pathmatrix.PathMatrix` tables, with
+        arrays shared between the two deduplicated by identity.
+        """
+        pm = self.pm
+        arrays = {
+            id(a): a
+            for a in (
+                self._loads,
+                self._denom,
+                self._edge_u,
+                self._edge_v,
+                self._node_is_bus,
+                self._bus_nodes,
+                self._inc_indptr,
+                self._inc_edges,
+                pm._parent,
+                pm._parent_edge,
+                pm._depth,
+                pm._up,
+                pm._rp_indptr,
+                pm._rp_edges,
+                pm._rp_nodes,
+                pm._edge_u,
+                pm._edge_v,
+                pm._bus_mask,
+            )
+        }
+        return int(sum(a.nbytes for a in arrays.values()))
 
     # ------------------------------------------------------------------ #
     # scatter entries (shared by all lanes of a substrate)
@@ -297,7 +330,7 @@ class LoadState(_SubstrateGeometry):
     def _rescan(self) -> float:
         if not self._loads.size:
             return 0.0
-        return float((self._loads / self._denom).max())
+        return kernels.rescan(self._loads, self._denom)
 
     def verify_bus_loads(self) -> bool:
         """Debug check: incremental bus loads match a CSR recomputation."""
@@ -381,12 +414,12 @@ class LoadState(_SubstrateGeometry):
         The caller must not mutate ``vector`` while a snapshot that saw this
         apply is still open (the journal keeps a reference, not a copy).
         """
-        vec = np.asarray(vector, dtype=np.float64)
+        vec = np.ascontiguousarray(vector, dtype=np.float64)
         if vec.shape != (self.n_edges,):
             raise AlgorithmError("edge-load vector has the wrong shape")
-        self._scatter_vector(vec, 1.0)
+        any_negative = self._scatter_vector(vec, 1.0)
         if not self._stale:
-            if np.all(vec >= 0):
+            if not any_negative:
                 # a full column touches everything: one vectorized rescan
                 value = self._rescan()
                 if value > self._congestion:
@@ -396,20 +429,21 @@ class LoadState(_SubstrateGeometry):
         if self._snapshots:
             self._journal.append(("vector", vec, None))
 
-    def _scatter_vector(self, vec: np.ndarray, sign: float) -> None:
-        n_edges = self.n_edges
-        if sign >= 0:
-            self._loads[:n_edges] += vec
-        else:
-            self._loads[:n_edges] -= vec
-        bus2 = np.zeros(self.n_nodes, dtype=np.float64)
-        np.add.at(bus2, self._edge_u, vec)
-        np.add.at(bus2, self._edge_v, vec)
-        bus2[~self._node_is_bus] = 0.0
-        if sign >= 0:
-            self._loads[n_edges:] += bus2
-        else:
-            self._loads[n_edges:] -= bus2
+    def _scatter_vector(self, vec: np.ndarray, sign: float) -> bool:
+        """Fused edge-block + bus-fold apply of one per-edge column.
+
+        Returns whether any entry of ``vec`` fails ``>= 0`` (the staleness
+        trigger); the rollback path ignores the flag.
+        """
+        return kernels.apply_column(
+            self._loads,
+            vec,
+            self._edge_u,
+            self._edge_v,
+            self._node_is_bus,
+            self.n_edges,
+            sign,
+        )
 
     def apply_pairs(self, u, v, w) -> None:
         """Charge weighted request pairs ``u[i] -> v[i]`` in one batch.
@@ -715,7 +749,7 @@ class StackedLoadState(_SubstrateGeometry):
     def _lane_congestion(self, k: int) -> float:
         if self._stale[k]:
             row = self._loads[k]
-            self._congestion[k] = float((row / self._denom).max()) if row.size else 0.0
+            self._congestion[k] = kernels.rescan(row, self._denom) if row.size else 0.0
             self._stale[k] = False
         return float(self._congestion[k])
 
@@ -743,8 +777,8 @@ class StackedLoadState(_SubstrateGeometry):
         be distinct.  Produces bit-for-bit the loads and congestion of
         ``LoadState.apply_edge_loads`` called per lane.
         """
-        lanes = np.asarray(lanes, dtype=np.int64)
-        cols = np.asarray(columns, dtype=np.float64)
+        lanes = np.ascontiguousarray(lanes, dtype=np.int64)
+        cols = np.ascontiguousarray(columns, dtype=np.float64)
         if cols.ndim == 1:
             cols = cols[:, None]
         if cols.shape != (self.n_edges, lanes.size):
@@ -752,19 +786,20 @@ class StackedLoadState(_SubstrateGeometry):
         if np.unique(lanes).size != lanes.size:
             # a buffered fancy-index "+=" would drop all but one duplicate
             raise AlgorithmError("lane ids must be distinct")
-        n_edges = self.n_edges
-        self._loads[lanes, :n_edges] += cols.T
-        bus2 = np.zeros((self.n_nodes, lanes.size), dtype=np.float64)
-        np.add.at(bus2, self._edge_u, cols)
-        np.add.at(bus2, self._edge_v, cols)
-        bus2[~self._node_is_bus] = 0.0
-        self._loads[lanes, n_edges:] += bus2.T
-        negative = (cols < 0).any(axis=0)
+        negative = kernels.apply_columns_lanes(
+            self._loads,
+            lanes,
+            cols,
+            self._edge_u,
+            self._edge_v,
+            self._node_is_bus,
+            self.n_edges,
+        )
         if negative.any():
             self._stale[lanes[negative]] = True
         fresh = lanes[~negative & ~self._stale[lanes]]
         if fresh.size:
-            values = (self._loads[fresh] / self._denom).max(axis=1)
+            values = kernels.rescan_rows(self._loads, fresh, self._denom)
             self._congestion[fresh] = np.maximum(self._congestion[fresh], values)
 
     # ------------------------------------------------------------------ #
@@ -775,7 +810,9 @@ class StackedLoadState(_SubstrateGeometry):
         """Per-lane congestion values (stale lanes rescanned first)."""
         if self._stale.any():
             rows = np.flatnonzero(self._stale)
-            self._congestion[rows] = (self._loads[rows] / self._denom).max(axis=1)
+            self._congestion[rows] = kernels.rescan_rows(
+                self._loads, rows, self._denom
+            )
             self._stale[rows] = False
         return self._congestion.copy()
 
@@ -856,12 +893,17 @@ class StackedLoadState(_SubstrateGeometry):
             elif isinstance(mutation, DetachLeaf):
                 node_rows = node_block.copy()
                 node_rows[:, outcome.touched_bus] -= edge_block[:, outcome.removed_edge]
-                loads = np.concatenate(
-                    [
-                        edge_block[:, outcome.edge_map >= 0],
-                        node_rows[:, outcome.node_map >= 0],
-                    ],
-                    axis=1,
+                # the masked column gathers come out F-ordered (and
+                # concatenate preserves that when every input is F); the
+                # lane kernels need a C-ordered stack
+                loads = np.ascontiguousarray(
+                    np.concatenate(
+                        [
+                            edge_block[:, outcome.edge_map >= 0],
+                            node_rows[:, outcome.node_map >= 0],
+                        ],
+                        axis=1,
+                    )
                 )
             elif isinstance(mutation, SplitBus):
                 mids = np.asarray(outcome.moved_edge_ids, dtype=np.int64)

@@ -4,7 +4,7 @@ The cost model charges every request pair ``(u, v)`` one load unit on each
 edge of the tree path between ``u`` and ``v``.  Evaluating this with Python
 loops over objects × requesters × path edges is the dominant cost of every
 experiment; :class:`PathMatrix` replaces those loops with a precomputed
-sparse incidence structure and a handful of numpy scatter/gather kernels.
+sparse incidence structure and a handful of scatter/gather kernels.
 
 The structure exploits a classical identity on trees rooted at ``r``.  Let
 ``R(v)`` be the set of edges on the path ``r -> v`` ("root path").  Then
@@ -18,14 +18,23 @@ The structure exploits a classical identity on trees rooted at ``r``.  Let
   -- which identifies the Steiner tree of ``S`` (``0 < below < |S|``).
 
 The incidence ``[e ∈ R(v)]`` is stored once per rooted network as CSR-style
-numpy arrays (``indptr`` / ``edge id`` / ``node id`` triples, total size
-``Σ_v depth(v)``), and all evaluations are ``np.add.at`` scatters over it.
-Batched right-hand sides (one column per candidate placement or per object)
-turn into a single scatter over 2-D arrays, which is what makes whole-suite
-experiments on networks 10-100× larger than the seed sizes feasible.
+arrays (``indptr`` / ``edge id`` / ``node id`` triples, total size
+``Σ_v depth(v)``), and all evaluations run through the backend-dispatched
+kernels of :mod:`repro.core.kernels` -- compiled scatter loops when a
+compiled backend is active, ``np.add.at`` scatters under the numpy
+reference, bit-for-bit identical either way (ARCHITECTURE.md invariant 9).
+Batched right-hand sides (one column per candidate placement or per
+object) turn into a single scatter over 2-D arrays, which is what makes
+whole-suite experiments on networks 10-100× larger than the seed sizes
+feasible.
 
 LCAs are computed for whole index arrays at once by binary lifting over a
-``(log2(height), n)`` ancestor table.
+``(log2(height), n)`` ancestor table.  The id-valued tables (lifting rows,
+CSR edge/node ids, edge endpoints) are stored as int32
+(:data:`repro.core.kernels.INDEX_DTYPE`) so 10^5-10^6-leaf networks fit in
+memory; :func:`repro.core.kernels.ensure_index_capacity` raises
+:class:`~repro.errors.CapacityError` -- it never wraps -- when a network
+would overflow that range.
 """
 
 from __future__ import annotations
@@ -34,9 +43,12 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import InvalidNodeError
 
 __all__ = ["PathMatrix"]
+
+_INDEX = kernels.INDEX_DTYPE
 
 
 class PathMatrix:
@@ -61,13 +73,12 @@ class PathMatrix:
         "_edge_u",
         "_edge_v",
         "_bus_mask",
-        "_all_dist",
     )
 
-    # All-pairs distance matrices are only materialised below this node
-    # count (2048**2 int64 entries = 32 MiB); larger networks keep using
-    # the batched on-demand LCA evaluation.
-    _ALL_DIST_MAX_NODES = 2048
+    # Block size (in pair entries) of the on-demand distance evaluation:
+    # bounds the LCA scratch arrays of arbitrarily large distance queries
+    # to a few MiB instead of materialising an O(n^2) all-pairs matrix.
+    _DIST_BLOCK = 1 << 20
 
     def __init__(self, rooted) -> None:
         network = rooted.network
@@ -85,11 +96,14 @@ class PathMatrix:
         self._parent_edge = parent_edge
         self._depth = depth
 
+        total = int(depth.sum())
+        kernels.ensure_index_capacity(n, network.n_edges, total)
+
         # Binary-lifting ancestor table: _up[k, v] = 2^k-th ancestor of v
         # (the root is its own ancestor, so lifts saturate instead of
         # underflowing to -1).
         levels = self._lift_levels(int(depth.max()))
-        up = np.empty((levels, n), dtype=np.int64)
+        up = np.empty((levels, n), dtype=_INDEX)
         up[0] = np.where(parent >= 0, parent, np.arange(n))
         for k in range(1, levels):
             up[k] = up[k - 1][up[k - 1]]
@@ -100,9 +114,8 @@ class PathMatrix:
         # once per such edge so a gather delta[rp_nodes] aligns with rp_edges.
         indptr = np.zeros(n + 1, dtype=np.int64)
         indptr[1:] = np.cumsum(depth)
-        total = int(indptr[-1])
-        rp_edges = np.empty(total, dtype=np.int64)
-        rp_nodes = np.empty(total, dtype=np.int64)
+        rp_edges = np.empty(total, dtype=_INDEX)
+        rp_nodes = np.empty(total, dtype=_INDEX)
         for v in rooted.preorder:
             p = parent[v]
             if p < 0:
@@ -117,13 +130,12 @@ class PathMatrix:
         self._rp_nodes = rp_nodes
 
         edges = network.edges
-        self._edge_u = np.array([e.u for e in edges], dtype=np.int64)
-        self._edge_v = np.array([e.v for e in edges], dtype=np.int64)
+        self._edge_u = np.array([e.u for e in edges], dtype=_INDEX)
+        self._edge_v = np.array([e.v for e in edges], dtype=_INDEX)
         bus_mask = np.zeros(n, dtype=bool)
         if network.buses:
             bus_mask[list(network.buses)] = True
         self._bus_mask = bus_mask
-        self._all_dist = None
 
     # ------------------------------------------------------------------ #
     # incremental repair after topology mutations
@@ -157,8 +169,13 @@ class PathMatrix:
         new._parent_edge = rooted._parent_edge
         new._depth = rooted._depth
 
-        new._all_dist = None
         mutation = outcome.mutation
+        if outcome.structural:
+            # growth mutations can push a network across the int32 range:
+            # guard before the surgery below writes any index table
+            kernels.ensure_index_capacity(
+                new.n_nodes, new.n_edges, int(np.asarray(new._depth).sum())
+            )
         if not outcome.structural:
             new._up = self._up
             new._rp_indptr = self._rp_indptr
@@ -187,7 +204,7 @@ class PathMatrix:
     def _repair_up_full(self, new: "PathMatrix", levels: int) -> None:
         """Vectorized lifting-table rebuild (log passes, no Python loops)."""
         n = new.n_nodes
-        up = np.empty((levels, n), dtype=np.int64)
+        up = np.empty((levels, n), dtype=_INDEX)
         up[0] = np.where(new._parent >= 0, new._parent, np.arange(n))
         for k in range(1, levels):
             up[k] = up[k - 1][up[k - 1]]
@@ -202,7 +219,7 @@ class PathMatrix:
 
         levels = self._lift_levels(int(depth.max()))
         if levels == self._up.shape[0]:
-            col = np.empty(levels, dtype=np.int64)
+            col = np.empty(levels, dtype=_INDEX)
             col[0] = bus
             for k in range(1, levels):
                 col[k] = self._up[k - 1][col[k - 1]]
@@ -212,14 +229,14 @@ class PathMatrix:
 
         bus_path = self._rp_edges[self._rp_indptr[bus] : self._rp_indptr[bus + 1]]
         new._rp_edges = np.concatenate(
-            [self._rp_edges, bus_path, np.asarray([f], dtype=np.int64)]
+            [self._rp_edges, bus_path, np.asarray([f], dtype=_INDEX)]
         )
         new._rp_nodes = np.concatenate(
-            [self._rp_nodes, np.full(dw, w, dtype=np.int64)]
+            [self._rp_nodes, np.full(dw, w, dtype=_INDEX)]
         )
         new._rp_indptr = np.append(self._rp_indptr, self._rp_indptr[-1] + dw)
-        new._edge_u = np.append(self._edge_u, bus)
-        new._edge_v = np.append(self._edge_v, w)
+        new._edge_u = np.append(self._edge_u, _INDEX(bus))
+        new._edge_v = np.append(self._edge_v, _INDEX(w))
         new._bus_mask = np.append(self._bus_mask, False)
 
     def _repair_detach(self, new: "PathMatrix", outcome) -> None:
@@ -230,19 +247,20 @@ class PathMatrix:
         depth = new._depth
 
         levels = self._lift_levels(int(depth.max()))
-        new._up = nm[self._up[:levels][:, keep]]
+        # the masked gather comes out F-ordered; the lca kernel needs C order
+        new._up = nm[self._up[:levels][:, keep]].astype(_INDEX, order="C")
 
         mask = np.ones(self._rp_edges.shape[0], dtype=bool)
         mask[self._rp_indptr[p] : self._rp_indptr[p + 1]] = False
-        new._rp_edges = em[self._rp_edges[mask]]
-        new._rp_nodes = nm[self._rp_nodes[mask]]
+        new._rp_edges = em[self._rp_edges[mask]].astype(_INDEX)
+        new._rp_nodes = nm[self._rp_nodes[mask]].astype(_INDEX)
         indptr = np.zeros(new.n_nodes + 1, dtype=np.int64)
         indptr[1:] = np.cumsum(depth)
         new._rp_indptr = indptr
 
         ekeep = em >= 0
-        new._edge_u = nm[self._edge_u[ekeep]]
-        new._edge_v = nm[self._edge_v[ekeep]]
+        new._edge_u = nm[self._edge_u[ekeep]].astype(_INDEX)
+        new._edge_v = nm[self._edge_v[ekeep]].astype(_INDEX)
         new._bus_mask = self._bus_mask[keep]
 
     def _repair_split(self, new: "PathMatrix", outcome) -> None:
@@ -261,7 +279,7 @@ class PathMatrix:
                 [np.flatnonzero(aff_mask), np.asarray([w], dtype=np.int64)]
             )
             up = np.concatenate(
-                [self._up, np.empty((levels, 1), dtype=np.int64)], axis=1
+                [self._up, np.empty((levels, 1), dtype=_INDEX)], axis=1
             )
             up[0, idx] = new._parent[idx]
             for k in range(1, levels):
@@ -273,7 +291,7 @@ class PathMatrix:
         indptr = np.zeros(new.n_nodes + 1, dtype=np.int64)
         indptr[1:] = np.cumsum(depth)
         head_len = int(indptr[w])  # w has the largest id: its block is the tail
-        rp_nodes = np.repeat(np.arange(new.n_nodes, dtype=np.int64), depth)
+        rp_nodes = np.repeat(np.arange(new.n_nodes, dtype=_INDEX), depth)
         head_nodes = rp_nodes[:head_len]
         j = np.arange(head_len, dtype=np.int64) - indptr[head_nodes]
         db = int(self._depth[b])
@@ -281,11 +299,11 @@ class PathMatrix:
         trunk_pos = is_aff & (j == db)
         shift = (is_aff & (j > db)).astype(np.int64)
         src = self._rp_indptr[head_nodes] + j - shift
-        head = np.empty(head_len, dtype=np.int64)
+        head = np.empty(head_len, dtype=_INDEX)
         head[~trunk_pos] = self._rp_edges[src[~trunk_pos]]
         head[trunk_pos] = f
         b_path = self._rp_edges[self._rp_indptr[b] : self._rp_indptr[b + 1]]
-        tail = np.concatenate([b_path, np.asarray([f], dtype=np.int64)])
+        tail = np.concatenate([b_path, np.asarray([f], dtype=_INDEX)])
         new._rp_indptr = indptr
         new._rp_edges = np.concatenate([head, tail])
         new._rp_nodes = rp_nodes
@@ -293,11 +311,11 @@ class PathMatrix:
         eu = self._edge_u.copy()
         ev = self._edge_v.copy()
         mids = np.asarray(outcome.moved_edge_ids, dtype=np.int64)
-        ms = eu[mids] + ev[mids] - b  # the moved endpoint of each edge
+        ms = eu[mids] + ev[mids] - _INDEX(b)  # the moved endpoint of each edge
         eu[mids] = ms
         ev[mids] = w
-        new._edge_u = np.append(eu, b)
-        new._edge_v = np.append(ev, w)
+        new._edge_u = np.append(eu, _INDEX(b))
+        new._edge_v = np.append(ev, _INDEX(w))
         new._bus_mask = np.append(self._bus_mask, True)
 
     # ------------------------------------------------------------------ #
@@ -308,64 +326,59 @@ class PathMatrix:
         """Per-node depth array (root has depth 0)."""
         return self._depth
 
+    def memory_bytes(self) -> int:
+        """Total bytes held by the substrate arrays (the memory audit hook)."""
+        arrays = (
+            self._parent,
+            self._parent_edge,
+            self._depth,
+            self._up,
+            self._rp_indptr,
+            self._rp_edges,
+            self._rp_nodes,
+            self._edge_u,
+            self._edge_v,
+            self._bus_mask,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
     def lca(self, u, v) -> np.ndarray:
         """Lowest common ancestors of broadcastable index arrays ``u, v``."""
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
         u, v = np.broadcast_arrays(u, v)
-        u = u.copy()
-        v = v.copy()
-        du = self._depth[u]
-        dv = self._depth[v]
-        # lift the deeper endpoint to the shallower one's depth
-        diff = du - dv
-        swap = diff < 0
-        if np.any(swap):
-            u[swap], v[swap] = v[swap], u[swap]
-            diff = np.abs(diff)
-        for k in range(self._up.shape[0]):
-            sel = (diff >> k) & 1 == 1
-            if np.any(sel):
-                u[sel] = self._up[k][u[sel]]
-        neq = u != v
-        if np.any(neq):
-            for k in range(self._up.shape[0] - 1, -1, -1):
-                upu = self._up[k][u]
-                upv = self._up[k][v]
-                step = neq & (upu != upv)
-                if np.any(step):
-                    u[step] = upu[step]
-                    v[step] = upv[step]
-            u[neq] = self._up[0][u[neq]]
-        return u
+        shape = u.shape
+        # flatten() always copies: the kernel may clobber its index inputs
+        anc = kernels.lca(self._up, self._depth, u.flatten(), v.flatten())
+        return anc.reshape(shape)
 
     def distances(self, u, v) -> np.ndarray:
-        """Path lengths (edge counts) for broadcastable index arrays."""
+        """Path lengths (edge counts) for broadcastable index arrays.
+
+        Evaluated on demand in fixed-size blocks (``_DIST_BLOCK`` pair
+        entries), so arbitrarily large queries -- the nearest-copy table
+        builds gather ``(processors × holders)`` blocks -- never
+        materialise more than a few MiB of LCA scratch space on top of the
+        result itself.  Entries are identical to the unblocked evaluation
+        (same LCA arithmetic), so blocking never changes results.
+        """
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
-        if self._all_dist is not None:
-            return self._all_dist[u, v]
-        a = self.lca(u, v)
-        return self._depth[u] + self._depth[v] - 2 * self._depth[a]
-
-    def all_distances(self) -> Optional[np.ndarray]:
-        """The full node-to-node distance matrix, cached on first use.
-
-        Replay layers that resolve nearest copies for many candidate sets
-        (the static-fleet chunk path) gather from this matrix instead of
-        paying one binary-lifting LCA pass per set.  Only materialised for
-        networks up to ``_ALL_DIST_MAX_NODES`` nodes (32 MiB); returns
-        ``None`` above that, and callers fall back to :meth:`distances`.
-        Entries are identical to :meth:`distances` (same LCA arithmetic),
-        so using the cache never changes results.
-        """
-        if self._all_dist is None and self.n_nodes <= self._ALL_DIST_MAX_NODES:
-            ids = np.arange(self.n_nodes, dtype=np.int64)
-            anc = self.lca(ids[:, None], ids[None, :])
-            self._all_dist = (
-                self._depth[:, None] + self._depth[None, :] - 2 * self._depth[anc]
-            )
-        return self._all_dist
+        u, v = np.broadcast_arrays(u, v)
+        shape = u.shape
+        uf = u.reshape(-1)
+        vf = v.reshape(-1)
+        m = uf.size
+        depth = self._depth
+        out = np.empty(m, dtype=np.int64)
+        block = self._DIST_BLOCK
+        for lo in range(0, m, block):
+            hi = min(lo + block, m)
+            ub = uf[lo:hi]
+            vb = vf[lo:hi]
+            anc = kernels.lca(self._up, depth, ub.flatten(), vb.flatten())
+            out[lo:hi] = depth[ub] + depth[vb] - 2 * depth[anc]
+        return out.reshape(shape)
 
     def nearest_in_set(
         self, nodes: np.ndarray, candidates: Sequence[int]
@@ -394,26 +407,26 @@ class PathMatrix:
         0/1 terminal indicator it yields per-edge below-the-edge terminal
         counts (the Steiner-tree membership test).
         """
-        delta = np.asarray(delta)
+        delta = np.ascontiguousarray(delta, dtype=np.float64)
         out_shape = (self.n_edges,) + delta.shape[1:]
         out = np.zeros(out_shape, dtype=np.float64)
         if self._rp_edges.size:
-            np.add.at(out, self._rp_edges, delta[self._rp_nodes])
+            kernels.scatter_paths(
+                out, self._rp_edges, self._rp_nodes, self._rp_indptr, delta
+            )
         return out
 
     def pair_deltas(
         self, u: np.ndarray, v: np.ndarray, w: np.ndarray
     ) -> np.ndarray:
         """Node-delta vector encoding weighted path traffic ``u[i] -> v[i]``."""
-        u = np.asarray(u, dtype=np.int64)
-        v = np.asarray(v, dtype=np.int64)
-        w = np.asarray(w, dtype=np.float64)
+        u = np.ascontiguousarray(u, dtype=np.int64)
+        v = np.ascontiguousarray(v, dtype=np.int64)
+        w = np.ascontiguousarray(w, dtype=np.float64)
         delta = np.zeros(self.n_nodes, dtype=np.float64)
         if u.size:
             a = self.lca(u, v)
-            np.add.at(delta, u, w)
-            np.add.at(delta, v, w)
-            np.add.at(delta, a, -2.0 * w)
+            kernels.pair_scatter(delta, u, v, a, w)
         return delta
 
     def pair_edge_loads(
@@ -441,9 +454,9 @@ class PathMatrix:
         booking from the same ancestors) pass it as ``anc`` to avoid a
         second lifting pass.
         """
-        u = np.asarray(u, dtype=np.int64)
-        targets = np.asarray(targets, dtype=np.int64)
-        w = np.asarray(w, dtype=np.float64)
+        u = np.ascontiguousarray(u, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        w = np.ascontiguousarray(w, dtype=np.float64)
         if targets.ndim != 2 or targets.shape[0] != u.size:
             raise InvalidNodeError("targets must have shape (len(u), n_lanes)")
         n_lanes = targets.shape[1]
@@ -452,14 +465,8 @@ class PathMatrix:
             return delta
         if anc is None:
             anc = self.lca(u[:, None], targets)
-        lanes = np.broadcast_to(
-            np.arange(n_lanes, dtype=np.int64), targets.shape
-        )
-        srcs = np.broadcast_to(u[:, None], targets.shape)
-        wcol = np.broadcast_to(w[:, None], targets.shape)
-        np.add.at(delta, (srcs, lanes), wcol)
-        np.add.at(delta, (targets, lanes), wcol)
-        np.add.at(delta, (anc, lanes), -2.0 * wcol)
+        anc = np.ascontiguousarray(anc, dtype=np.int64)
+        kernels.pair_scatter_lanes(delta, u, targets, anc, w)
         return delta
 
     def pair_edge_loads_lanes(
@@ -518,10 +525,8 @@ class PathMatrix:
         Accepts ``(n_edges,)`` or ``(n_edges, batch)``; entries for
         processor nodes are zero, matching the scalar model.
         """
-        edge_loads = np.asarray(edge_loads)
+        edge_loads = np.ascontiguousarray(edge_loads, dtype=np.float64)
         out = np.zeros((self.n_nodes,) + edge_loads.shape[1:], dtype=np.float64)
-        np.add.at(out, self._edge_u, edge_loads)
-        np.add.at(out, self._edge_v, edge_loads)
+        kernels.bus_fold(out, self._edge_u, self._edge_v, self._bus_mask, edge_loads)
         out *= 0.5
-        out[~self._bus_mask] = 0.0
         return out

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.loadstate import LoadState
 from repro.core.placement import Placement
 from repro.dynamic.sequence import RequestEvent, RequestSequence
@@ -414,13 +415,11 @@ class StaticPlacementManager(OnlineStrategy):
         union = sorted({h for hs in holders.values() for h in hs})
         column = {h: j for j, h in enumerate(union)}
         pm = self.rooted.path_matrix()
-        # Materialise the all-pairs gather cache only when the requested
-        # block is a sizeable fraction of the full matrix: under topology
-        # churn the path matrix (and hence the cache) is replaced at every
-        # structural mutation, and rebuilding an O(n^2) matrix to answer a
-        # handful-of-holders query would dwarf the replay itself.
-        if 4 * self._procs.size * len(union) >= pm.n_nodes * pm.n_nodes:
-            pm.all_distances()
+        # One blocked distance evaluation over (processors × holder union):
+        # PathMatrix.distances bounds its LCA scratch space internally, so
+        # this stays sub-quadratic in memory on huge networks -- no
+        # all-pairs matrix is ever materialised (the old ≤2048-node
+        # all_distances() cache silently degraded past its node cap).
         dist = pm.distances(
             self._procs[:, None], np.asarray(union, dtype=np.int64)[None, :]
         )
@@ -495,6 +494,41 @@ class StaticPlacementManager(OnlineStrategy):
         function, so the two paths cannot drift apart in how they
         aggregate -- the bit-for-bit fleet parity contract depends on
         that.  Returns ``None`` for an empty chunk.
+
+        The unique-pair pass runs through
+        :func:`repro.core.kernels.aggregate_pairs` (one int64-key sort
+        instead of numpy's void-dtype column comparison); the historical
+        implementation is retained verbatim as
+        :meth:`_reference_aggregate_chunk` and the differential tests pin
+        the two to identical output.
+        """
+        procs, objs, writes = sequence.as_arrays()
+        procs = procs[start:stop]
+        objs = objs[start:stop]
+        writes = writes[start:stop]
+        if procs.size == 0:
+            return None
+        uprocs, uobjs, counts = kernels.aggregate_pairs(procs, objs)
+        # group the pair rows per object in one sort pass (pairs sort by
+        # processor first, so the object row is not globally sorted); the
+        # stable order keeps each group's row indices ascending
+        order = np.argsort(uobjs, kind="stable")
+        uniq_objs, starts = np.unique(uobjs[order], return_index=True)
+        bounds = np.append(starts[1:], order.size)
+        by_object = [
+            (int(obj), order[lo:hi])
+            for obj, lo, hi in zip(uniq_objs, starts, bounds)
+        ]
+        written, write_counts = np.unique(objs[writes], return_counts=True)
+        return uprocs, counts, by_object, written, write_counts
+
+    @staticmethod
+    def _reference_aggregate_chunk(sequence: RequestSequence, start: int, stop: int):
+        """Pre-kernel chunk aggregation, retained verbatim as the reference.
+
+        Uses ``np.unique(..., axis=1)`` over the stacked pair rows; the
+        differential tests assert that :meth:`_aggregate_chunk` produces
+        identical pairs, counts, per-object groups and write counts.
         """
         procs, objs, writes = sequence.as_arrays()
         procs = procs[start:stop]
@@ -505,9 +539,6 @@ class StaticPlacementManager(OnlineStrategy):
         pairs, counts = np.unique(
             np.stack([procs, objs]), axis=1, return_counts=True
         )
-        # group the pair rows per object in one sort pass (pairs sort by
-        # processor first, so the object row is not globally sorted); the
-        # stable order keeps each group's row indices ascending
         order = np.argsort(pairs[1], kind="stable")
         uniq_objs, starts = np.unique(pairs[1][order], return_index=True)
         bounds = np.append(starts[1:], order.size)

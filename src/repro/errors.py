@@ -19,6 +19,7 @@ __all__ = [
     "PlacementError",
     "AssignmentError",
     "AlgorithmError",
+    "CapacityError",
     "InfeasibleError",
     "SimulationError",
     "SerializationError",
@@ -79,6 +80,17 @@ class AlgorithmError(ReproError):
     Raised, e.g., when the downwards phase of the mapping algorithm cannot
     find a free child edge -- Lemma 4.1 of the paper shows this cannot
     happen, so hitting this error indicates a bug or a malformed input.
+    """
+
+
+class CapacityError(ReproError):
+    """A network exceeds the index capacity of the compiled substrate.
+
+    The path/incidence substrate stores node ids, edge ids and lifting
+    indices as int32 so that the CSR tables of 10^5-10^6-leaf networks fit
+    in memory.  Constructing a substrate whose node count, edge count or
+    total root-path entry count does not fit in int32 raises this error
+    explicitly -- indices are never silently wrapped.
     """
 
 

@@ -21,7 +21,11 @@ Artifacts live under ``artifacts/<hash[:2]>/<hash>-s<seed>-v<version>.json``
 and contain only deterministic data (result records and the spec document
 -- never wall-clock fields or absolute paths), so the whole registry is a
 pure function of the registered suite and byte-identical across machines,
-worker counts and interrupted/resumed sweeps.  ``index.json`` is rewritten
+worker counts and interrupted/resumed sweeps.  The one declared exception
+is the ``backend`` provenance field naming the kernel backend that ran the
+entry; the *records* themselves are pinned bit-for-bit backend-independent
+(ARCHITECTURE.md invariant 9), so keys, reports and the index never vary
+with it.  ``index.json`` is rewritten
 sorted on every update and carries no timestamps for the same reason.
 
 :func:`run_missing` is the resumable sweep driver: it diffs a suite of
@@ -338,10 +342,20 @@ class LabRegistry:
         the two leaves either a complete (artifact, index) pair or a
         harmless orphan artifact that the next ``record`` overwrites with
         identical bytes.
+
+        ``backend`` names the kernel backend that executed the run.  It is
+        the one declared provenance field: the run *key* and the
+        ``records`` payload never depend on it (compiled kernels are
+        pinned bit-for-bit against the numpy reference, ARCHITECTURE.md
+        invariant 9), so everything derived from the registry -- reports,
+        hashes, the index -- is backend-independent.
         """
+        from repro.core.kernels import active_backend
+
         key = entry.key
         payload = {
             "format": ARTIFACT_FORMAT,
+            "backend": active_backend(),
             "kind": entry.kind,
             "name": entry.name,
             "seed": entry.seed,

@@ -78,6 +78,11 @@ _BENCH_RATIOS = (
         "benchmarks/bench_sim.py::test_engine_batch_small",
         "benchmarks/bench_sim.py::test_direct_batch_small",
     ),
+    (
+        "huge replay speedup (compiled vs numpy reference)",
+        "benchmarks/bench_huge.py::test_huge_replay_numpy_reference",
+        "benchmarks/bench_huge.py::test_huge_replay_compiled",
+    ),
 )
 
 

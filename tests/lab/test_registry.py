@@ -193,3 +193,48 @@ class TestRunMissingValidation:
         with pytest.raises(LabError):
             run_missing(registry, entries, parallel=1)
         assert registry.missing(entries) == entries
+
+
+class TestBackendProvenance:
+    """Artifacts name the kernel backend; *records* never depend on it."""
+
+    def test_artifact_carries_active_backend(self, tmp_path):
+        from repro.core import kernels
+
+        registry = LabRegistry(tmp_path / "reg")
+        entry = scenario_entry(scenario_spec("zipf", seed=0, small=True), 0)
+        with kernels.use_backend("numpy"):
+            registry.record(entry, [{"strategy": "edge-counter", "congestion": 3.0}])
+            assert registry.get(entry.key)["backend"] == "numpy"
+
+    def test_records_byte_identical_across_backends(self, tmp_path):
+        """Pinned: a scenario run serializes to the same record bytes on
+        every available backend, so the registry's content addressing and
+        everything derived from ``records`` is backend-independent (the
+        ``backend`` provenance field is the artifact's only varying byte).
+        """
+        from repro.core import kernels
+        from repro.lab.registry import canonical_json
+        from repro.sim.scenario import run_scenario
+
+        compiled = [b for b in kernels.available_backends() if b != "numpy"]
+        if not compiled:
+            pytest.skip("no compiled kernel backend to compare against numpy")
+
+        spec = scenario_spec("zipf", seed=0, small=True)
+        entry = scenario_entry(spec, 0)
+        serialized = {}
+        artifacts = {}
+        for name in ["numpy", *compiled]:
+            with kernels.use_backend(name):
+                records = run_scenario(spec)
+                registry = LabRegistry(tmp_path / name)
+                path = registry.record(entry, records)
+            serialized[name] = canonical_json({"records": records})
+            artifacts[name] = json.loads(path.read_text())
+        for name in compiled:
+            assert serialized[name] == serialized["numpy"]
+            ours, ref = dict(artifacts[name]), dict(artifacts["numpy"])
+            assert ours.pop("backend") == name
+            assert ref.pop("backend") == "numpy"
+            assert ours == ref  # the provenance field is the only difference

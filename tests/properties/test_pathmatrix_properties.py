@@ -219,20 +219,33 @@ class TestBatchParity:
 class TestLaneKernels:
     """The fleet kernels agree with their per-lane scalar counterparts."""
 
-    def test_all_distances_matches_on_demand_lca(self):
+    def test_blocked_distances_match_on_demand_lca(self):
         net = balanced_tree(2, 3, 2)
         pm = net.rooted().path_matrix()
         ids = np.arange(net.n_nodes)
         expected = pm._depth[ids[:, None]] + pm._depth[ids[None, :]] - (
             2 * pm._depth[pm.lca(ids[:, None], ids[None, :])]
         )
-        cached = pm.all_distances()
-        assert cached is not None
-        assert np.array_equal(cached, expected)
-        # distances() now gathers from the cache; values are unchanged
+        # the full cross product goes through the blocked path unchanged
+        full = pm.distances(ids[:, None], ids[None, :])
+        assert np.array_equal(full, expected)
         u = np.array([0, 3, 5])
         v = np.array([7, 7, 0])
         assert np.array_equal(pm.distances(u, v), expected[u, v])
+
+    def test_blocked_distances_span_multiple_blocks(self):
+        net = balanced_tree(2, 3, 2)
+        pm = net.rooted().path_matrix()
+        old_block = pm._DIST_BLOCK
+        try:
+            type(pm)._DIST_BLOCK = 7  # force several partial blocks
+            rng = np.random.default_rng(11)
+            u = rng.integers(0, net.n_nodes, size=53)
+            v = rng.integers(0, net.n_nodes, size=53)
+            blocked = pm.distances(u, v)
+        finally:
+            type(pm)._DIST_BLOCK = old_block
+        assert np.array_equal(blocked, pm.distances(u, v))
 
     def test_pair_edge_loads_lanes_matches_per_lane_columns(self):
         rng = np.random.default_rng(5)

@@ -287,6 +287,9 @@ class TestSimulateCommand:
         data = json.loads(out.read_text())
         assert data["format"] == "repro.sim-result/v1"
         assert data["scenario"] == scenario
+        from repro.core.kernels import active_backend
+
+        assert data["backend"] == active_backend()
         assert data["spec"]["format"] == "repro.scenario-spec/v1"
         assert len(data["records"]) >= 2
         for rec in data["records"]:
@@ -387,12 +390,15 @@ class TestLab:
         assert "0 executed" in text
 
     def test_status_reports_stored_counts(self, ci_registry, tmp_path):
+        from repro.core.kernels import active_backend
+
         root, _ = ci_registry
         code, text = run_cli(
             ["lab", "status", "--registry", str(root), "--suite", "ci"]
         )
         assert code == 0
-        assert text.rstrip().endswith(f"suite entries stored in {root}")
+        assert f"suite entries stored in {root}" in text
+        assert f"(kernel backend: {active_backend()})" in text
         # a fresh registry stores nothing
         code, text = run_cli(
             ["lab", "status", "--registry", str(tmp_path / "empty"), "--suite", "ci"]

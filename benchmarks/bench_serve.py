@@ -1,0 +1,172 @@
+"""Streaming service tier: EngineStream overhead and socket throughput.
+
+The streaming placement service must not give back the chunk fast path:
+
+* **stream-vs-offline** -- feeding the engine through
+  :class:`~repro.sim.engine.EngineStream` in ragged micro-batches is
+  gated against the offline :class:`SimulationEngine` walking the same
+  workload in one call.  Both sides share the span grid, so the delta is
+  pure plumbing (batch validation, regridding, ack bookkeeping).
+* **served socket throughput** -- a loopback ``PlacementServer`` driven
+  by the loadgen at maximum rate.  The events/sec and latency
+  percentiles are printed and recorded into ``BENCH_history.json`` by
+  the CI bench job (label ``pr8-serve``), so service throughput is
+  visible PR-over-PR.
+
+Every benchmark asserts the served results equal the offline replay
+(invariant 10) before trusting its timing.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.dynamic.online import EdgeCounterManager
+from repro.dynamic.sequence import sequence_from_pattern
+from repro.network.builders import balanced_tree
+from repro.serve import PlacementServer, ServerThread
+from repro.serve.loadgen import loadgen
+from repro.sim.engine import EngineStream, SimulationEngine
+from repro.sim.scenario import scenario_spec
+from repro.workload.generators import zipf_pattern
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+N_OBJECTS = 32
+BATCH_SIZES = (13, 50, 7, 120, 3, 90, 200)
+
+_cache = {}
+
+
+def stream_workload():
+    """A mid-size adaptive replay scenario (shared by both sides)."""
+    if "workload" not in _cache:
+        net = balanced_tree(3, 4, 3)
+        pattern = zipf_pattern(
+            net, N_OBJECTS, requests_per_processor=16, seed=0
+        )
+        seq = sequence_from_pattern(net, pattern, seed=1)
+        _cache["workload"] = (net, seq)
+    return _cache["workload"]
+
+
+def run_offline(net, seq, chunk_size=256):
+    strategy = EdgeCounterManager(net, N_OBJECTS)
+    return SimulationEngine(strategy, chunk_size=chunk_size).run(seq)
+
+
+def run_streamed(net, seq, chunk_size=256):
+    strategy = EdgeCounterManager(net, N_OBJECTS)
+    stream = EngineStream(strategy, chunk_size=chunk_size)
+    events = seq.events
+    position = cursor = 0
+    while position < len(events):
+        stop = min(position + BATCH_SIZES[cursor % len(BATCH_SIZES)], len(events))
+        cursor += 1
+        stream.serve(events[position:stop])
+        position = stop
+    return stream.finish()
+
+
+@pytest.mark.benchmark(group="serve")
+def test_offline_replay_reference(benchmark):
+    net, seq = stream_workload()
+    result = benchmark.pedantic(
+        run_offline, args=(net, seq), rounds=3, iterations=1
+    )
+    assert result.served == len(seq)
+
+
+@pytest.mark.benchmark(group="serve")
+def test_streamed_replay(benchmark):
+    net, seq = stream_workload()
+    result = benchmark.pedantic(
+        run_streamed, args=(net, seq), rounds=3, iterations=1
+    )
+    offline = run_offline(net, seq)
+    assert result.served == offline.served == len(seq)
+    assert np.array_equal(result.account.edge_loads, offline.account.edge_loads)
+    assert result.account.congestion == offline.account.congestion
+
+
+def test_stream_overhead_gate():
+    """Micro-batched streaming must stay near the offline chunk fast path.
+
+    The stream re-cuts each batch at the offline span grid and validates
+    every batch, so some overhead is honest; the gate keeps it bounded
+    (2x on this mid-size trace; quick mode relaxes to 3x because the
+    absolute times shrink toward the fixed setup cost).
+    """
+    ceiling = 3.0 if QUICK else 2.0
+    net, seq = stream_workload()
+    offline_time = streamed_time = float("inf")
+    offline = streamed = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        offline = run_offline(net, seq)
+        t1 = time.perf_counter()
+        streamed = run_streamed(net, seq)
+        t2 = time.perf_counter()
+        offline_time = min(offline_time, t1 - t0)
+        streamed_time = min(streamed_time, t2 - t1)
+    assert np.array_equal(
+        streamed.account.edge_loads, offline.account.edge_loads
+    )
+    overhead = streamed_time / max(offline_time, 1e-12)
+    print(
+        f"\nserve stream: {len(seq)} events, offline {offline_time*1e3:.2f}ms, "
+        f"streamed {streamed_time*1e3:.2f}ms -> {overhead:.3f}x"
+    )
+    assert overhead <= ceiling, (
+        f"streamed replay is {overhead:.2f}x the offline fast path "
+        f"(gate: {ceiling:.2f}x)"
+    )
+
+
+@pytest.mark.benchmark(group="serve")
+def test_served_socket_throughput(benchmark):
+    """End-to-end loopback throughput of the full service stack."""
+    spec = scenario_spec("zipf", seed=0, small=QUICK)
+    from repro.serve.loadgen import workload_from_spec
+
+    events, _ = workload_from_spec(spec)
+    repeat = 2 if QUICK else 4
+
+    def served_run():
+        server = PlacementServer(spec, batch_size=512, max_sessions=1)
+        with ServerThread(server) as (host, port):
+            return loadgen(host, port, events, batch=128, repeat=repeat)
+
+    stats = benchmark.pedantic(served_run, rounds=3, iterations=1)
+    assert stats["summary"]["n_events"] == repeat * len(events)
+    latency = stats["latency_ms"]
+    print(
+        f"\nserve socket: {stats['summary']['n_events']} events at "
+        f"{stats['events_per_sec']:.0f} ev/s, latency p50 "
+        f"{latency['p50']:.2f}ms p99 {latency['p99']:.2f}ms"
+    )
+    assert stats["events_per_sec"] > 0
+
+
+def test_served_equals_offline_with_load():
+    """The throughput path itself honors invariant 10 (spot check)."""
+    spec = scenario_spec("zipf", seed=0, small=True)
+    from repro.serve.loadgen import workload_from_spec
+    from repro.serve.recorder import replay_recording
+
+    events, mutations = workload_from_spec(spec)
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = PlacementServer(
+            spec, batch_size=256, max_sessions=1, record_dir=tmp
+        )
+        with ServerThread(server) as (host, port):
+            stats = loadgen(host, port, events, mutations, batch=32)
+        (recording,) = Path(tmp).glob("session-*.jsonl")
+        replayed, served = replay_recording(recording)
+    assert served == stats["summary"]
+    assert replayed == served

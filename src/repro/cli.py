@@ -23,6 +23,15 @@ workflows without writing Python:
   the timeline and ``--parallel N`` fans sweep/strategy jobs over a
   persistent worker pool -- both produce byte-identical artifacts to the
   serial default;
+* ``repro serve`` -- the streaming placement service (docs/SERVING.md):
+  request/churn events in over a socket, placement acks and live sink
+  metrics out, every session optionally recorded for offline replay;
+* ``repro loadgen`` -- replay a scenario workload against a running
+  server at a target events/sec and report achieved throughput plus
+  ack-latency percentiles;
+* ``repro replay-stream`` -- re-run a recorded served stream through the
+  offline engine; ``--check`` asserts served equals replayed bit-for-bit
+  (ARCHITECTURE invariant 10);
 * ``repro lab`` -- the experiment lab (see docs/LAB.md): a persistent run
   registry keyed by ``(spec_hash, seed, engine_version)``.
   ``run-missing`` executes only the suite entries without stored
@@ -350,6 +359,121 @@ def _cmd_simulate(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _resolve_spec(args: argparse.Namespace, stream):
+    """Spec-source resolution shared by serve/loadgen (name or JSON file)."""
+    from repro.sim.scenario import ScenarioSpec, scenario_spec
+
+    if args.spec:
+        return ScenarioSpec.from_json(Path(args.spec).read_text())
+    if args.scenario:
+        return scenario_spec(
+            args.scenario, seed=args.seed, small=args.small, large=args.large
+        )
+    print(f"{args.command}: pass --scenario or --spec", file=stream)
+    return None
+
+
+def _cmd_serve(args: argparse.Namespace, stream) -> int:
+    import asyncio
+
+    from repro.serve import PlacementServer
+
+    spec = _resolve_spec(args, stream)
+    if spec is None:
+        return 2
+    server = PlacementServer(
+        spec,
+        strategy=args.strategy,
+        chunk_size=args.chunk_size,
+        batch_size=args.batch_size,
+        queue_size=args.queue_size,
+        record_dir=args.record_dir,
+        max_sessions=args.sessions,
+    )
+
+    def ready(bound) -> None:
+        host, port = bound
+        print(f"serving scenario {spec.name} on {host}:{port}", file=stream)
+        stream.flush()
+
+    try:
+        asyncio.run(server.serve(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    print(f"served {server.sessions_served} sessions", file=stream)
+    for path in server.recordings:
+        print(f"recorded {path}", file=stream)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace, stream) -> int:
+    from repro.serve.loadgen import loadgen, workload_from_spec
+
+    spec = _resolve_spec(args, stream)
+    if spec is None:
+        return 2
+    events, mutations = workload_from_spec(spec)
+    if args.no_churn:
+        mutations = []
+    stats = loadgen(
+        args.host,
+        args.port,
+        events,
+        mutations,
+        rate=args.rate,
+        batch=args.batch,
+        repeat=args.repeat,
+        connect_timeout=args.connect_timeout,
+    )
+    latency = stats["latency_ms"]
+    rows = [
+        ["events", stats["n_events"]],
+        ["mutations", stats["n_mutations"]],
+        ["target rate (ev/s)", stats["target_rate"] or "max"],
+        ["achieved (ev/s)", round(stats["events_per_sec"], 1)],
+        ["wall seconds", round(stats["wall_seconds"], 3)],
+        ["latency p50 (ms)", round(latency["p50"], 3)],
+        ["latency p90 (ms)", round(latency["p90"], 3)],
+        ["latency p99 (ms)", round(latency["p99"], 3)],
+        ["served", stats["summary"]["served"]],
+        ["dropped", stats["summary"]["dropped"]],
+        ["congestion", stats["summary"]["congestion"]],
+    ]
+    print(format_table(rows, headers=["quantity", "value"]), file=stream)
+    if args.report:
+        Path(args.report).write_text(json.dumps(stats, indent=2))
+        print(f"wrote loadgen report to {args.report}", file=stream)
+    return 0
+
+
+def _cmd_replay_stream(args: argparse.Namespace, stream) -> int:
+    from repro.serve import replay_recording
+
+    replayed, served = replay_recording(args.recording)
+    rows = [[key, value] for key, value in replayed.items()
+            if not isinstance(value, (list, dict))]
+    print(format_table(rows, headers=["quantity", "replayed"]), file=stream)
+    if args.output:
+        Path(args.output).write_text(json.dumps(replayed, indent=2))
+        print(f"wrote replay record to {args.output}", file=stream)
+    if args.check:
+        if served is None:
+            print("recording has no served summary (partial stream)", file=stream)
+            return 1
+        if replayed != served:
+            print("MISMATCH: served summary differs from offline replay:", file=stream)
+            for key in sorted(set(replayed) | set(served)):
+                if replayed.get(key) != served.get(key):
+                    print(
+                        f"  {key}: served={served.get(key)!r} "
+                        f"replayed={replayed.get(key)!r}",
+                        file=stream,
+                    )
+            return 1
+        print("served summary matches offline replay bit-for-bit", file=stream)
+    return 0
+
+
 def _lab_suite_entries(args: argparse.Namespace):
     from repro.lab.registry import LabRegistry, suite_entries
 
@@ -622,6 +746,134 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--output", "-o", default=None)
     simulate.set_defaults(func=_cmd_simulate)
+
+    def _spec_source(p, with_list: bool = False) -> None:
+        source = p.add_mutually_exclusive_group()
+        source.add_argument(
+            "--scenario",
+            default=None,
+            help="name of a registered scenario family",
+        )
+        source.add_argument(
+            "--spec",
+            default=None,
+            help="path to a ScenarioSpec JSON document",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        size = p.add_mutually_exclusive_group()
+        size.add_argument(
+            "--small", action="store_true", help="use reduced instance sizes"
+        )
+        size.add_argument(
+            "--large", action="store_true", help="use the larger instance suite"
+        )
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7753)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the streaming placement service: request/churn events in "
+            "over a socket, placement acks and live metrics out "
+            "(docs/SERVING.md)"
+        ),
+    )
+    _spec_source(serve)
+    serve.add_argument(
+        "--strategy",
+        default=None,
+        help="strategy label from the spec to serve (default: first)",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        help="engine chunk bound (default: unbounded spans)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=1024,
+        help="max events per engine micro-batch",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=1024,
+        help="inbound message queue bound (the backpressure knob)",
+    )
+    serve.add_argument(
+        "--record-dir",
+        default=None,
+        help="write one stream recording per session here",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=_positive_int,
+        default=None,
+        help="exit after this many completed sessions (CI smoke mode)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help=(
+            "replay a scenario workload against a running `repro serve` "
+            "at a target events/sec; reports achieved throughput and "
+            "ack-latency percentiles"
+        ),
+    )
+    _spec_source(lg)
+    lg.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="target events/sec (default: as fast as the server accepts)",
+    )
+    lg.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=64,
+        help="events per request message",
+    )
+    lg.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        help="replay the event sequence this many times back to back",
+    )
+    lg.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="send only request events (skip the spec's churn trace)",
+    )
+    lg.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connection",
+    )
+    lg.add_argument(
+        "--report", default=None, help="write the stats document here (JSON)"
+    )
+    lg.set_defaults(func=_cmd_loadgen)
+
+    replay = sub.add_parser(
+        "replay-stream",
+        help=(
+            "re-run a recorded served stream through the offline engine; "
+            "--check asserts the served summary matches bit-for-bit "
+            "(ARCHITECTURE invariant 10)"
+        ),
+    )
+    replay.add_argument("recording", help="a repro.stream-recording/v1 file")
+    replay.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless served equals replayed",
+    )
+    replay.add_argument("--output", "-o", default=None)
+    replay.set_defaults(func=_cmd_replay_stream)
 
     lab = sub.add_parser(
         "lab",

@@ -1,0 +1,41 @@
+"""Streaming placement service: the online front end of the kernel.
+
+The paper's strategies are *online* -- they decide per request as it
+arrives -- but everything else in the repo replays prerecorded sequences.
+This package wraps the simulation kernel in a long-lived serving loop:
+
+* :mod:`repro.serve.wire` -- the JSON-lines wire format (request/churn
+  messages in, placement acks and live metrics out) and the mutation
+  serialisation it needs;
+* :mod:`repro.serve.batcher` -- :class:`~repro.serve.batcher.ServeSession`
+  (one client stream driven through an
+  :class:`~repro.sim.engine.EngineStream`) and the micro-batcher that
+  coalesces ingested messages into serve spans;
+* :mod:`repro.serve.recorder` -- every served stream is recorded as it is
+  ingested and can be re-run offline;
+  :func:`~repro.serve.recorder.replay_recording` is the offline half of
+  ARCHITECTURE invariant 10 (*served equals replayed*);
+* :mod:`repro.serve.server` -- the asyncio ingestion server behind
+  ``repro serve`` (bounded queues, explicit backpressure);
+* :mod:`repro.serve.loadgen` -- the load-generator client behind
+  ``repro loadgen`` (target events/sec, achieved throughput and latency
+  percentiles).
+"""
+
+from repro.serve.batcher import ServeSession, build_session, result_record
+from repro.serve.recorder import StreamRecorder, load_recording, replay_recording
+from repro.serve.server import PlacementServer, ServerThread
+from repro.serve.wire import mutation_from_dict, mutation_to_dict
+
+__all__ = [
+    "ServeSession",
+    "build_session",
+    "result_record",
+    "StreamRecorder",
+    "load_recording",
+    "replay_recording",
+    "PlacementServer",
+    "ServerThread",
+    "mutation_from_dict",
+    "mutation_to_dict",
+]

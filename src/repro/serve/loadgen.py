@@ -1,0 +1,226 @@
+"""Load generator for the streaming placement service (``repro loadgen``).
+
+Replays a scenario-registry workload (or any event/mutation list) against
+a running server at a target events/sec and reports what the service
+actually sustained: achieved throughput, per-event ack-latency
+percentiles and the final served summary.
+
+Two tasks per connection, mirroring the server's split:
+
+* the *sender* paces request batches onto the socket against the target
+  rate (a mutation scheduled at stream time ``t`` is sent before the
+  event at position ``t``) and awaits ``drain`` -- server backpressure
+  slows the sender down rather than ballooning client memory;
+* the *receiver* consumes acks; an ack with id ``n`` covers every
+  outstanding message with id <= ``n``, and each covered request
+  message contributes its event count at ``ack_time - send_time`` to the
+  latency distribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.serve.wire import encode_events, encode_message, mutation_to_dict
+
+__all__ = ["run_loadgen", "loadgen", "workload_from_spec"]
+
+
+def workload_from_spec(spec) -> Tuple[Sequence, List[Tuple[int, Dict]]]:
+    """The (events, timed mutation ops) stream of a scenario spec."""
+    from repro.sim.scenario import build_scenario
+
+    built = build_scenario(spec)[0]
+    mutations: List[Tuple[int, Dict]] = []
+    if built.trace is not None:
+        mutations = [
+            (int(tm.time), mutation_to_dict(tm.mutation))
+            for tm in built.trace.events
+        ]
+    return built.sequence.events, mutations
+
+
+async def _connect(
+    host: str, port: int, timeout: float
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open the connection, retrying while the server comes up."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            if loop.time() >= deadline:
+                raise
+            await asyncio.sleep(0.1)
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    events: Sequence,
+    mutations: Sequence[Tuple[int, Dict]] = (),
+    rate: Optional[float] = None,
+    batch: int = 64,
+    repeat: int = 1,
+    connect_timeout: float = 10.0,
+) -> Dict[str, object]:
+    """Drive one session and measure it; returns the stats document.
+
+    Parameters
+    ----------
+    events / mutations:
+        The stream: request events plus ``(time, op)`` churn ops (op =
+        :func:`~repro.serve.wire.mutation_to_dict` encoding).  ``repeat``
+        replays the event list that many times back to back (churn is
+        sent during the first pass only -- detached processors stay
+        detached, so drops keep accruing).
+    rate:
+        Target events/sec (``None`` = as fast as the server accepts).
+    batch:
+        Events per ``requests`` message.
+    """
+    if batch < 1:
+        raise SimulationError("batch must be a positive integer")
+    if repeat < 1:
+        raise SimulationError("repeat must be a positive integer")
+    events = list(events)
+    mutations = sorted(mutations, key=lambda item: item[0])
+    total = len(events) * repeat
+
+    reader, writer = await _connect(host, port, connect_timeout)
+    loop = asyncio.get_running_loop()
+    # message id -> (send time, events covered); acks are cumulative
+    outstanding: Dict[int, Tuple[float, int]] = {}
+    latencies: List[float] = []
+    weights: List[int] = []
+    summary: Optional[Dict] = None
+    session: Optional[Dict] = None
+    error: Optional[str] = None
+    t_first = t_last = None
+
+    async def sender() -> None:
+        nonlocal t_first
+        msg_id = 0
+        mi = 0
+        pos = 0
+        t0 = loop.time()
+        t_first = t0
+
+        def send(message: Dict, n_events: int) -> None:
+            nonlocal msg_id
+            msg_id += 1
+            message["id"] = msg_id
+            outstanding[msg_id] = (loop.time(), n_events)
+            writer.write(encode_message(message))
+
+        while pos < total:
+            base = pos % len(events)
+            while mi < len(mutations) and mutations[mi][0] <= pos:
+                send({"type": "mutation", "op": mutations[mi][1]}, 0)
+                await writer.drain()
+                mi += 1
+            # a batch never crosses a repeat boundary or a mutation time
+            stop = min(pos + batch, total, pos + (len(events) - base))
+            if mi < len(mutations):
+                stop = min(stop, mutations[mi][0])
+            if rate:
+                target = t0 + pos / rate
+                delay = target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            chunk = events[base : base + (stop - pos)]
+            send({"type": "requests", "events": encode_events(chunk)}, len(chunk))
+            await writer.drain()
+            pos = stop
+        while mi < len(mutations):  # trailing churn
+            send({"type": "mutation", "op": mutations[mi][1]}, 0)
+            mi += 1
+        send({"type": "end"}, 0)
+        await writer.drain()
+
+    async def receiver() -> None:
+        nonlocal summary, session, error, t_last
+        while True:
+            line = await reader.readline()
+            if not line:
+                if summary is None and error is None:
+                    error = "connection closed before end"
+                return
+            message = json.loads(line)
+            mtype = message.get("type")
+            if mtype == "session":
+                session = message
+            elif mtype == "ack":
+                now = loop.time()
+                t_last = now
+                covered = [mid for mid in outstanding if mid <= message["id"]]
+                for mid in covered:
+                    sent_at, n_events = outstanding.pop(mid)
+                    if n_events:
+                        latencies.append(now - sent_at)
+                        weights.append(n_events)
+            elif mtype == "end":
+                t_last = loop.time()
+                summary = message.get("summary")
+                return
+            elif mtype == "error":
+                error = message.get("message", "server error")
+                return
+
+    try:
+        recv_task = asyncio.create_task(receiver())
+        await sender()
+        await recv_task
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+    if error is not None:
+        raise SimulationError(f"loadgen: server reported: {error}")
+    if summary is None:
+        raise SimulationError("loadgen: stream ended without a summary")
+
+    wall = max((t_last or 0.0) - (t_first or 0.0), 1e-9)
+    lat = np.repeat(
+        np.asarray(latencies, dtype=np.float64), np.asarray(weights, dtype=np.int64)
+    )
+    percentile = (
+        (lambda q: float(np.percentile(lat, q) * 1000.0))
+        if lat.size
+        else (lambda q: 0.0)
+    )
+    return {
+        "n_events": total,
+        "n_mutations": len(mutations),
+        "repeat": repeat,
+        "batch": batch,
+        "target_rate": rate,
+        "wall_seconds": wall,
+        "events_per_sec": total / wall,
+        "latency_ms": {
+            "p50": percentile(50),
+            "p90": percentile(90),
+            "p99": percentile(99),
+            "max": float(lat.max() * 1000.0) if lat.size else 0.0,
+        },
+        "session": {
+            key: session.get(key)
+            for key in ("scenario", "label", "strategy", "n_nodes", "n_objects")
+        }
+        if session
+        else None,
+        "summary": summary,
+    }
+
+
+def loadgen(host: str, port: int, events, mutations=(), **kwargs) -> Dict:
+    """Synchronous wrapper around :func:`run_loadgen`."""
+    return asyncio.run(run_loadgen(host, port, events, mutations, **kwargs))

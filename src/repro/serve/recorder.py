@@ -1,0 +1,204 @@
+"""Stream recordings: every served stream can be re-run offline.
+
+A recording is a JSON-lines file (``repro.stream-recording/v1``):
+
+* line 1 -- the header: the full scenario spec, the served strategy
+  label, the engine ``chunk_size`` and the object-universe size.  That is
+  everything needed to rebuild the identical session offline.
+* one line per ingested item, in arrival order:
+  ``{"events": [[proc, obj, "r"|"w"], ...]}`` for a served micro-batch,
+  ``{"mutation": {...}, "time": t}`` for a churn mutation (``t`` is the
+  number of request events ingested before it -- exactly the
+  :class:`~repro.network.mutation.ChurnTrace` time contract).
+* the footer: ``{"summary": {...}}`` with the canonical result record of
+  the served stream (or ``{"aborted": reason}`` for a stream that died).
+
+:func:`replay_recording` is the offline half of ARCHITECTURE invariant
+10: it rebuilds the session from the header, replays the recorded
+sequence and churn trace through the *offline*
+:class:`~repro.sim.engine.SimulationEngine`, and returns the replayed
+record next to the recorded served one.  For any completed stream the
+two are bit-for-bit equal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dynamic.sequence import RequestEvent, RequestSequence
+from repro.errors import SimulationError
+from repro.network.mutation import ChurnTrace
+from repro.serve.wire import decode_events, encode_events, mutation_from_dict
+
+__all__ = [
+    "RECORDING_FORMAT",
+    "StreamRecorder",
+    "load_recording",
+    "replay_recording",
+]
+
+RECORDING_FORMAT = "repro.stream-recording/v1"
+
+
+class StreamRecorder:
+    """Append-only JSONL writer for one served stream.
+
+    Items are flushed per line, so a crashed server leaves a readable
+    partial recording (without a footer -- :func:`load_recording` reports
+    it as incomplete).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._closed = False
+
+    def _write(self, document: Dict) -> None:
+        if self._closed:
+            raise SimulationError(f"recording {self.path} is already closed")
+        self._fh.write(json.dumps(document, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def write_header(
+        self,
+        spec: Dict,
+        strategy: str,
+        chunk_size: Optional[int],
+        n_objects: int,
+    ) -> None:
+        """The first line: everything needed to rebuild the session."""
+        self._write(
+            {
+                "format": RECORDING_FORMAT,
+                "spec": spec,
+                "strategy": strategy,
+                "chunk_size": chunk_size,
+                "n_objects": int(n_objects),
+            }
+        )
+
+    def record_events(self, events: Sequence[RequestEvent]) -> None:
+        """One served micro-batch, in arrival order."""
+        self._write({"events": encode_events(events)})
+
+    def record_mutation(self, op: Dict, time: int) -> None:
+        """One churn mutation at stream position ``time``."""
+        self._write({"mutation": dict(op), "time": int(time)})
+
+    def close(self, summary: Dict) -> None:
+        """The footer of a completed stream."""
+        self._write({"summary": summary})
+        self._closed = True
+        self._fh.close()
+
+    def abort(self, reason: str) -> None:
+        """The footer of a stream that died mid-flight."""
+        if not self._closed:
+            self._write({"aborted": str(reason)})
+            self._closed = True
+            self._fh.close()
+
+
+# --------------------------------------------------------------------------- #
+# loading and offline replay
+# --------------------------------------------------------------------------- #
+class Recording:
+    """One parsed recording (header, items, optional footer)."""
+
+    def __init__(
+        self,
+        header: Dict,
+        events: List[RequestEvent],
+        mutations: List[Tuple[int, Dict]],
+        summary: Optional[Dict],
+        aborted: Optional[str],
+    ) -> None:
+        self.header = header
+        self.events = events
+        self.mutations = mutations
+        self.summary = summary
+        self.aborted = aborted
+
+    @property
+    def complete(self) -> bool:
+        """True when the stream was sealed and its summary recorded."""
+        return self.summary is not None and self.aborted is None
+
+    def sequence(self) -> RequestSequence:
+        """The recorded events over the session's object universe."""
+        return RequestSequence(self.events, int(self.header["n_objects"]))
+
+    def trace(self) -> Optional[ChurnTrace]:
+        """The recorded churn trace (``None`` when no mutation arrived)."""
+        if not self.mutations:
+            return None
+        return ChurnTrace(
+            [(time, mutation_from_dict(op)) for time, op in self.mutations]
+        )
+
+
+def load_recording(path) -> Recording:
+    """Parse one recording file (loud on malformed or wrong-format files)."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise SimulationError(f"recording {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != RECORDING_FORMAT:
+        raise SimulationError(
+            f"{path} is not a {RECORDING_FORMAT} recording "
+            f"(format: {header.get('format')!r})"
+        )
+    events: List[RequestEvent] = []
+    mutations: List[Tuple[int, Dict]] = []
+    summary: Optional[Dict] = None
+    aborted: Optional[str] = None
+    for line in lines[1:]:
+        item = json.loads(line)
+        if "events" in item:
+            events.extend(decode_events(item["events"]))
+        elif "mutation" in item:
+            mutations.append((int(item["time"]), item["mutation"]))
+        elif "summary" in item:
+            summary = item["summary"]
+        elif "aborted" in item:
+            aborted = item["aborted"]
+        else:
+            raise SimulationError(f"unknown recording item {item!r}")
+    return Recording(header, events, mutations, summary, aborted)
+
+
+def replay_recording(path) -> Tuple[Dict, Optional[Dict]]:
+    """Re-run one recorded stream offline; returns ``(replayed, served)``.
+
+    The session is rebuilt exactly as the server built it (same spec,
+    same strategy factory, same sink construction, same ``chunk_size``),
+    the recorded sequence and churn trace go through the offline
+    :class:`~repro.sim.engine.SimulationEngine`, and the replayed
+    canonical record is returned next to the served one from the footer
+    (``None`` for a partial recording).  Invariant 10 says the two are
+    equal for any completed stream.
+    """
+    from repro.serve.batcher import result_record
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.scenario import ScenarioSpec, build_scenario
+
+    recording = load_recording(path)
+    spec = ScenarioSpec.from_dict(recording.header["spec"])
+    built = build_scenario(spec)[0]
+    wanted = recording.header["strategy"]
+    factories = dict(built.strategies)
+    if wanted not in factories:
+        raise SimulationError(
+            f"recording {path} wants strategy {wanted!r}, spec has "
+            f"{sorted(factories)}"
+        )
+    engine = SimulationEngine(
+        factories[wanted](),
+        sinks=built.make_sinks(),
+        chunk_size=recording.header.get("chunk_size"),
+    )
+    result = engine.run(recording.sequence(), recording.trace())
+    return result_record(result), recording.summary

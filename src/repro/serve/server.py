@@ -1,0 +1,287 @@
+"""The asyncio ingestion server behind ``repro serve``.
+
+One TCP connection carries one session: a fresh strategy is materialised
+from the server's scenario spec, the client streams request/churn
+messages (:mod:`repro.serve.wire`), and placement acks with live sink
+metrics stream back.
+
+**Batching.**  A reader task parses lines into a *bounded*
+:class:`asyncio.Queue`; the engine task takes one message, then
+opportunistically drains whatever else is already queued before serving,
+so micro-batches grow exactly when ingestion outruns the engine and
+shrink to single messages when the stream is idle -- steady-state
+throughput rides the same chunk fast path as the offline replay, with no
+batching timers.
+
+**Backpressure.**  When the queue is full the reader stops consuming the
+socket (it is awaiting ``put``), so TCP flow control pushes back to the
+client; the outbound side awaits ``drain`` after every ack burst.  An
+overloaded server therefore slows its clients down instead of buffering
+unboundedly.
+
+**Recording.**  With a record directory configured, every session is
+persisted as a ``repro.stream-recording/v1`` file while it is served;
+:func:`repro.serve.recorder.replay_recording` re-runs it offline
+(invariant 10: served equals replayed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.batcher import MicroBatcher, build_session
+from repro.serve.recorder import StreamRecorder
+from repro.serve.wire import WIRE_FORMAT, decode_message, encode_message
+
+__all__ = ["PlacementServer", "ServerThread"]
+
+
+class PlacementServer:
+    """Session factory + connection handler of the streaming service.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.sim.scenario.ScenarioSpec` every session is
+        materialised from (network, strategy construction, sink set).
+    strategy:
+        Strategy label to serve (default: the spec's first strategy).
+    chunk_size:
+        Engine chunk bound passed through to the session streams.
+    batch_size:
+        Upper bound on events per engine micro-batch.
+    queue_size:
+        Bound of the per-connection inbound message queue (the
+        backpressure knob).
+    record_dir:
+        When set, one recording file per session is written here.
+    max_sessions:
+        When set, :meth:`wait_done` returns after that many sessions
+        have completed (the CI smoke mode).
+    """
+
+    def __init__(
+        self,
+        spec,
+        strategy: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        batch_size: int = 1024,
+        queue_size: int = 1024,
+        record_dir=None,
+        max_sessions: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.strategy = strategy
+        self.chunk_size = chunk_size
+        self.batch_size = int(batch_size)
+        self.queue_size = int(queue_size)
+        self.record_dir = Path(record_dir) if record_dir is not None else None
+        self.max_sessions = max_sessions
+        self.sessions_served = 0
+        self.recordings: List[Path] = []
+        self._done: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------ #
+    def _done_event(self) -> asyncio.Event:
+        if self._done is None:
+            self._done = asyncio.Event()
+        return self._done
+
+    def request_stop(self) -> None:
+        """Make :meth:`wait_done` return (thread-safe via call_soon)."""
+        self._done_event().set()
+
+    async def wait_done(self) -> None:
+        """Block until the session quota is reached or stop is requested."""
+        await self._done_event().wait()
+
+    def _make_recorder(self) -> Optional[StreamRecorder]:
+        if self.record_dir is None:
+            return None
+        path = self.record_dir / f"session-{len(self.recordings) + 1:04d}.jsonl"
+        self.recordings.append(path)
+        return StreamRecorder(path)
+
+    # ------------------------------------------------------------------ #
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection, one session (asyncio.start_server callback)."""
+        session = None
+        try:
+            session = build_session(
+                self.spec,
+                strategy=self.strategy,
+                chunk_size=self.chunk_size,
+                recorder=self._make_recorder(),
+            )
+            info: Dict[str, object] = {
+                "type": "session",
+                "format": WIRE_FORMAT,
+                "batch_size": self.batch_size,
+            }
+            info.update(session.session_info())
+            writer.write(encode_message(info))
+            await writer.drain()
+            await self._serve_stream(session, reader, writer)
+        except ReproError as exc:
+            if session is not None:
+                session.abort(str(exc))
+            try:
+                writer.write(
+                    encode_message({"type": "error", "message": str(exc)})
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        except ConnectionError:
+            if session is not None:
+                session.abort("connection lost")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError, asyncio.CancelledError):
+                # loop teardown can cancel the close handshake; the
+                # session is already complete, so finish quietly
+                pass
+
+    async def _serve_stream(self, session, reader, writer) -> None:
+        queue: asyncio.Queue = asyncio.Queue(self.queue_size)
+        batcher = MicroBatcher(session, max_batch=self.batch_size)
+
+        async def read_loop() -> None:
+            while True:
+                line = await reader.readline()
+                await queue.put(line if line else None)
+                if not line:
+                    return
+
+        reader_task = asyncio.create_task(read_loop())
+        try:
+            eof = False
+            while not (batcher.finished or eof):
+                item = await queue.get()
+                replies: List[Dict] = []
+                # opportunistic micro-batching: also serve whatever is
+                # already queued, so batches grow exactly under load
+                while True:
+                    if item is None:
+                        eof = True
+                        break
+                    replies.extend(batcher.add(decode_message(item)))
+                    if batcher.finished:
+                        break
+                    try:
+                        item = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                if not batcher.finished:
+                    drained = batcher.drain()
+                    if drained is not None:
+                        replies.append(drained)
+                for reply in replies:
+                    writer.write(encode_message(reply))
+                if replies:
+                    await writer.drain()
+            if eof and not batcher.finished:
+                session.abort("client disconnected before end")
+            if batcher.finished:
+                self.sessions_served += 1
+                if (
+                    self.max_sessions is not None
+                    and self.sessions_served >= self.max_sessions
+                ):
+                    self.request_stop()
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except asyncio.CancelledError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0, ready=None
+    ) -> Tuple[str, int]:
+        """Listen, serve until done/stopped, then shut the listener down.
+
+        ``ready`` (optional callable) receives the bound ``(host, port)``
+        once the listener is up -- the CLI prints it, tests capture it.
+        Returns the bound address.
+        """
+        server = await asyncio.start_server(self.handle, host, port)
+        bound = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready(bound)
+        async with server:
+            await self.wait_done()
+        return bound
+
+
+class ServerThread:
+    """Run a :class:`PlacementServer` on a daemon thread (tests, loadgen).
+
+    ``start()`` blocks until the listener is bound and returns the
+    ``(host, port)`` address; ``stop()`` requests shutdown and joins.
+    """
+
+    def __init__(
+        self, server: PlacementServer, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            await self.server.serve(
+                self.host,
+                self.port,
+                ready=lambda bound: (
+                    setattr(self, "address", tuple(bound)),
+                    self._ready.set(),
+                ),
+            )
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        if self.address is None:
+            raise RuntimeError("server did not bind within 30s")
+        return self.address
+
+    def stop(self, timeout: float = 10) -> None:
+        if self._loop is not None and self._thread is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,185 @@
+"""The JSON-lines wire format of the streaming placement service.
+
+One connection carries one session.  Every message is a single JSON
+object on its own ``\\n``-terminated line (UTF-8); docs/SERVING.md is the
+narrative description.  Client messages:
+
+``{"type": "requests", "id": n, "events": [[proc, obj, "r"|"w"], ...]}``
+    A batch of request events, in issue order.  ``id`` is a client-chosen
+    monotonically increasing integer used for ack matching.
+``{"type": "mutation", "id": n, "op": {...}}``
+    One churn mutation, scheduled at the current stream position (i.e.
+    before the next request event).  ``op`` is the mutation encoding of
+    :func:`mutation_to_dict`.
+``{"type": "flush", "id": n}``
+    Force the engine to drain everything ingested so far and ack.
+``{"type": "end", "id": n}``
+    Seal the stream; the server replies with the final summary.
+
+Server messages:
+
+``{"type": "session", ...}``
+    Sent once on connect: scenario/strategy identity, universe sizes and
+    the engine batching parameters.
+``{"type": "ack", "id": n, "position": p, "served": s, "dropped": d,
+"congestion": c, "total_load": t}``
+    Covers every client message with id <= ``n``.  The engine
+    micro-batches ingestion, so one ack may cover several ``requests``
+    messages; the metrics are the live sink reads after serving them.
+``{"type": "end", "summary": {...}}``
+    The canonical result record of the sealed stream (see
+    :func:`repro.serve.batcher.result_record`).
+``{"type": "error", "message": ...}``
+    Protocol or workload error; the connection closes after this.
+
+The mutation encoding covers the closed mutation set of
+:mod:`repro.network.mutation`; :func:`mutation_from_dict` is its exact
+inverse and rejects unknown kinds, so a recorded stream replays only
+mutations the offline engine understands.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.dynamic.sequence import READ, WRITE, RequestEvent
+from repro.errors import SimulationError
+from repro.network.mutation import (
+    AttachLeaf,
+    DetachLeaf,
+    Mutation,
+    SetBusBandwidth,
+    SetEdgeBandwidth,
+    SplitBus,
+)
+
+__all__ = [
+    "WIRE_FORMAT",
+    "encode_message",
+    "decode_message",
+    "encode_events",
+    "decode_events",
+    "mutation_to_dict",
+    "mutation_from_dict",
+]
+
+WIRE_FORMAT = "repro.serve/v1"
+
+_KIND_CODE = {READ: "r", WRITE: "w"}
+_CODE_KIND = {"r": READ, "w": WRITE, READ: READ, WRITE: WRITE}
+
+
+def encode_message(message: Mapping) -> bytes:
+    """One wire line: compact JSON plus the terminating newline."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict:
+    """Inverse of :func:`encode_message` (raises on non-object payloads)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise SimulationError(f"malformed wire line {line!r}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise SimulationError("wire messages must be JSON objects with a 'type'")
+    return message
+
+
+def encode_events(events: Sequence[RequestEvent]) -> List[List]:
+    """Events -> the compact ``[proc, obj, "r"|"w"]`` triple list."""
+    return [[ev.processor, ev.obj, _KIND_CODE[ev.kind]] for ev in events]
+
+
+def decode_events(rows: Sequence) -> List[RequestEvent]:
+    """Inverse of :func:`encode_events` (loud on malformed rows)."""
+    events = []
+    for row in rows:
+        try:
+            proc, obj, code = row
+            events.append(RequestEvent(int(proc), int(obj), _CODE_KIND[code]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed event row {row!r}") from exc
+    return events
+
+
+# --------------------------------------------------------------------------- #
+# mutation serialisation (closed set)
+# --------------------------------------------------------------------------- #
+def mutation_to_dict(mutation: Mutation) -> Dict:
+    """Plain-JSON encoding of one mutation of the closed set."""
+    if isinstance(mutation, SetEdgeBandwidth):
+        return {
+            "kind": "set-edge-bandwidth",
+            "u": mutation.u,
+            "v": mutation.v,
+            "bandwidth": mutation.bandwidth,
+        }
+    if isinstance(mutation, SetBusBandwidth):
+        return {
+            "kind": "set-bus-bandwidth",
+            "bus": mutation.bus,
+            "bandwidth": mutation.bandwidth,
+        }
+    if isinstance(mutation, AttachLeaf):
+        return {
+            "kind": "attach-leaf",
+            "bus": mutation.bus,
+            "name": mutation.name,
+            "bandwidth": mutation.bandwidth,
+        }
+    if isinstance(mutation, DetachLeaf):
+        return {"kind": "detach-leaf", "processor": mutation.processor}
+    if isinstance(mutation, SplitBus):
+        return {
+            "kind": "split-bus",
+            "bus": mutation.bus,
+            "moved": list(mutation.moved),
+            "name": mutation.name,
+            "bus_bandwidth": mutation.bus_bandwidth,
+            "trunk_bandwidth": mutation.trunk_bandwidth,
+        }
+    raise SimulationError(f"cannot serialise mutation {type(mutation).__name__}")
+
+
+def mutation_from_dict(document: Mapping) -> Mutation:
+    """Exact inverse of :func:`mutation_to_dict`."""
+    try:
+        kind = document["kind"]
+        if kind == "set-edge-bandwidth":
+            return SetEdgeBandwidth(
+                int(document["u"]),
+                int(document["v"]),
+                float(document["bandwidth"]),
+            )
+        if kind == "set-bus-bandwidth":
+            return SetBusBandwidth(
+                int(document["bus"]), float(document["bandwidth"])
+            )
+        if kind == "attach-leaf":
+            name = document.get("name")
+            return AttachLeaf(
+                int(document["bus"]),
+                name=str(name) if name is not None else None,
+                bandwidth=float(document.get("bandwidth", 1.0)),
+            )
+        if kind == "detach-leaf":
+            return DetachLeaf(int(document["processor"]))
+        if kind == "split-bus":
+            name = document.get("name")
+            return SplitBus(
+                int(document["bus"]),
+                moved=tuple(int(x) for x in document["moved"]),
+                name=str(name) if name is not None else None,
+                bus_bandwidth=float(document.get("bus_bandwidth", 1.0)),
+                trunk_bandwidth=float(document.get("trunk_bandwidth", 1.0)),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"malformed mutation document {document!r}") from exc
+    raise SimulationError(f"unknown mutation kind {document.get('kind')!r}")
+
+
+def roundtrip_check(mutation: Mutation) -> Tuple[Dict, Mutation]:
+    """Encode-decode one mutation (tests lean on the exact inverse)."""
+    encoded = mutation_to_dict(mutation)
+    return encoded, mutation_from_dict(encoded)

@@ -39,7 +39,12 @@ from repro.sim.protocol import fleet_groups, validate_strategy
 from repro.sim.sinks import MetricsSink
 from repro.sim.timeline import MutationPoint, ServeSpan, merge_timeline
 
-__all__ = ["SimulationEngine", "SimulationResult", "RoundReplayDriver"]
+__all__ = [
+    "SimulationEngine",
+    "EngineStream",
+    "SimulationResult",
+    "RoundReplayDriver",
+]
 
 
 def _remap_span(
@@ -468,6 +473,240 @@ class SimulationEngine:
             )
             for engine in engines
         ]
+
+
+class EngineStream:
+    """Incremental, span-feeding counterpart of :meth:`SimulationEngine.run`.
+
+    The offline engine walks a *complete* timeline; a serving front end
+    only ever sees a prefix.  ``EngineStream`` accepts request micro-batches
+    (:meth:`serve`) and churn mutations (:meth:`mutate`) in arrival order
+    and keeps the strategy, its cost account and the attached sinks in
+    exactly the state the offline engine would reach after replaying the
+    same prefix.  :meth:`finish` seals the stream and returns the same
+    :class:`SimulationResult` shape as :meth:`SimulationEngine.run`.
+
+    **Parity contract (ARCHITECTURE invariant 10).**  For any completed
+    stream, the final loads, cost units, congestion, served/dropped totals,
+    mutation outcomes and sampled trajectories are **bit-for-bit** equal to
+    an offline :meth:`SimulationEngine.run` over the recorded sequence and
+    churn trace.  This holds for *any* micro-batch partition of the event
+    stream because ``serve_chunk`` is contractually equal to event-by-event
+    serving, and because the stream re-cuts every batch at the offline span
+    grid (sink ``interval`` hints and ``chunk_size`` multiples), so samples
+    land at identical event positions.  Only span-*granular* observations
+    (e.g. the per-span drop list) depend on the partition.
+
+    Differences from the offline run, by necessity of streaming:
+
+    * ``n_events`` is ``-1`` while the stream is open (the total is
+      unknown); sinks comparing positions against it must tolerate that.
+      :meth:`finish` sets the final count and emits one closing
+      ``on_boundary`` at it, which built-in sinks deduplicate.
+    * The reference universe grows with the stream: events may only
+      address reference ids that already exist (original nodes plus
+      attaches applied *so far*).  An id that the offline engine would
+      resolve against a later attach (and drop) is rejected here with
+      :class:`~repro.errors.WorkloadError` -- failing loud beats silently
+      guessing the future.  Batches are validated before any event is
+      served, so a rejected batch leaves the account untouched.
+    """
+
+    def __init__(
+        self,
+        strategy,
+        sinks: Sequence[MetricsSink] = (),
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        validate_strategy(strategy)
+        if chunk_size is not None and chunk_size < 1:
+            raise WorkloadError("chunk_size must be a positive integer")
+        self.strategy = strategy
+        self.sinks: Tuple[MetricsSink, ...] = tuple(sinks)
+        self.chunk_size = chunk_size
+        self.position = 0
+        self.n_events = -1  # unknown until finish()
+        self.served = 0
+        self.dropped = 0
+        self.outcomes: List[MutationOutcome] = []
+        self._base_n = strategy.network.n_nodes
+        # identity until the first mutation; then the growable
+        # reference-id -> current-node mapping (one fresh id per attach)
+        self._current_of_ref: Optional[np.ndarray] = None
+        self._pending_mutations: List[object] = []
+        self._intervals = sorted(
+            {sink.interval for sink in self.sinks if sink.interval}
+        )
+        self._finished = False
+        for sink in self.sinks:
+            sink.on_begin(self)
+
+    @property
+    def account(self):
+        """The strategy's cost account (live view)."""
+        return self.strategy.account
+
+    @property
+    def n_refs(self) -> int:
+        """Size of the current reference-id universe."""
+        if self._current_of_ref is None:
+            return self._base_n
+        return len(self._current_of_ref)
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise SimulationError("stream is finished; no further feeding")
+
+    def _as_batch(self, events) -> RequestSequence:
+        """Events -> one validated micro-batch sequence."""
+        if isinstance(events, RequestSequence):
+            batch = events
+        else:
+            events = list(events)
+            n_objects = getattr(self.strategy, "n_objects", None)
+            if n_objects is None:
+                n_objects = 1 + max((ev.obj for ev in events), default=-1)
+            batch = RequestSequence(events, n_objects)
+        n_objects = getattr(self.strategy, "n_objects", None)
+        if n_objects is not None and batch.n_objects > n_objects:
+            raise WorkloadError(
+                "sequence references more objects than the strategy was built for"
+            )
+        if len(batch):
+            procs = batch.as_arrays()[0]
+            lo, hi = int(procs.min()), int(procs.max())
+            if lo < 0 or hi >= self.n_refs:
+                bad = lo if lo < 0 else hi
+                raise WorkloadError(
+                    f"event references processor id {bad}, but the replay "
+                    f"universe has {self.n_refs} reference ids"
+                )
+            # a stream is untrusted input: an in-range ref whose current
+            # node is a bus would index out of bounds inside the serving
+            # kernels, so reject it here (departed refs are fine -- the
+            # remap drops their events)
+            network = self.strategy.network
+            uniq = np.unique(procs)
+            current = (
+                uniq if self._current_of_ref is None
+                else self._current_of_ref[uniq]
+            )
+            for ref, node in zip(uniq, current):
+                if node >= 0 and not network.is_processor(int(node)):
+                    raise WorkloadError(
+                        f"event references id {int(ref)}, which is a bus "
+                        "node, not a processor"
+                    )
+        return batch
+
+    def _cuts(self, start: int, stop: int) -> List[int]:
+        """Offline span-grid positions falling strictly inside (start, stop)."""
+        cuts = set()
+        grids = list(self._intervals)
+        if self.chunk_size is not None:
+            grids.append(self.chunk_size)
+        for grid in grids:
+            first = (start // grid + 1) * grid
+            cuts.update(range(first, stop, grid))
+        return sorted(cuts)
+
+    def serve(self, events) -> Tuple[int, int]:
+        """Serve one micro-batch now; returns its ``(served, dropped)`` split.
+
+        ``events`` is an iterable of
+        :class:`~repro.dynamic.sequence.RequestEvent` (or a prebuilt
+        :class:`~repro.dynamic.sequence.RequestSequence`).  The batch is
+        validated atomically, re-cut at the offline span grid, and each
+        sub-span goes through the same chunk fast path as the offline
+        engine.  Events from departed reference ids are dropped (counted,
+        not served), exactly as offline.
+        """
+        self._check_open()
+        self._flush_mutations()
+        batch = self._as_batch(events)
+        n = len(batch)
+        if n == 0:
+            return 0, 0
+        start = self.position
+        stop = start + n
+        strategy = self.strategy
+        batch_served = batch_dropped = 0
+        edges = [start, *self._cuts(start, stop), stop]
+        for a, b in zip(edges, edges[1:]):
+            la, lb = a - start, b - start
+            if self._current_of_ref is None:
+                strategy.serve_chunk(batch, la, lb)
+                served, dropped = b - a, 0
+            else:
+                sub, sub_start, sub_stop, served, dropped = _remap_span(
+                    batch, la, lb, self._current_of_ref, self.n_refs
+                )
+                if sub is not None and sub_stop > sub_start:
+                    strategy.serve_chunk(sub, sub_start, sub_stop)
+            self.position = b
+            self.served += served
+            self.dropped += dropped
+            batch_served += served
+            batch_dropped += dropped
+            for sink in self.sinks:
+                sink.on_span(self, a, b, served, dropped)
+                sink.on_boundary(self, b)
+        return batch_served, batch_dropped
+
+    def mutate(self, mutation) -> None:
+        """Schedule one churn mutation at the current stream position.
+
+        Mutations apply *lazily*: the queue is flushed immediately before
+        the next served event (or, for trailing mutations, after the
+        closing boundary of :meth:`finish`).  This is exactly the offline
+        timeline contract -- a mutation at time ``t`` lands before the
+        event at position ``t``, and mutations at or past the final
+        position land after the final serve span, so the forced final
+        trajectory sample precedes them.
+        """
+        self._check_open()
+        self._pending_mutations.append(mutation)
+
+    def _flush_mutations(self) -> None:
+        """Apply every queued mutation, in arrival order."""
+        pending, self._pending_mutations = self._pending_mutations, []
+        for mutation in pending:
+            outcome = apply_mutation(self.strategy.network, mutation)
+            self.strategy.apply_mutation(outcome)
+            self.outcomes.append(outcome)
+            if self._current_of_ref is None:
+                self._current_of_ref = np.arange(self._base_n, dtype=np.int64)
+            alive = self._current_of_ref >= 0
+            self._current_of_ref[alive] = outcome.node_map[
+                self._current_of_ref[alive]
+            ]
+            if isinstance(mutation, AttachLeaf):
+                self._current_of_ref = np.append(
+                    self._current_of_ref, np.int64(outcome.new_node)
+                )
+            for sink in self.sinks:
+                sink.on_mutation(self, outcome)
+
+    def finish(self) -> SimulationResult:
+        """Seal the stream and return the offline-shaped result."""
+        self._check_open()
+        self._finished = True
+        self.n_events = self.position
+        for sink in self.sinks:
+            sink.on_boundary(self, self.position)
+        self._flush_mutations()
+        for sink in self.sinks:
+            sink.on_end(self)
+        return SimulationResult(
+            strategy=self.strategy,
+            account=self.strategy.account,
+            network=self.strategy.network,
+            n_events=self.n_events,
+            served=self.served,
+            dropped=self.dropped,
+            outcomes=self.outcomes,
+            sinks=self.sinks,
+        )
 
 
 class RoundReplayDriver:

@@ -19,6 +19,17 @@ existing suites:
   burst lands), optionally with a *recovery* phase in which the crowd
   departs again.
 
+**Seed determinism.**  Every seed a spec may carry (`sequence_seed`,
+generator/churn/network ``args`` seeds, the flash-crowd ``trace_seed`` /
+``crowd_seed``) is *optional* in the document -- but an omitted seed never
+falls back to OS entropy.  Missing seeds are derived deterministically
+from the spec's canonical hash and the role of the seed
+(:func:`_derived_seed`), so the same spec document always materialises
+the same sequences and traces: the lab registry's
+``(spec_hash, seed) -> artifact`` contract holds for hand-written specs
+exactly as it does for the registered families (which all pin their
+seeds explicitly).
+
 :data:`SCENARIO_FAMILIES` maps scenario names to spec factories
 parameterised by ``(seed, small, large)``; the E9 streaming suite
 (``zipf``, ``adversarial``, ``phase-shift``) and the E10 churn suite
@@ -34,6 +45,8 @@ records, the shared currency of experiments, benchmarks and the CLI.
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -286,6 +299,46 @@ class BuiltScenario:
 # --------------------------------------------------------------------------- #
 # builders
 # --------------------------------------------------------------------------- #
+def _derived_seed(root: str, role: str) -> int:
+    """Deterministic fallback seed for a spec role without an explicit one.
+
+    ``root`` is the spec's canonical hash and ``role`` names the seed's
+    position in the document (e.g. ``"workload.sequence_seed"`` or
+    ``"churn[0].args.seed"``), so distinct roles of one spec get
+    independent seeds while the same document always derives the same
+    values -- never OS entropy.
+    """
+    digest = hashlib.sha256(f"{root}:{role}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class _SpecSeeds:
+    """Seed resolution for one spec: explicit values win, omissions derive."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self, spec: "ScenarioSpec") -> None:
+        self._root = spec.spec_hash()
+
+    def derive(self, role: str) -> int:
+        return _derived_seed(self._root, role)
+
+    def value(self, mapping: Mapping, key: str, role: str):
+        """``mapping[key]`` when present (and not ``None``), else derived."""
+        explicit = mapping.get(key)
+        return explicit if explicit is not None else self.derive(role)
+
+    def fill_args(self, fn: Callable, args: Mapping, role: str) -> Dict:
+        """Inject a derived ``seed`` into generator kwargs when the
+        callable accepts one and the spec omitted it (or wrote ``null``)."""
+        args = dict(args)
+        if args.get("seed") is not None:
+            return args
+        if "seed" in inspect.signature(fn).parameters:
+            args["seed"] = self.derive(f"{role}.seed")
+        return args
+
+
 def _resolve_arg(value, n_events: int):
     """Resolve one sequence-relative argument against the built length.
 
@@ -305,22 +358,35 @@ def _resolve_arg(value, n_events: int):
     return value
 
 
-def _build_network(spec: Mapping) -> HierarchicalBusNetwork:
+def _build_network(
+    spec: Mapping, seeds: Optional[_SpecSeeds] = None
+) -> HierarchicalBusNetwork:
     builder = NETWORK_BUILDERS.get(spec.get("builder"))
     if builder is None:
         raise SimulationError(f"unknown network builder {spec.get('builder')!r}")
-    return builder(**spec.get("args", {}))
+    args = spec.get("args", {})
+    if seeds is not None:
+        args = seeds.fill_args(builder, args, "network.args")
+    return builder(**args)
 
 
-def _build_pattern(net: HierarchicalBusNetwork, spec: Mapping):
+def _build_pattern(
+    net: HierarchicalBusNetwork,
+    spec: Mapping,
+    seeds: Optional[_SpecSeeds] = None,
+    role: str = "workload",
+):
     generator = PATTERN_GENERATORS.get(spec.get("generator"))
     if generator is None:
         raise SimulationError(f"unknown pattern generator {spec.get('generator')!r}")
-    return generator(net, **spec.get("args", {}))
+    args = spec.get("args", {})
+    if seeds is not None:
+        args = seeds.fill_args(generator, args, f"{role}.args")
+    return generator(net, **args)
 
 
 def _build_flash_crowd(
-    net: HierarchicalBusNetwork, wl: Mapping
+    net: HierarchicalBusNetwork, wl: Mapping, seeds: Optional[_SpecSeeds] = None
 ) -> Tuple[RequestSequence, ChurnTrace]:
     """The coupled flash-crowd workload: base trace + newcomer requests.
 
@@ -330,8 +396,11 @@ def _build_flash_crowd(
     With ``recovery`` the crowd departs again later and its remaining
     requests are dropped by the replay.
     """
-    base_pattern = _build_pattern(net, wl["base"])
-    base_seq = sequence_from_pattern(net, base_pattern, seed=wl.get("sequence_seed"))
+    base_pattern = _build_pattern(net, wl["base"], seeds, "workload.base")
+    sequence_seed = wl.get("sequence_seed")
+    if sequence_seed is None and seeds is not None:
+        sequence_seed = seeds.derive("workload.sequence_seed")
+    base_seq = sequence_from_pattern(net, base_pattern, seed=sequence_seed)
     n_objects = base_pattern.n_objects
     n_new = int(wl.get("n_new", 8))
     requests = int(wl.get("crowd_requests", 8))
@@ -340,10 +409,13 @@ def _build_flash_crowd(
     # (base trace + injected crowd requests), the same universe every other
     # sequence-relative argument uses
     final_len = len(base_seq) + n_new * requests
+    trace_seed = wl.get("trace_seed")
+    if trace_seed is None and seeds is not None:
+        trace_seed = seeds.derive("workload.trace_seed")
     recovery = wl.get("recovery")
     if recovery is None:
         trace = flash_crowd_attach(
-            net, n_new_leaves=n_new, time=cut, seed=wl.get("trace_seed")
+            net, n_new_leaves=n_new, time=cut, seed=trace_seed
         )
     else:
         trace = flash_crowd_recovery(
@@ -352,9 +424,12 @@ def _build_flash_crowd(
             attach_time=cut,
             detach_start=_resolve_arg(recovery["detach_start"], final_len),
             detach_spacing=_resolve_arg(recovery.get("detach_spacing", 1), final_len),
-            seed=wl.get("trace_seed"),
+            seed=trace_seed,
         )
-    gen = np.random.default_rng(wl.get("crowd_seed"))
+    crowd_seed = wl.get("crowd_seed")
+    if crowd_seed is None and seeds is not None:
+        crowd_seed = seeds.derive("workload.crowd_seed")
+    gen = np.random.default_rng(crowd_seed)
     probs = zipf_weights(n_objects)
     base_n = net.n_nodes
     crowd_events = [
@@ -371,33 +446,44 @@ def _build_flash_crowd(
 
 
 def _build_workload(
-    net: HierarchicalBusNetwork, wl: Mapping
+    net: HierarchicalBusNetwork, wl: Mapping, seeds: Optional[_SpecSeeds] = None
 ) -> Tuple[RequestSequence, Optional[ChurnTrace]]:
     kind = wl.get("kind", "pattern")
+    sequence_seed = wl.get("sequence_seed")
+    if sequence_seed is None and seeds is not None:
+        sequence_seed = seeds.derive("workload.sequence_seed")
     if kind == "pattern":
-        pattern = _build_pattern(net, wl)
-        return sequence_from_pattern(net, pattern, seed=wl.get("sequence_seed")), None
+        pattern = _build_pattern(net, wl, seeds, "workload")
+        return sequence_from_pattern(net, pattern, seed=sequence_seed), None
     if kind == "phases":
-        patterns = [_build_pattern(net, phase) for phase in wl["phases"]]
-        return phase_change_sequence(net, patterns, seed=wl.get("sequence_seed")), None
+        patterns = [
+            _build_pattern(net, phase, seeds, f"workload.phases[{i}]")
+            for i, phase in enumerate(wl["phases"])
+        ]
+        return phase_change_sequence(net, patterns, seed=sequence_seed), None
     if kind == "flash-crowd":
-        return _build_flash_crowd(net, wl)
+        return _build_flash_crowd(net, wl, seeds)
     raise SimulationError(f"unknown workload kind {kind!r}")
 
 
 def _build_churn(
-    net: HierarchicalBusNetwork, entries: Sequence[Mapping], n_events: int
+    net: HierarchicalBusNetwork,
+    entries: Sequence[Mapping],
+    n_events: int,
+    seeds: Optional[_SpecSeeds] = None,
 ) -> Optional[ChurnTrace]:
     trace: Optional[ChurnTrace] = None
-    for entry in entries:
+    for index, entry in enumerate(entries):
         generator = CHURN_GENERATORS.get(entry.get("generator"))
         if generator is None:
             raise SimulationError(
                 f"unknown churn generator {entry.get('generator')!r}"
             )
+        args = entry.get("args", {})
+        if seeds is not None:
+            args = seeds.fill_args(generator, args, f"churn[{index}].args")
         kwargs = {
-            key: _resolve_arg(value, n_events)
-            for key, value in entry.get("args", {}).items()
+            key: _resolve_arg(value, n_events) for key, value in args.items()
         }
         part = generator(net, **kwargs)
         trace = part if trace is None else trace.concatenated_with(part)
@@ -463,6 +549,7 @@ def _materialise_entry(
     spec: ScenarioSpec, entry: Optional[Mapping], index: int
 ) -> BuiltScenario:
     """Materialise one sweep entry (``None`` = the spec's base scenario)."""
+    seeds = _SpecSeeds(spec)
     network_spec = dict(spec.network)
     label = spec.name
     if entry is not None:
@@ -470,9 +557,9 @@ def _materialise_entry(
         args.update(entry.get("network_args", {}))
         network_spec["args"] = args
         label = f"{spec.name}/{entry.get('label', index)}"
-    net = _build_network(network_spec)
-    sequence, coupled_trace = _build_workload(net, spec.workload)
-    churn_trace = _build_churn(net, spec.churn, len(sequence))
+    net = _build_network(network_spec, seeds)
+    sequence, coupled_trace = _build_workload(net, spec.workload, seeds)
+    churn_trace = _build_churn(net, spec.churn, len(sequence), seeds)
     if coupled_trace is not None and churn_trace is not None:
         trace = coupled_trace.concatenated_with(churn_trace)
     else:

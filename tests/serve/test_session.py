@@ -1,0 +1,126 @@
+"""ServeSession / MicroBatcher semantics (no sockets involved)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic.online import EdgeCounterManager
+from repro.dynamic.sequence import READ, WRITE, RequestEvent
+from repro.errors import SimulationError, WorkloadError
+from repro.network.builders import balanced_tree
+from repro.serve.batcher import MicroBatcher, ServeSession, build_session
+from repro.sim.scenario import scenario_spec
+
+
+def make_session(**kwargs):
+    net = balanced_tree(2, 2, 2)
+    return ServeSession(EdgeCounterManager(net, 4), n_objects=4, **kwargs)
+
+
+def req(msg_id, *rows):
+    return {"type": "requests", "id": msg_id, "events": list(rows)}
+
+
+class TestServeSession:
+    def test_feed_returns_live_metrics(self):
+        session = make_session()
+        ack = session.feed([RequestEvent(3, 0, READ), RequestEvent(4, 1, WRITE)])
+        assert ack["position"] == 2
+        assert ack["served"] == 2
+        assert ack["dropped"] == 0
+        assert ack["congestion"] >= 0.0
+
+    def test_object_out_of_universe_is_rejected_atomically(self):
+        session = make_session()
+        with pytest.raises(WorkloadError):
+            session.feed([RequestEvent(3, 9, READ)])
+        assert session.position == 0
+
+    def test_bus_node_reference_is_rejected_not_a_crash(self):
+        # node 0 is the root bus: in range, but feeding it to the serving
+        # kernels would index out of bounds -- the stream must be loud
+        session = make_session()
+        with pytest.raises(WorkloadError, match="bus node"):
+            session.feed([RequestEvent(0, 0, READ)])
+        assert session.position == 0
+
+    def test_finish_summary_shape(self):
+        session = make_session()
+        session.feed([RequestEvent(3, 0, READ)])
+        summary = session.finish()
+        assert summary["n_events"] == 1
+        assert summary["served"] == 1
+        assert summary["n_mutations"] == 0
+        assert "loads_sha256" in summary
+
+
+class TestMicroBatcher:
+    def test_requests_buffer_until_drain(self):
+        session = make_session()
+        batcher = MicroBatcher(session, max_batch=100)
+        assert batcher.add(req(1, [3, 0, "r"])) == []
+        assert batcher.add(req(2, [4, 1, "w"])) == []
+        assert batcher.buffered == 2
+        ack = batcher.drain()
+        assert ack["type"] == "ack"
+        assert ack["id"] == 2  # covers both buffered messages
+        assert ack["position"] == 2
+        assert batcher.drain() is None
+
+    def test_overflowing_batches_flush_in_max_batch_chunks(self):
+        session = make_session()
+        batcher = MicroBatcher(session, max_batch=3)
+        rows = [[3, 0, "r"]] * 7
+        replies = batcher.add(req(1, *rows))
+        assert [r["position"] for r in replies] == [3, 6]
+        assert batcher.buffered == 1
+
+    def test_mutation_is_a_barrier(self):
+        session = make_session()
+        batcher = MicroBatcher(session, max_batch=100)
+        batcher.add(req(1, [3, 0, "r"]))
+        replies = batcher.add(
+            {"type": "mutation", "id": 2, "op": {"kind": "detach-leaf",
+                                                 "processor": 3}}
+        )
+        # buffered events drained first, then the mutation scheduled
+        assert [r["type"] for r in replies] == ["ack", "ack"]
+        assert replies[0]["position"] == 1
+        assert replies[1]["scheduled"] is True
+
+    def test_flush_acks_even_when_empty(self):
+        session = make_session()
+        batcher = MicroBatcher(session, max_batch=100)
+        (reply,) = batcher.add({"type": "flush", "id": 5})
+        assert reply == {"type": "ack", "id": 5, "position": 0}
+
+    def test_end_drains_and_finishes(self):
+        session = make_session()
+        batcher = MicroBatcher(session, max_batch=100)
+        batcher.add(req(1, [3, 0, "r"], [4, 0, "r"]))
+        replies = batcher.add({"type": "end", "id": 2})
+        assert [r["type"] for r in replies] == ["ack", "end"]
+        assert replies[1]["summary"]["n_events"] == 2
+        assert batcher.finished
+        with pytest.raises(SimulationError, match="already ended"):
+            batcher.add(req(3, [3, 0, "r"]))
+
+    def test_unknown_message_type_is_loud(self):
+        batcher = MicroBatcher(make_session(), max_batch=4)
+        with pytest.raises(SimulationError, match="unknown message type"):
+            batcher.add({"type": "teleport"})
+
+
+class TestBuildSession:
+    def test_spec_session_uses_spec_strategy_names(self):
+        spec = scenario_spec("zipf", seed=0, small=True)
+        session = build_session(spec)
+        info = session.session_info()
+        assert info["scenario"] == "zipf"
+        assert info["strategy"]  # the spec's first strategy label
+        assert info["n_objects"] > 0
+
+    def test_unknown_strategy_label_is_rejected(self):
+        spec = scenario_spec("zipf", seed=0, small=True)
+        with pytest.raises(SimulationError, match="no strategy"):
+            build_session(spec, strategy="does-not-exist")

@@ -64,6 +64,69 @@ class TestMergeTimeline:
         assert items == [ServeSpan(0, 3), ServeSpan(3, 10)]
 
 
+class TestMergeTimelineEdgeCases:
+    """Degenerate timelines, pinned against the engine's serve behavior."""
+
+    def test_empty_sequence_with_pending_mutations_runs_them_all(self, instance):
+        net, _seq, placement = instance
+        trace = ChurnTrace([(0, AttachLeaf(0)), (5, AttachLeaf(0))])
+        items = merge_timeline(0, trace)
+        assert all(isinstance(i, MutationPoint) for i in items)
+
+        n_before = net.n_nodes
+        sink = TrajectorySink(10)
+        result = SimulationEngine(
+            StaticPlacementManager(net, placement), sinks=(sink,)
+        ).run(RequestSequence([], 8), trace)
+        assert result.n_events == result.served == result.dropped == 0
+        assert result.n_mutations == 2
+        assert result.network.n_nodes == n_before + 2
+        assert len(sink.sample_times) == 0  # nothing served, nothing sampled
+
+    def test_mutation_at_time_zero_precedes_every_event(self, instance):
+        net, seq, placement = instance
+        victim = net.processors[0]
+        trace = ChurnTrace([(0, DetachLeaf(victim))])
+        items = merge_timeline(len(seq), trace, chunk_size=5)
+        assert isinstance(items[0], MutationPoint) and items[0].time == 0
+        assert items[1].start == 0  # no zero-width span before the mutation
+        assert all(
+            s.stop > s.start for s in items if isinstance(s, ServeSpan)
+        )
+
+        result = SimulationEngine(StaticPlacementManager(net, placement)).run(
+            seq, trace
+        )
+        # the detach lands before event 0: every victim request drops
+        assert result.dropped == sum(1 for ev in seq if ev.processor == victim)
+
+    def test_boundary_coinciding_with_chunk_cut_is_not_duplicated(self, instance):
+        net, seq, placement = instance
+        items = merge_timeline(10, boundaries=[4], chunk_size=4)
+        assert items == [ServeSpan(0, 4), ServeSpan(4, 8), ServeSpan(8, 10)]
+
+        # a sink interval equal to the chunk grid must not double-sample
+        sink = TrajectorySink(4)
+        SimulationEngine(
+            StaticPlacementManager(net, placement), sinks=(sink,), chunk_size=4
+        ).run(seq)
+        times = list(sink.sample_times)
+        assert times == sorted(set(times))
+        assert times[-1] == len(seq)
+
+    def test_chunk_size_larger_than_sequence_is_one_span(self, instance):
+        net, seq, placement = instance
+        assert merge_timeline(5, chunk_size=100) == [ServeSpan(0, 5)]
+
+        big = SimulationEngine(
+            StaticPlacementManager(net, placement), chunk_size=10 * len(seq)
+        ).run(seq)
+        plain = SimulationEngine(StaticPlacementManager(net, placement)).run(seq)
+        assert big.served == plain.served == len(seq)
+        assert np.array_equal(big.account.edge_loads, plain.account.edge_loads)
+        assert big.account.congestion == plain.account.congestion
+
+
 class TestProtocol:
     def test_online_strategies_conform(self, instance):
         net, seq, placement = instance

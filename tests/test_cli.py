@@ -328,6 +328,28 @@ class TestSimulateCommand:
         # not claim it did (the spec document carries its own seeds)
         assert json.loads(out.read_text())["seed"] is None
 
+    def test_seedless_spec_is_byte_deterministic(self, tmp_path):
+        # regression: specs omitting every optional seed used to fall back
+        # to fresh OS entropy per run; missing seeds now derive from the
+        # spec hash, so two runs must produce byte-identical artifacts
+        from repro.sim.scenario import scenario_spec
+
+        document = scenario_spec("storm", seed=2, small=True).to_dict()
+        document["workload"]["args"].pop("seed", None)
+        document["workload"].pop("sequence_seed", None)
+        for entry in document["churn"] or []:
+            entry["args"].pop("seed", None)
+        spec_path = tmp_path / "seedless.json"
+        spec_path.write_text(json.dumps(document))
+
+        artifacts = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            code, _ = run_cli(["simulate", "--spec", str(spec_path), "-o", str(out)])
+            assert code == 0
+            artifacts.append(out.read_bytes())
+        assert artifacts[0] == artifacts[1]
+
 
 class TestSimulateParallelAndFleet:
     def test_parallel_artifact_byte_identical_to_serial(self, tmp_path):
@@ -365,6 +387,64 @@ class TestSimulateParallelAndFleet:
             build_parser().parse_args(
                 ["simulate", "--scenario", "zipf", "--parallel", "0"]
             )
+
+
+class TestServeCommands:
+    def test_serve_loadgen_replay_check_round_trip(self, tmp_path):
+        import socket
+        import threading
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        spec_args = ["--scenario", "storm", "--small", "--seed", "0"]
+        record_dir = tmp_path / "recordings"
+        serve_result = {}
+
+        def serve():
+            serve_result["code"], serve_result["text"] = run_cli(
+                ["serve", *spec_args, "--port", str(port),
+                 "--sessions", "1", "--record-dir", str(record_dir)]
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        report = tmp_path / "report.json"
+        code, text = run_cli(
+            ["loadgen", *spec_args, "--port", str(port),
+             "--report", str(report)]
+        )
+        thread.join(timeout=30)
+        assert code == 0
+        assert "achieved" in text
+        assert serve_result["code"] == 0
+        assert "served 1 sessions" in serve_result["text"]
+        stats = json.loads(report.read_text())
+        assert stats["summary"]["n_events"] == stats["n_events"]
+
+        (recording,) = record_dir.glob("session-*.jsonl")
+        code, text = run_cli(["replay-stream", str(recording), "--check"])
+        assert code == 0
+        assert "bit-for-bit" in text
+
+    def test_replay_stream_check_fails_on_partial_recording(self, tmp_path):
+        from repro.serve import StreamRecorder
+        from repro.sim.scenario import scenario_spec
+
+        spec = scenario_spec("zipf", seed=0, small=True)
+        path = tmp_path / "partial.jsonl"
+        recorder = StreamRecorder(path)
+        recorder.write_header(spec.to_dict(), "edge-counter", None, 8)
+        recorder.abort("test")
+        code, text = run_cli(["replay-stream", str(path), "--check"])
+        assert code == 1
+        assert "no served summary" in text
+
+    def test_serve_requires_scenario_or_spec(self):
+        code, text = run_cli(["serve"])
+        assert code == 2
+        assert "--scenario" in text
 
 
 class TestLab:

@@ -37,7 +37,11 @@ workflows without writing Python:
   ``run-missing`` executes only the suite entries without stored
   artifacts (a killed sweep resumes), ``status`` shows what is stored,
   ``report`` regenerates RESULTS.md purely from artifacts (``--check``
-  fails on drift) and ``gc`` reclaims runs no longer keyed by the suite.
+  fails on drift) and ``gc`` reclaims runs no longer keyed by the suite;
+* ``repro tournament`` -- race the pinned strategy set
+  (:data:`repro.lab.tournament.TOURNAMENT_STRATEGIES`) across every
+  scenario family through the lab registry (resumable, ``--fleet`` /
+  ``--parallel`` byte-identical to serial) and print the leaderboard.
 
 Every subcommand is a thin wrapper around the library API, so the CLI is
 also a usage example.
@@ -504,6 +508,37 @@ def _cmd_lab_run_missing(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _cmd_tournament(args: argparse.Namespace, stream) -> int:
+    from repro.lab.registry import LabRegistry, run_missing, suite_entries
+    from repro.lab.tournament import leaderboard_rows
+
+    registry = LabRegistry(args.registry)
+    entries = suite_entries(
+        "tournament", seed=args.seed, small=args.small, large=args.large
+    )
+    result = run_missing(
+        registry,
+        entries,
+        parallel=args.parallel,
+        fleet=args.fleet,
+        progress=lambda line: print(f"ran {line}", file=stream),
+    )
+    print(
+        f"tournament: {result.total} entries, "
+        f"{result.already_stored} already stored, "
+        f"{result.n_executed} executed",
+        file=stream,
+    )
+    payloads = [registry.get(entry.key) for entry in entries]
+    _print_records(leaderboard_rows(payloads), stream)
+    print(
+        "(standings derive purely from the stored artifacts; "
+        "`repro lab report --write` surfaces them in RESULTS.md)",
+        file=stream,
+    )
+    return 0
+
+
 def _cmd_lab_status(args: argparse.Namespace, stream) -> int:
     from repro.core.kernels import active_backend
 
@@ -892,7 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--suite",
-            choices=["ci", "scenarios", "experiments", "full"],
+            choices=["ci", "scenarios", "tournament", "experiments", "full"],
             default="ci",
             help=(
                 "which suite keys the registry; `ci` is pinned to "
@@ -978,6 +1013,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true", help="only print what would be removed"
     )
     lab_gc.set_defaults(func=_cmd_lab_gc)
+
+    tournament = sub.add_parser(
+        "tournament",
+        help=(
+            "race the pinned strategy set across every scenario family "
+            "through the lab registry and print the leaderboard"
+        ),
+    )
+    tournament.add_argument(
+        "--registry",
+        default="lab/registry",
+        help="registry root directory (default: lab/registry)",
+    )
+    tournament.add_argument("--seed", type=int, default=0, help="suite base seed")
+    t_size = tournament.add_mutually_exclusive_group()
+    t_size.add_argument(
+        "--small", action="store_true", help="use reduced instance sizes"
+    )
+    t_size.add_argument(
+        "--large", action="store_true", help="use the larger instance suite"
+    )
+    tournament.add_argument(
+        "--parallel",
+        type=_positive_int,
+        default=1,
+        help="fan missing entries over the persistent worker pool",
+    )
+    tournament.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "replay each entry's strategies through the stacked fleet "
+            "engine (pure accelerator: artifacts are bit-for-bit unchanged)"
+        ),
+    )
+    tournament.set_defaults(func=_cmd_tournament)
 
     return parser
 

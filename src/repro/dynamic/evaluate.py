@@ -130,10 +130,10 @@ def evaluate_strategies(
     (an :class:`EdgeCounterManager` with an effectively infinite replication
     threshold).
 
-    ``chunk_size`` drives the batch replay mode: strategies that do not
-    adapt mid-chunk (the static reference) serve whole chunks through one
-    vectorized scatter; adaptive strategies fall back to the exact event
-    loop, so the records are identical for any value.
+    ``chunk_size`` drives the batch replay mode: static strategies serve
+    whole chunks through one vectorized scatter and the adaptive counter
+    strategies through their exact two-phase batched replay, so the
+    records are identical for any value.
     """
     sequence.validate_for(network)
     runs: List[Tuple[str, OnlineStrategy]] = [

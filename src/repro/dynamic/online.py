@@ -36,14 +36,15 @@ This module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from bisect import insort
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core import kernels
 from repro.core.loadstate import LoadState
 from repro.core.placement import Placement
+from repro.dynamic.adaptive_state import AdaptiveState
 from repro.dynamic.sequence import RequestEvent, RequestSequence
 from repro.errors import PlacementError, WorkloadError
 from repro.network.rooted import RootedTree
@@ -54,6 +55,8 @@ __all__ = [
     "OnlineStrategy",
     "StaticPlacementManager",
     "EdgeCounterManager",
+    "HysteresisCounterManager",
+    "RentOrBuyManager",
 ]
 
 
@@ -286,6 +289,44 @@ def _rehome_target(outcome) -> int:
     return int(outcome.node_map[home])
 
 
+def _bulk_nearest_tables(pm, procs: np.ndarray, n_nodes: int, requests) -> None:
+    """Build per-object nearest-copy tables in one blocked distance pass.
+
+    ``requests`` is a list of ``(cache, obj, holders)`` sinks: ``cache``
+    is a per-strategy table dict to fill, ``holders`` the object's holder
+    ids as an ascending tuple.  One distance evaluation against the union
+    of all requested holder sets replaces one
+    ``PathMatrix.nearest_in_set`` call per (strategy, object); each table
+    is then a gather + argmin over the shared distance block.  Holder
+    columns stay sorted ascending, so ties resolve to the smallest id
+    exactly like ``nearest_in_set``, and identical holder sets (fleet
+    lanes that agree on an object's placement) share one table object.
+
+    The blocked evaluation runs over (processors × holder union):
+    ``PathMatrix.distances`` bounds its LCA scratch space internally, so
+    this stays sub-quadratic in memory on huge networks -- no all-pairs
+    matrix is ever materialised (the old ≤2048-node ``all_distances()``
+    cache silently degraded past its node cap).
+    """
+    if not requests:
+        return
+    by_holders: Dict[tuple, list] = {}
+    for cache, obj, holders in requests:
+        by_holders.setdefault(holders, []).append((cache, obj))
+    union = sorted({h for holders in by_holders for h in holders})
+    column = {h: j for j, h in enumerate(union)}
+    dist = pm.distances(
+        procs[:, None], np.asarray(union, dtype=np.int64)[None, :]
+    )
+    for holders, sinks in by_holders.items():
+        hs = np.asarray(holders, dtype=np.int64)
+        sub = dist[:, [column[h] for h in holders]]
+        table = np.full(n_nodes, -1, dtype=np.int64)
+        table[procs] = hs[np.argmin(sub, axis=1)]
+        for cache, obj in sinks:
+            cache[obj] = table
+
+
 class OnlineStrategy:
     """Interface of an online data management strategy."""
 
@@ -385,6 +426,26 @@ class StaticPlacementManager(OnlineStrategy):
     def holders(self, obj: int) -> Set[int]:
         return set(self._placement.holders(obj))
 
+    def _repair_strategy_state(self, outcome) -> None:
+        if not outcome.structural:
+            return
+        self._nearest_cache.clear()  # tables are sized to the old node count
+        self._steiner_ids_cache.clear()  # edge ids renumber under mutations
+        self._procs = np.asarray(outcome.network.processors, dtype=np.int64)
+        if outcome.removed_node is None:
+            return  # attach/split keep node ids stable
+        nm = outcome.node_map
+        home = None  # one detach has one re-home target; resolve it lazily once
+        new_holders = []
+        for obj in range(self._placement.n_objects):
+            mapped = sorted(int(nm[h]) for h in self._placement.holders(obj) if nm[h] >= 0)
+            if not mapped:
+                if home is None:
+                    home = _rehome_target(outcome)
+                mapped = [home]
+            new_holders.append(mapped)
+        self._placement = Placement(new_holders)
+
     def _nearest_table(self, obj: int) -> np.ndarray:
         """Per-node nearest-copy table of one object (cached, batch-built)."""
         table = self._nearest_cache.get(obj)
@@ -399,37 +460,22 @@ class StaticPlacementManager(OnlineStrategy):
     def _nearest_tables_bulk(self, objs) -> None:
         """Build the nearest-copy tables of many objects in one LCA pass.
 
-        One distance evaluation against the union of all missing objects'
-        holder sets replaces one :meth:`PathMatrix.nearest_in_set` call per
-        object; each per-object table is then a gather + argmin over the
-        shared distance block.  Holder columns stay sorted ascending, so
-        ties resolve to the smallest id exactly like ``nearest_in_set``.
+        Thin wrapper over the shared :func:`_bulk_nearest_tables` builder:
+        one blocked distance evaluation against the union of all missing
+        objects' holder sets replaces one
+        :meth:`PathMatrix.nearest_in_set` call per object.  Holder columns
+        stay sorted ascending, so ties resolve to the smallest id exactly
+        like ``nearest_in_set``.
         """
-        missing = [int(obj) for obj in objs if obj not in self._nearest_cache]
-        if not missing:
-            return
-        holders = {
-            obj: sorted({int(h) for h in self._placement.holders(obj)})
-            for obj in missing
-        }
-        union = sorted({h for hs in holders.values() for h in hs})
-        column = {h: j for j, h in enumerate(union)}
-        pm = self.rooted.path_matrix()
-        # One blocked distance evaluation over (processors × holder union):
-        # PathMatrix.distances bounds its LCA scratch space internally, so
-        # this stays sub-quadratic in memory on huge networks -- no
-        # all-pairs matrix is ever materialised (the old ≤2048-node
-        # all_distances() cache silently degraded past its node cap).
-        dist = pm.distances(
-            self._procs[:, None], np.asarray(union, dtype=np.int64)[None, :]
+        requests = [
+            (self._nearest_cache, int(obj),
+             tuple(sorted({int(h) for h in self._placement.holders(int(obj))})))
+            for obj in objs
+            if int(obj) not in self._nearest_cache
+        ]
+        _bulk_nearest_tables(
+            self.rooted.path_matrix(), self._procs, self.network.n_nodes, requests
         )
-        n_nodes = self.network.n_nodes
-        for obj in missing:
-            hs = np.asarray(holders[obj], dtype=np.int64)
-            sub = dist[:, [column[h] for h in hs]]
-            table = np.full(n_nodes, -1, dtype=np.int64)
-            table[self._procs] = hs[np.argmin(sub, axis=1)]
-            self._nearest_cache[obj] = table
 
     def _nearest(self, proc: int, obj: int) -> int:
         return int(self._nearest_table(obj)[proc])
@@ -454,26 +500,6 @@ class StaticPlacementManager(OnlineStrategy):
                 edge_ids = entry_source._steiner_entry(key)[0]
             self._steiner_ids_cache[obj] = edge_ids
         return edge_ids
-
-    def _repair_strategy_state(self, outcome) -> None:
-        if not outcome.structural:
-            return
-        self._nearest_cache.clear()  # tables are sized to the old node count
-        self._steiner_ids_cache.clear()  # edge ids renumber under mutations
-        self._procs = np.asarray(outcome.network.processors, dtype=np.int64)
-        if outcome.removed_node is None:
-            return  # attach/split keep node ids stable
-        nm = outcome.node_map
-        home = None  # one detach has one re-home target; resolve it lazily once
-        new_holders = []
-        for obj in range(self._placement.n_objects):
-            mapped = sorted(int(nm[h]) for h in self._placement.holders(obj) if nm[h] >= 0)
-            if not mapped:
-                if home is None:
-                    home = _rehome_target(outcome)
-                mapped = [home]
-            new_holders.append(mapped)
-        self._placement = Placement(new_holders)
 
     def serve(self, event: RequestEvent) -> None:
         target = self._nearest(event.processor, event.obj)
@@ -657,17 +683,18 @@ class StaticPlacementManager(OnlineStrategy):
             parent.apply_edge_loads_lanes(lanes, steiner_cols)
 
 
-@dataclass
-class _ObjectState:
-    """Adaptive per-object state of the edge-counter strategy."""
-
-    holders: Set[int]
-    read_credit: Dict[int, int] = field(default_factory=dict)  # processor -> credit
-    unread_writes: Dict[int, int] = field(default_factory=dict)  # holder -> count
-
-
 class EdgeCounterManager(OnlineStrategy):
     """Adaptive replication / invalidation driven by per-processor counters.
+
+    The counter state lives in the array-backed
+    :class:`~repro.dynamic.adaptive_state.AdaptiveState` substrate (flat
+    holder/credit/unread-write arrays keyed by ``(object, processor)``),
+    which is what enables the vectorized :meth:`serve_chunk` and the
+    :meth:`serve_chunk_fleet` group hook: within a chunk, counters for a
+    pair only advance on requests to exactly that pair, so the next
+    threshold crossing per object is computable up front and every maximal
+    static run between adaptation events collapses into one batched pair
+    scatter -- bit-for-bit equal to the scalar event loop.
 
     Parameters
     ----------
@@ -703,99 +730,586 @@ class EdgeCounterManager(OnlineStrategy):
             raise WorkloadError("invalidation_patience must be at least 1")
         self.object_size = int(object_size)
         self.invalidation_patience = int(invalidation_patience)
-        self._states: Dict[int, _ObjectState] = {}
+        # adaptation thresholds: the base strategy uses the copy cost for
+        # both (rent-or-buy -- buy once you have paid the copy's worth in
+        # remote requests).  Subclasses tune them independently; the
+        # charged copy amount is always ``object_size``.
+        self._replicate_threshold = self.object_size
+        self._migrate_threshold = self.object_size
+        self._adaptive = AdaptiveState(self.n_objects, network.n_nodes)
+        # holder-derived caches, invalidated per object on any holder
+        # transition and wholesale on structural repair
+        self._holders_cache: Dict[int, List[int]] = {}
+        self._nearest_cache: Dict[int, np.ndarray] = {}
+        # nearest tables keyed by holder-set *content*: thrash cycles
+        # revisit the same holder sets, so tables survive transitions and
+        # are shared across lanes with agreeing holder sets
+        self._tables_by_holders: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._procs = np.asarray(network.processors, dtype=np.int64)
         if initial_placement is not None:
             initial_placement.validate_for(network, require_leaf_only=True)
             if initial_placement.n_objects != n_objects:
                 raise PlacementError("initial placement has the wrong object count")
+            mask = self._adaptive.holder_mask
             for obj in range(n_objects):
-                self._states[obj] = _ObjectState(set(initial_placement.holders(obj)))
+                for holder in initial_placement.holders(obj):
+                    mask[obj, int(holder)] = True
+            self._adaptive.n_holders = mask.sum(axis=1, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     def holders(self, obj: int) -> Set[int]:
-        state = self._states.get(obj)
-        return set(state.holders) if state is not None else set()
+        return self._adaptive.holders_set(obj)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the strategy state: the flat counter substrate
+        plus the nearest-table caches (per object and per holder set; the
+        content-keyed cache is capped at ``_MAX_HOLDER_TABLES`` entries).
+
+        Bounded by the universe sizes alone -- never growing with the
+        stream length; the soak-shaped tests pin that.
+        """
+        arrays = {id(t): t for t in self._nearest_cache.values()}
+        arrays.update((id(t), t) for t in self._tables_by_holders.values())
+        return self._adaptive.memory_bytes() + sum(
+            a.nbytes for a in arrays.values()
+        )
+
+    def _holders_changed(self, obj: int) -> None:
+        """Invalidate the holder-derived caches of one object."""
+        self._holders_cache.pop(obj, None)
+        self._nearest_cache.pop(obj, None)
+
+    def _holders_of(self, obj: int) -> List[int]:
+        """Current holder ids of one object, ascending (= sorted), cached."""
+        holders = self._holders_cache.get(obj)
+        if holders is None:
+            holders = self._adaptive.holders_list(obj)
+            self._holders_cache[obj] = holders
+        return holders
+
+    def _nearest_for(self, proc: int, obj: int) -> int:
+        """Nearest copy of ``obj`` from ``proc`` (ties to the smallest id).
+
+        Uses the cached per-object table when present; otherwise resolves
+        directly (a sole holder needs no lookup at all).  Both resolutions
+        tie-break identically, so the scalar and batched paths agree.
+        """
+        table = self._nearest_cache.get(obj)
+        if table is None:
+            holders = self._holders_of(obj)
+            if len(holders) == 1:
+                return holders[0]
+            table = self._tables_by_holders.get(tuple(holders))
+            if table is None:
+                return int(self.rooted.nearest_in_set(proc, holders))
+            self._nearest_cache[obj] = table
+        return int(table[proc])
 
     def _repair_strategy_state(self, outcome) -> None:
+        if not outcome.structural:
+            return  # bandwidth mutations keep node ids and holders intact
+        self._holders_cache.clear()
+        self._nearest_cache.clear()  # tables are sized to the old node count
+        self._tables_by_holders.clear()
+        self._procs = np.asarray(outcome.network.processors, dtype=np.int64)
         if outcome.removed_node is None:
-            return  # bandwidth/attach/split mutations keep node ids stable
-        nm = outcome.node_map
-        home = None  # one detach has one re-home target; resolve it lazily once
-        for state in self._states.values():
-            holders = {int(nm[h]) for h in state.holders if nm[h] >= 0}
-            if not holders:
-                if home is None:
-                    home = _rehome_target(outcome)
-                holders = {home}
-            state.holders = holders
-            state.read_credit = {
-                int(nm[p]): c for p, c in state.read_credit.items() if nm[p] >= 0
-            }
-            state.unread_writes = {
-                int(nm[h]): c for h, c in state.unread_writes.items() if nm[h] >= 0
-            }
-
-    def _state_for(self, event: RequestEvent) -> _ObjectState:
-        state = self._states.get(event.obj)
-        if state is None:
-            # first touch: the object materialises on the first requester
-            state = _ObjectState({event.processor})
-            self._states[event.obj] = state
-        return state
+            # attach/split keep existing node ids stable; new ids append,
+            # so the counter arrays widen with zero columns
+            self._adaptive.grow(outcome.network.n_nodes)
+            return
+        orphans = self._adaptive.remap_detach(
+            outcome.node_map, outcome.network.n_nodes
+        )
+        if orphans.size:
+            home = _rehome_target(outcome)
+            for obj in orphans.tolist():
+                self._adaptive.rehome(obj, home)
 
     # ------------------------------------------------------------------ #
     def serve(self, event: RequestEvent) -> None:
-        state = self._state_for(event)
+        adaptive = self._adaptive
+        obj = event.obj
         proc = event.processor
-        nearest = self.rooted.nearest_in_set(proc, state.holders)
+        if not adaptive.n_holders[obj]:
+            # first touch: the object materialises on the first requester
+            adaptive.materialise(obj, proc)
+            self._holders_changed(obj)
+        nearest = self._nearest_for(proc, obj)
+        mask = adaptive.holder_mask[obj]
 
         if event.is_read:
             self.account.charge_path(self.rooted, proc, nearest)
-            if proc not in state.holders:
-                credit = state.read_credit.get(proc, 0) + 1
-                if credit >= self.object_size:
+            if not mask[proc]:
+                credit = int(adaptive.read_credit[obj, proc]) + 1
+                if credit >= self._replicate_threshold:
                     # replicate: ship the object from the nearest copy
                     self.account.charge_path(
                         self.rooted, nearest, proc, amount=self.object_size,
                         management=True,
                     )
-                    state.holders.add(proc)
-                    state.unread_writes[proc] = 0
-                    state.read_credit[proc] = 0
+                    adaptive.add_holder(obj, proc)
+                    self._holders_changed(obj)
                 else:
-                    state.read_credit[proc] = credit
+                    adaptive.read_credit[obj, proc] = credit
             else:
-                state.unread_writes[proc] = 0
+                adaptive.unread_writes[obj, proc] = 0
             return
 
         # write request: update the reference copy and broadcast to replicas
+        holders = self._holders_of(obj)
         self.account.charge_path(self.rooted, proc, nearest)
-        self.account.charge_steiner(self.rooted, sorted(state.holders))
+        self.account.charge_steiner(self.rooted, holders)
         # age replicas; drop the ones nobody read for a while (no traffic)
-        writer_holder = proc if proc in state.holders else nearest
+        writer_holder = proc if mask[proc] else nearest
+        n_before = len(holders)
+        unread = adaptive.unread_writes[obj]
         stale: List[int] = []
-        for holder in state.holders:
+        for holder in holders:
             if holder == writer_holder:
-                state.unread_writes[holder] = 0
+                unread[holder] = 0
                 continue
-            count = state.unread_writes.get(holder, 0) + 1
-            state.unread_writes[holder] = count
-            if count >= self.invalidation_patience and len(state.holders) > 1:
+            count = int(unread[holder]) + 1
+            unread[holder] = count
+            if count >= self.invalidation_patience and n_before > 1:
                 stale.append(holder)
         for holder in stale:
-            if len(state.holders) > 1:
-                state.holders.discard(holder)
-                state.unread_writes.pop(holder, None)
+            if adaptive.n_holders[obj] > 1:
+                adaptive.drop_holder(obj, holder)
+        if stale:
+            self._holders_changed(obj)
         # migration: a lonely copy follows a persistent remote writer
-        if len(state.holders) == 1 and proc not in state.holders:
-            credit = state.read_credit.get(proc, 0) + 1
-            if credit >= self.object_size:
-                old = next(iter(state.holders))
+        if adaptive.n_holders[obj] == 1 and not adaptive.holder_mask[obj, proc]:
+            credit = int(adaptive.read_credit[obj, proc]) + 1
+            if credit >= self._migrate_threshold:
+                old = self._holders_of(obj)[0]
                 self.account.charge_path(
                     self.rooted, old, proc, amount=self.object_size, management=True
                 )
-                state.holders = {proc}
-                state.unread_writes = {proc: 0}
-                state.read_credit[proc] = 0
+                adaptive.set_sole_holder(obj, proc)
+                self._holders_changed(obj)
             else:
-                state.read_credit[proc] = credit
+                adaptive.read_credit[obj, proc] = credit
+
+    # ------------------------------------------------------------------ #
+    # vectorized chunk replay: per-object scans with deferred batch charges
+    # ------------------------------------------------------------------ #
+    # Content-keyed nearest tables are regenerated cheaply in bulk, so the
+    # cache is simply dropped when too many distinct holder sets accumulate
+    # (keeps memory_bytes() bounded by the universe sizes, never the stream).
+    _MAX_HOLDER_TABLES = 1024
+
+    def _replay_positions(self, obj: int, pos: List[int], procs: List[int],
+                          writes: List[bool], runs: List[tuple],
+                          mgmt_direct: List[tuple],
+                          mgmt_rep: List[tuple]) -> None:
+        """Phase 1 of the batched replay: advance one object\'s counters
+        over its chunk positions, applying every adaptation decision.
+
+        Adaptation is a pure function of the per-object counters -- never
+        of the accumulated loads -- so one object\'s whole decision cascade
+        can run ahead of any charging.  The scan appends one record per
+        maximal static run to ``runs`` (``(obj, holders, lo, hi, writes)``
+        with ``holders`` the ascending holder tuple in force over
+        ``pos[lo:hi]``, the terminal adaptation event included: its own
+        service traffic is charged against the pre-transition holders,
+        exactly as the scalar :meth:`serve` charges before it adapts) and
+        one record per copy movement to ``mgmt_direct`` (migrations --
+        source holder known) or ``mgmt_rep`` (replications -- source is
+        the nearest pre-crossing copy, resolved against the bulk-built
+        tables in phase 2).  Counters are mirrored into plain lists for
+        the scan (NumPy scalar indexing would dominate an all-Python loop)
+        and written back once.
+        """
+        adaptive = self._adaptive
+        if adaptive.n_holders[obj]:
+            holders = list(self._holders_of(obj))
+            changed = False
+        else:
+            # first touch: the object materialises on its first requester;
+            # that event never adapts (sole holder, zero-length charges)
+            holders = [procs[pos[0]]]
+            changed = True
+        hset = set(holders)
+        credit = adaptive.read_credit[obj].tolist()
+        unread = adaptive.unread_writes[obj].tolist()
+        replicate_at = self._replicate_threshold
+        migrate_at = self._migrate_threshold
+        patience = self.invalidation_patience
+        nearest_in_set = self.rooted.nearest_in_set
+        memo: Dict[int, int] = {}  # non-holder writer -> nearest, per run
+        run_start = 0
+        wcount = 0
+        for t, i in enumerate(pos):
+            p = procs[i]
+            if writes[i]:
+                wcount += 1
+                if p in hset:
+                    wh = p
+                elif len(holders) == 1:
+                    wh = holders[0]
+                else:
+                    wh = memo.get(p)
+                    if wh is None:
+                        wh = int(nearest_in_set(p, holders))
+                        memo[p] = wh
+                if len(holders) > 1:
+                    # age replicas exactly like the scalar path: the stale
+                    # test reads pre-update counters, then every non-writer
+                    # replica ages (drops re-zero the stale ones)
+                    stale = [h for h in holders
+                             if h != wh and unread[h] + 1 >= patience]
+                    for h in holders:
+                        unread[h] = 0 if h == wh else unread[h] + 1
+                    if stale:
+                        runs.append((obj, tuple(holders), run_start,
+                                     t + 1, wcount))
+                        for h in stale:
+                            holders.remove(h)
+                            hset.discard(h)
+                            unread[h] = 0
+                        if len(holders) == 1 and p not in hset:
+                            c = credit[p] + 1
+                            if c >= migrate_at:
+                                old = holders[0]
+                                mgmt_direct.append((old, p))
+                                unread[old] = 0
+                                holders = [p]
+                                hset = {p}
+                                unread[p] = 0
+                                credit[p] = 0
+                            else:
+                                credit[p] = c
+                        run_start = t + 1
+                        wcount = 0
+                        memo.clear()
+                        changed = True
+                else:
+                    unread[wh] = 0
+                    if p not in hset:
+                        c = credit[p] + 1
+                        if c >= migrate_at:
+                            # the lonely copy follows the persistent writer
+                            runs.append((obj, (wh,), run_start,
+                                         t + 1, wcount))
+                            mgmt_direct.append((wh, p))
+                            holders = [p]
+                            hset = {p}
+                            unread[p] = 0
+                            credit[p] = 0
+                            run_start = t + 1
+                            wcount = 0
+                            memo.clear()
+                            changed = True
+                        else:
+                            credit[p] = c
+            else:
+                if p in hset:
+                    unread[p] = 0
+                else:
+                    c = credit[p] + 1
+                    if c >= replicate_at:
+                        pre = tuple(holders)
+                        runs.append((obj, pre, run_start, t + 1, wcount))
+                        mgmt_rep.append((pre, p))
+                        insort(holders, p)
+                        hset.add(p)
+                        unread[p] = 0
+                        credit[p] = 0
+                        run_start = t + 1
+                        wcount = 0
+                        memo.clear()
+                        changed = True
+                    else:
+                        credit[p] = c
+        if len(pos) > run_start:
+            runs.append((obj, tuple(holders), run_start, len(pos), wcount))
+        adaptive.read_credit[obj] = credit
+        adaptive.unread_writes[obj] = unread
+        if changed:
+            row = adaptive.holder_mask[obj]
+            row[:] = False
+            row[holders] = True
+            adaptive.n_holders[obj] = len(holders)
+            self._holders_changed(obj)
+            self._holders_cache[obj] = holders
+
+    def _table_requests_for_runs(self, runs: List[tuple]) -> List[tuple]:
+        """Bulk-build requests for the multi-holder run holder sets that
+        have no content-keyed nearest table yet (replication sources in
+        ``mgmt_rep`` always share the holder set of their crossing run, so
+        the run sets cover every phase-2 lookup)."""
+        tables = self._tables_by_holders
+        seen = set()
+        requests = []
+        for _obj, holders, _lo, _hi, _wc in runs:
+            if len(holders) > 1 and holders not in tables \
+                    and holders not in seen:
+                seen.add(holders)
+                requests.append((tables, holders, holders))
+        return requests
+
+    def _apply_deferred(self, chunk_procs: np.ndarray, pos_arrays,
+                        runs: List[tuple], mgmt_direct: List[tuple],
+                        mgmt_rep: List[tuple]) -> None:
+        """Phase 2 of the batched replay: resolve targets and charge.
+
+        Every charge of a chunk commutes -- integer amounts into float64
+        accumulators are exact in any order, and congestion is a monotone
+        running max observed only at chunk boundaries, the same argument
+        the static chunk path rests on -- so the runs recorded by phase 1
+        collapse into three scatters: one aggregated service-pair charge
+        (requests against the nearest copy of the run\'s holder set), one
+        accumulated write-broadcast Steiner column, and one management
+        charge covering all replication/migration copy movements.
+        """
+        tables = self._tables_by_holders
+        state = self.account.state
+        entry_source = getattr(state, "parent", state)
+        n_nodes = np.int64(self.network.n_nodes)
+        u_parts: List[np.ndarray] = []
+        v_parts: List[np.ndarray] = []
+        steiner_col = None
+        booked = 0
+        for obj, holders, lo, hi, wc in runs:
+            ep = chunk_procs[pos_arrays[obj][lo:hi]]
+            u_parts.append(ep)
+            if len(holders) == 1:
+                v_parts.append(np.full(ep.size, holders[0], dtype=np.int64))
+            else:
+                v_parts.append(tables[holders][ep])
+                if wc:
+                    ids = entry_source._steiner_entry(frozenset(holders))[0]
+                    if ids.size:
+                        if steiner_col is None:
+                            steiner_col = np.zeros(entry_source.n_edges)
+                        steiner_col[ids] += wc
+                        booked += wc * int(ids.size)
+        if u_parts:
+            u = np.concatenate(u_parts)
+            v = np.concatenate(v_parts)
+            # aggregate identical (requester, target) pairs before the
+            # path-incidence scatter, like the static chunk path does
+            keys, counts = np.unique(u * n_nodes + v, return_counts=True)
+            self.account.charge_pairs(keys // n_nodes, keys % n_nodes, counts)
+        if steiner_col is not None:
+            state.apply_edge_loads(steiner_col)
+            self.account._book(booked, False)
+        if mgmt_direct or mgmt_rep:
+            srcs = [src for src, _p in mgmt_direct]
+            dsts = [p for _src, p in mgmt_direct]
+            for holders, p in mgmt_rep:
+                srcs.append(holders[0] if len(holders) == 1
+                            else int(tables[holders][p]))
+                dsts.append(p)
+            self.account.charge_pairs(
+                np.asarray(srcs, dtype=np.int64),
+                np.asarray(dsts, dtype=np.int64),
+                np.full(len(srcs), self.object_size, dtype=np.int64),
+                management=True,
+            )
+
+    def _decode_chunk(self, sequence: RequestSequence, start: int, stop: int):
+        """Chunk decode shared by the sequential and fleet paths: plain
+        event-column lists for the Python scan plus per-object position
+        lists (insertion order preserves the event order per object)."""
+        procs_all, objs_all, writes_all = sequence.as_arrays()
+        chunk_procs = np.asarray(procs_all[start:stop], dtype=np.int64)
+        procs = chunk_procs.tolist()
+        writes = writes_all[start:stop].tolist()
+        positions: Dict[int, List[int]] = {}
+        for i, obj in enumerate(objs_all[start:stop].tolist()):
+            positions.setdefault(obj, []).append(i)
+        return chunk_procs, procs, writes, positions
+
+    def serve_chunk(self, sequence: RequestSequence, start: int, stop: int) -> None:
+        """Vectorized batch replay of one chunk (exact event-loop parity).
+
+        Within a chunk, the counters of an ``(object, processor)`` pair
+        only advance on requests to exactly that pair and an object\'s
+        holder set only changes at its own adaptation events -- so each
+        object\'s replicate/invalidate/migrate cascade is computed by one
+        pure-Python counter scan (:meth:`_replay_positions`), decoupled
+        from the charge frontier.  The recorded maximal static runs are
+        then charged in bulk (:meth:`_apply_deferred`): one blocked
+        distance pass builds every missing nearest table, one aggregated
+        pair scatter carries the service traffic, one Steiner column the
+        write broadcasts, and one management scatter the copy movements.
+        Integer charges commute exactly, so loads, cost units, holder
+        sets and end-of-chunk congestion are bit-for-bit those of
+        event-by-event serving; the differential suites pin this under
+        churn and across chunk grids.
+        """
+        n = stop - start
+        if n <= 0:
+            return
+        if n == 1 or getattr(self.account, "state", None) is None:
+            # Single events and reference accounts (no LoadState to
+            # scatter into) go through the scalar path.
+            for event in sequence.events[start:stop]:
+                self.serve(event)
+            return
+        chunk_procs, procs, writes, positions = self._decode_chunk(
+            sequence, start, stop
+        )
+        runs: List[tuple] = []
+        mgmt_direct: List[tuple] = []
+        mgmt_rep: List[tuple] = []
+        for obj, pos in positions.items():
+            self._replay_positions(obj, pos, procs, writes, runs,
+                                   mgmt_direct, mgmt_rep)
+        if len(self._tables_by_holders) > self._MAX_HOLDER_TABLES:
+            self._tables_by_holders.clear()
+        _bulk_nearest_tables(
+            self.rooted.path_matrix(), self._procs, self.network.n_nodes,
+            self._table_requests_for_runs(runs),
+        )
+        pos_arrays = {
+            obj: np.asarray(pos, dtype=np.int64)
+            for obj, pos in positions.items()
+        }
+        self._apply_deferred(chunk_procs, pos_arrays, runs,
+                             mgmt_direct, mgmt_rep)
+
+    # ------------------------------------------------------------------ #
+    # fleet group hook: K adaptive lanes share decode and table builds
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def serve_chunk_fleet(
+        cls, managers: Sequence["EdgeCounterManager"], sequence, start, stop
+    ) -> None:
+        """Serve one chunk for a whole fleet of adaptive managers at once.
+
+        K lanes (different ``object_size`` / ``invalidation_patience`` /
+        threshold tunings) share one chunk decode, one per-object position
+        index, and one blocked distance pass for every nearest table any
+        lane is missing -- lanes whose holder sets agree share the very
+        table object, lanes that diverge get their own.  Each lane then
+        runs its own counter scan and applies its own deferred charges
+        (through its lane of the shared
+        :class:`~repro.core.loadstate.StackedLoadState` when stacked, with
+        the Steiner scatter entries shared substrate-wide), because the
+        run grids of differently-tuned lanes genuinely diverge.  Every
+        lane\'s loads, cost units and holder sets are bit-for-bit those of
+        K sequential scalar runs (ARCHITECTURE.md invariants 6/7);
+        ``test_fleet_parity.py`` pins it.
+        """
+        if len({id(m.rooted) for m in managers}) != 1 or any(
+            getattr(m.account, "state", None) is None for m in managers
+        ):
+            for manager in managers:
+                manager.serve_chunk(sequence, start, stop)
+            return
+        n = stop - start
+        if n <= 0:
+            return
+        if n == 1:
+            event = sequence.events[start]
+            for manager in managers:
+                manager.serve(event)
+            return
+        lead = managers[0]
+        chunk_procs, procs, writes, positions = lead._decode_chunk(
+            sequence, start, stop
+        )
+        per_lane: List[tuple] = []
+        requests: List[tuple] = []
+        for manager in managers:
+            runs: List[tuple] = []
+            mgmt_direct: List[tuple] = []
+            mgmt_rep: List[tuple] = []
+            for obj, pos in positions.items():
+                manager._replay_positions(obj, pos, procs, writes, runs,
+                                          mgmt_direct, mgmt_rep)
+            per_lane.append((runs, mgmt_direct, mgmt_rep))
+            if len(manager._tables_by_holders) > cls._MAX_HOLDER_TABLES:
+                manager._tables_by_holders.clear()
+            requests.extend(manager._table_requests_for_runs(runs))
+        _bulk_nearest_tables(
+            lead.rooted.path_matrix(), lead._procs, lead.network.n_nodes,
+            requests,
+        )
+        pos_arrays = {
+            obj: np.asarray(pos, dtype=np.int64)
+            for obj, pos in positions.items()
+        }
+        for manager, (runs, mgmt_direct, mgmt_rep) in zip(managers, per_lane):
+            manager._apply_deferred(chunk_procs, pos_arrays, runs,
+                                    mgmt_direct, mgmt_rep)
+
+
+class HysteresisCounterManager(EdgeCounterManager):
+    """Edge-counter adaptation with migration hysteresis.
+
+    Replicas are earned at the base rent-or-buy threshold, but a lonely
+    copy only follows a persistent remote writer after
+    ``migration_factor`` times as much accumulated credit.  Migrating the
+    only copy is the decision that hurts most when it flaps (every
+    subsequent reader pays the relocation), so it is held to a stricter
+    standard than replication -- classic hysteresis damping for
+    alternating-writer workloads.  The copy still costs ``object_size``
+    per edge when it does move.
+    """
+
+    def __init__(
+        self,
+        network: HierarchicalBusNetwork,
+        n_objects: int,
+        object_size: int = 4,
+        invalidation_patience: int = 2,
+        migration_factor: int = 2,
+        initial_placement: Optional[Placement] = None,
+        account: Optional[OnlineCostAccount] = None,
+    ) -> None:
+        super().__init__(
+            network, n_objects, object_size=object_size,
+            invalidation_patience=invalidation_patience,
+            initial_placement=initial_placement, account=account,
+        )
+        if migration_factor < 1:
+            raise WorkloadError("migration_factor must be at least 1")
+        self.migration_factor = int(migration_factor)
+        self._migrate_threshold = self.object_size * self.migration_factor
+
+
+class RentOrBuyManager(EdgeCounterManager):
+    """Rent-or-buy variant with thresholds decoupled from the copy cost.
+
+    The base strategy replicates/migrates once a processor has paid the
+    copy cost in remote requests (both thresholds equal ``object_size``).
+    This variant keeps the *charged* copy amount at ``object_size`` but
+    exposes the decision thresholds as independent tuning knobs -- the
+    classic rent-or-buy trade-off: lower thresholds buy (replicate or
+    migrate) earlier and pay more management traffic, higher thresholds
+    rent longer and pay more service traffic.  The tournament layer sweeps
+    these against the base strategy.
+    """
+
+    def __init__(
+        self,
+        network: HierarchicalBusNetwork,
+        n_objects: int,
+        object_size: int = 4,
+        invalidation_patience: int = 2,
+        replicate_threshold: Optional[int] = None,
+        migrate_threshold: Optional[int] = None,
+        initial_placement: Optional[Placement] = None,
+        account: Optional[OnlineCostAccount] = None,
+    ) -> None:
+        super().__init__(
+            network, n_objects, object_size=object_size,
+            invalidation_patience=invalidation_patience,
+            initial_placement=initial_placement, account=account,
+        )
+        replicate_at = (
+            self.object_size if replicate_threshold is None
+            else int(replicate_threshold)
+        )
+        migrate_at = (
+            replicate_at if migrate_threshold is None else int(migrate_threshold)
+        )
+        if replicate_at < 1 or migrate_at < 1:
+            raise WorkloadError("adaptation thresholds must be at least 1")
+        self.replicate_threshold = replicate_at
+        self.migrate_threshold = migrate_at
+        self._replicate_threshold = replicate_at
+        self._migrate_threshold = migrate_at

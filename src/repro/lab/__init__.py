@@ -7,10 +7,13 @@
   sweep driver over the persistent worker pool;
 * :mod:`repro.lab.reports` -- ``RESULTS.md`` generated purely from stored
   artifacts (plus the committed benchmark trajectory), checked against
-  drift in CI.
+  drift in CI;
+* :mod:`repro.lab.tournament` -- the pinned strategy-tournament set and
+  the leaderboard derived from stored tournament artifacts.
 
 The ``repro lab`` CLI (``run-missing`` / ``status`` / ``report`` / ``gc``)
-exposes both; see ``docs/LAB.md`` for the workflow.
+and ``repro tournament`` expose them; see ``docs/LAB.md`` for the
+workflow.
 """
 
 from repro.lab.registry import (
@@ -26,8 +29,14 @@ from repro.lab.registry import (
     run_missing,
     scenario_entry,
     suite_entries,
+    tournament_entry,
 )
 from repro.lab.reports import check_results, generate_results
+from repro.lab.tournament import (
+    TOURNAMENT_STRATEGIES,
+    leaderboard_rows,
+    tournament_spec,
+)
 
 __all__ = [
     "ENGINE_VERSION",
@@ -36,12 +45,16 @@ __all__ = [
     "LabRegistry",
     "RunKey",
     "RunMissingResult",
+    "TOURNAMENT_STRATEGIES",
     "canonical_hash",
     "canonical_json",
     "check_results",
     "experiment_entry",
     "generate_results",
+    "leaderboard_rows",
     "run_missing",
     "scenario_entry",
     "suite_entries",
+    "tournament_entry",
+    "tournament_spec",
 ]

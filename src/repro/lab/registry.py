@@ -61,6 +61,7 @@ __all__ = [
     "canonical_hash",
     "experiment_entry",
     "scenario_entry",
+    "tournament_entry",
     "suite_entries",
     "run_missing",
 ]
@@ -122,7 +123,7 @@ class LabEntry:
     """
 
     name: str
-    kind: str  # "scenario" | "experiment"
+    kind: str  # "scenario" | "tournament" | "experiment"
     seed: int
     document: Mapping = field(hash=False)
 
@@ -171,6 +172,24 @@ def scenario_entry(spec, seed: int) -> LabEntry:
     )
 
 
+def tournament_entry(spec, seed: int) -> LabEntry:
+    """Registry entry for one strategy-tournament scenario spec.
+
+    Tournament entries are scenario specs whose strategy tuple is the
+    pinned set of :data:`repro.lab.tournament.TOURNAMENT_STRATEGIES`
+    (build them with :func:`repro.lab.tournament.tournament_spec`); the
+    strategy set is part of the hashed document, so tournament and plain
+    scenario runs of the same family never collide.  The ``tournament/``
+    name prefix keeps the two apart in status tables and reports.
+    """
+    return LabEntry(
+        name=f"tournament/{spec.name}",
+        kind="tournament",
+        seed=int(seed),
+        document=spec.to_dict(),
+    )
+
+
 def experiment_entry(
     exp_id: str, seed: int, small: bool = False, large: bool = False
 ) -> LabEntry:
@@ -210,6 +229,18 @@ def _scenario_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
     ]
 
 
+def _tournament_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
+    from repro.lab.tournament import tournament_spec
+    from repro.sim.scenario import list_scenarios
+
+    return [
+        tournament_entry(
+            tournament_spec(name, seed=seed, small=small, large=large), seed
+        )
+        for name in list_scenarios()
+    ]
+
+
 def _experiment_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
     from repro.analysis.runner import EXPERIMENT_IDS, experiment_seeds
 
@@ -222,7 +253,11 @@ def _experiment_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
 
 
 def _full_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
-    return _scenario_suite(seed, small, large) + _experiment_suite(seed, small, large)
+    return (
+        _scenario_suite(seed, small, large)
+        + _tournament_suite(seed, small, large)
+        + _experiment_suite(seed, small, large)
+    )
 
 
 def _ci_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
@@ -234,6 +269,7 @@ def _ci_suite(seed: int, small: bool, large: bool) -> List[LabEntry]:
 LAB_SUITES: Dict[str, Callable[[int, bool, bool], List[LabEntry]]] = {
     "ci": _ci_suite,
     "scenarios": _scenario_suite,
+    "tournament": _tournament_suite,
     "experiments": _experiment_suite,
     "full": _full_suite,
 }
@@ -244,9 +280,11 @@ def suite_entries(
 ) -> List[LabEntry]:
     """The entries of a named suite.
 
-    ``scenarios`` is every registered scenario family, ``experiments`` is
-    every deterministic experiment runner (E1--E11 minus E6), ``full`` is
-    both, and ``ci`` is the *pinned* full suite at ``seed=0, small=True``
+    ``scenarios`` is every registered scenario family, ``tournament`` is
+    every family under the pinned tournament strategy set
+    (:mod:`repro.lab.tournament`), ``experiments`` is every deterministic
+    experiment runner (E1--E11 minus E6), ``full`` is all three, and
+    ``ci`` is the *pinned* full suite at ``seed=0, small=True``
     regardless of the knobs -- the committed registry is regenerated from
     it, so it must mean the same thing on every machine.
     """
@@ -467,7 +505,7 @@ class RunMissingResult:
 def _execute_entry(job_json: str, fleet: bool = False) -> List[Dict[str, object]]:
     """Run one entry and return its records (module-level: pickles to workers)."""
     entry = LabEntry.from_job_json(job_json)
-    if entry.kind == "scenario":
+    if entry.kind in ("scenario", "tournament"):
         from repro.sim.scenario import ScenarioSpec, run_scenario
 
         spec = ScenarioSpec.from_dict(entry.document)

@@ -14,6 +14,10 @@ Sections:
   run: congestion, served/dropped split, drop rate, cost breakdown.
 * **Competitive ratios** -- per scenario, each strategy's congestion
   relative to the hindsight-static baseline of the same run.
+* **Strategy tournament** -- the leaderboard of the pinned tournament
+  strategy set raced across every scenario family
+  (:mod:`repro.lab.tournament`): wins, entries and mean congestion ratio
+  per strategy, plus the per-group detail table.
 * **Experiments** -- a summary row per experiment artifact plus each
   experiment's record table (truncated with an explicit marker).
 * **Benchmark trajectory** -- the machine-independent speedup ratios
@@ -72,6 +76,11 @@ _BENCH_RATIOS = (
         "online incremental speedup (scalar event loop vs incremental)",
         "benchmarks/bench_online.py::test_replay_event_reference_small",
         "benchmarks/bench_online.py::test_replay_event_incremental_small",
+    ),
+    (
+        "adaptive fleet speedup (batched vs lane-by-lane)",
+        "benchmarks/bench_fleet.py::test_adaptive_lane_by_lane_small",
+        "benchmarks/bench_fleet.py::test_adaptive_fleet_small",
     ),
     (
         "kernel overhead (engine vs direct chunk path)",
@@ -175,6 +184,9 @@ def generate_results(
     scenario_payloads = [
         registry.get(e.key) for e in entries if e.kind == "scenario"
     ]
+    tournament_payloads = [
+        registry.get(e.key) for e in entries if e.kind == "tournament"
+    ]
     experiment_payloads = [
         registry.get(e.key) for e in entries if e.kind == "experiment"
     ]
@@ -187,6 +199,7 @@ def generate_results(
         (
             f"Generated from {len(entries)} registry artifacts "
             f"({len(scenario_payloads)} scenario runs, "
+            f"{len(tournament_payloads)} tournament runs, "
             f"{len(experiment_payloads)} experiments) at engine version "
             f"{ENGINE_VERSION}.  Every value below is read from a stored "
             f"artifact keyed by `(spec_hash, seed, engine_version)`; see "
@@ -209,6 +222,32 @@ def generate_results(
         )
     )
     parts.append("")
+
+    if tournament_payloads:
+        from repro.lab.tournament import leaderboard_rows
+
+        parts.append(
+            markdown_section(
+                "Strategy tournament leaderboard",
+                leaderboard_rows(tournament_payloads),
+            )
+        )
+        parts.append(
+            "\n*A strategy wins a (scenario, sweep label) group when no "
+            "competitor reached lower final congestion (ties share the "
+            "win); the ratio column is its mean congestion relative to "
+            "the hindsight-static baseline of the same group.  Rerun "
+            "with `repro tournament`.*"
+        )
+        parts.append("")
+        parts.append(
+            markdown_section(
+                "Tournament detail (per scenario and strategy)",
+                _ratio_rows(tournament_payloads),
+                level=3,
+            )
+        )
+        parts.append("")
 
     summary_rows = [
         {

@@ -311,10 +311,15 @@ class SimulationEngine:
 
         * strategies whose class implements the ``serve_chunk_fleet``
           group hook (see :func:`~repro.sim.protocol.fleet_groups`) share
-          the chunk aggregation, the batched LCA/distance pass and one
-          lane-broadcast edge scatter;
+          per-chunk work across their lanes: static lanes share the chunk
+          aggregation, batched LCA/distance pass and one lane-broadcast
+          edge scatter; adaptive counter lanes
+          (:class:`~repro.dynamic.online.EdgeCounterManager` and its
+          tournament subclasses) share the chunk decode, the per-object
+          position index and one bulk nearest-table build, each lane
+          replaying its own counter cascade exactly;
         * every other strategy is served through its own ``serve_chunk``
-          against its lane, so adaptive strategies remain exact;
+          against its lane, so custom strategies remain exact;
         * churn mutations are applied once, the stacked substrate is
           repaired once for all lanes, and the reference-id remapping of
           each span is resolved once.

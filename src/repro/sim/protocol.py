@@ -13,8 +13,10 @@ chunk for all of them in one batched pass (shared aggregation and
 edge-batch gathers, per-lane placement decisions).  It must produce
 bit-for-bit the loads and cost units of calling each member's
 ``serve_chunk`` separately; strategies without the hook are simply served
-one by one by the fleet engine, so adaptive strategies stay exact.
-:func:`fleet_groups` is the partitioning rule the engine uses.
+one by one by the fleet engine, so custom strategies stay exact without
+opting in.  Both the static managers and the adaptive counter family of
+:mod:`repro.dynamic.online` implement the hook.  :func:`fleet_groups` is
+the partitioning rule the engine uses.
 """
 
 from __future__ import annotations

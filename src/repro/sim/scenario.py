@@ -53,7 +53,11 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dynamic.online import EdgeCounterManager
+from repro.dynamic.online import (
+    EdgeCounterManager,
+    HysteresisCounterManager,
+    RentOrBuyManager,
+)
 from repro.dynamic.sequence import (
     READ,
     RequestEvent,
@@ -181,7 +185,9 @@ class ScenarioSpec:
         sequence length).
     strategies:
         Tuple of ``{"kind": "hindsight-static" | "edge-counter" |
-        "first-touch", "args": {...}}``.
+        "hysteresis" | "rent-or-buy" | "first-touch", "args": {...}}``
+        (an optional ``"label"`` names the run in records; it defaults
+        to the kind).
     sinks:
         Tuple of ``{"kind": "trajectory" | "cost-breakdown" | "drops",
         "args": {...}}``; one fresh sink set is built per strategy run.
@@ -512,6 +518,12 @@ def _build_strategies(
         elif kind == "edge-counter":
             def factory():
                 return EdgeCounterManager(net, sequence.n_objects, **args)
+        elif kind == "hysteresis":
+            def factory():
+                return HysteresisCounterManager(net, sequence.n_objects, **args)
+        elif kind == "rent-or-buy":
+            def factory():
+                return RentOrBuyManager(net, sequence.n_objects, **args)
         elif kind == "first-touch":
             def factory():
                 return first_touch_manager(

@@ -116,13 +116,40 @@ class TestEntries:
         # the same thing on every machine
         assert suite_entries("ci") == suite_entries("ci", seed=9, large=True)
 
-    def test_full_suite_is_scenarios_plus_experiments(self):
+    def test_full_suite_is_scenarios_tournament_experiments(self):
         full = suite_entries("full", seed=0, small=True)
         scenarios = suite_entries("scenarios", seed=0, small=True)
+        tournament = suite_entries("tournament", seed=0, small=True)
         experiments = suite_entries("experiments", seed=0, small=True)
-        assert full == scenarios + experiments
+        assert full == scenarios + tournament + experiments
         assert all(e.name != "E6" for e in experiments)
         assert all(e.kind == "scenario" for e in scenarios)
+        assert all(e.kind == "tournament" for e in tournament)
+
+    def test_tournament_entries_are_distinct_from_scenarios(self):
+        # the strategy set is part of the hashed document, so the
+        # tournament run of a family never collides with its plain run
+        scenarios = suite_entries("scenarios", seed=0, small=True)
+        tournament = suite_entries("tournament", seed=0, small=True)
+        assert len(tournament) == len(scenarios)
+        assert {e.spec_hash for e in tournament}.isdisjoint(
+            {e.spec_hash for e in scenarios}
+        )
+        assert all(e.name.startswith("tournament/") for e in tournament)
+
+    def test_tournament_spec_only_swaps_strategies(self):
+        from repro.lab.tournament import TOURNAMENT_STRATEGIES, tournament_spec
+        from repro.sim.scenario import scenario_spec
+
+        base = scenario_spec("zipf", seed=0, small=True)
+        spec = tournament_spec("zipf", seed=0, small=True)
+        assert spec.strategies == TOURNAMENT_STRATEGIES
+        assert (spec.name, spec.network, spec.workload, spec.churn) == (
+            base.name,
+            base.network,
+            base.workload,
+            base.churn,
+        )
 
     def test_experiment_seeds_are_sweep_independent(self):
         # the entry seed is the per-experiment seed, so the key of E4 does

@@ -13,8 +13,14 @@ counts, so the stacked lanes and the standalone load states must agree
 
 The strategy fleets mix the group-served static managers (hindsight
 reference plus baseline placements, batched through
-``serve_chunk_fleet``) with the adaptive edge-counter strategies (served
-lane-by-lane), so both fleet serving paths are covered.
+``serve_chunk_fleet``) with the adaptive counter family
+(:class:`EdgeCounterManager` and its hysteresis / rent-or-buy tournament
+subclasses), which batches through its *own* ``serve_chunk_fleet`` group
+hook -- shared chunk decode and nearest-table build, per-lane counter
+cascades.  Both group-served paths plus the lane-by-lane fallback are
+therefore covered, including first-touch objects appearing mid-chunk and
+threshold crossings landing exactly on chunk boundaries (the crafted
+boundary tests sweep every chunk alignment of an adaptation cascade).
 
 The seed matrix is extendable via ``REPRO_FLEET_SEEDS`` (comma-separated
 integers), mirroring the churn differential harness.
@@ -33,8 +39,13 @@ from repro.core.baselines import (
 )
 from repro.core.loadstate import LaneState
 from repro.dynamic.evaluate import first_touch_manager, hindsight_static_manager
-from repro.dynamic.online import EdgeCounterManager, StaticPlacementManager
-from repro.dynamic.sequence import sequence_from_pattern
+from repro.dynamic.online import (
+    EdgeCounterManager,
+    HysteresisCounterManager,
+    RentOrBuyManager,
+    StaticPlacementManager,
+)
+from repro.dynamic.sequence import RequestEvent, RequestSequence, sequence_from_pattern
 from repro.errors import AlgorithmError, SimulationError
 from repro.network.builders import balanced_tree
 from repro.sim.engine import SimulationEngine
@@ -78,6 +89,15 @@ def fleet_factories(net, pattern, seq, seed):
             net, random_placement(net, pattern, seed=seed)
         ),
         lambda: EdgeCounterManager(net, seq.n_objects),
+        lambda: EdgeCounterManager(
+            net, seq.n_objects, object_size=2, invalidation_patience=1
+        ),
+        lambda: HysteresisCounterManager(
+            net, seq.n_objects, object_size=2, migration_factor=3
+        ),
+        lambda: RentOrBuyManager(
+            net, seq.n_objects, replicate_threshold=5, migrate_threshold=2
+        ),
         lambda: first_touch_manager(net, seq),
     ]
 
@@ -228,6 +248,102 @@ def test_fleet_rejects_duplicate_instances():
     manager = hindsight_static_manager(net, seq)
     with pytest.raises(SimulationError):
         SimulationEngine.run_fleet([manager, manager], seq)
+
+
+def _adaptive_only_factories(net, n_objects):
+    """An all-adaptive fleet: three counter tunings plus both subclasses."""
+    return [
+        lambda: EdgeCounterManager(net, n_objects, object_size=2),
+        lambda: EdgeCounterManager(
+            net, n_objects, object_size=2, invalidation_patience=1
+        ),
+        lambda: EdgeCounterManager(
+            net, n_objects, object_size=4, invalidation_patience=3
+        ),
+        lambda: HysteresisCounterManager(
+            net, n_objects, object_size=2, migration_factor=2
+        ),
+        lambda: RentOrBuyManager(
+            net, n_objects, replicate_threshold=3, migrate_threshold=2
+        ),
+    ]
+
+
+def _crossing_sequence(net):
+    """A crafted sequence whose adaptation events sit at known indices.
+
+    With ``object_size=2`` the remote reader earns its replica on its
+    2nd read (index 2), the writer invalidates it (index 3 area) and a
+    lonely copy migrates after persistent remote writes -- plus a fresh
+    object first-touched deep into the stream (index 7), so sweeping
+    every chunk size places first touches and threshold crossings at
+    every possible chunk-relative offset, including exactly on chunk
+    boundaries.
+    """
+    p0, p1, p2 = net.processors[0], net.processors[-1], net.processors[1]
+    events = [
+        RequestEvent(p0, 0, "read"),   # first touch: p0 materialises obj 0
+        RequestEvent(p1, 0, "read"),   # credit 1
+        RequestEvent(p1, 0, "read"),   # credit 2 -> replicate (crossing)
+        RequestEvent(p0, 0, "write"),  # invalidation pressure on p1's copy
+        RequestEvent(p0, 0, "write"),  # patience 2 -> p1's replica dropped
+        RequestEvent(p2, 1, "write"),  # first touch mid-stream: obj 1 on p2
+        RequestEvent(p0, 1, "write"),  # remote-writer credit 1
+        RequestEvent(p0, 1, "write"),  # credit 2 -> migrate (crossing)
+        RequestEvent(p1, 0, "read"),   # re-earn credit after invalidation
+        RequestEvent(p1, 0, "read"),   # -> replicate again (thrash cycle)
+        RequestEvent(p0, 0, "write"),
+        RequestEvent(p2, 1, "read"),
+    ]
+    return RequestSequence(events, n_objects=2)
+
+
+@pytest.mark.parametrize("chunk_size", tuple(range(1, 14)))
+def test_adaptive_fleet_every_crossing_alignment(chunk_size):
+    """Adaptive group replay is exact for every chunk alignment.
+
+    Sweeping the chunk size over a crafted cascade puts each replicate /
+    invalidate / migrate crossing and the mid-stream first touch at every
+    chunk-relative position -- first event of a chunk, interior, and
+    exactly on the boundary.
+    """
+    net = balanced_tree(2, 2, 2)
+    seq = _crossing_sequence(net)
+    factories = _adaptive_only_factories(net, seq.n_objects)
+    sequential = [
+        SimulationEngine(factory(), chunk_size=chunk_size).run(seq)
+        for factory in factories
+    ]
+    fleet = SimulationEngine.run_fleet(
+        [factory() for factory in factories], seq, chunk_size=chunk_size
+    )
+    assert_results_equal(sequential, fleet)
+    for a, b in zip(sequential, fleet):
+        for obj in range(seq.n_objects):
+            assert a.strategy.holders(obj) == b.strategy.holders(obj)
+
+
+@pytest.mark.parametrize("seed", _seed_matrix())
+@pytest.mark.parametrize("churn", sorted(k for k in CHURN_GENERATORS if k))
+def test_adaptive_only_fleet_under_churn(seed, churn):
+    """The adaptive group hook alone, under all four churn kinds."""
+    net, pattern, seq = build_instance(seed)
+    trace = CHURN_GENERATORS[churn](net, seed + 13)
+    factories = _adaptive_only_factories(net, seq.n_objects)
+    sequential = [
+        SimulationEngine(factory(), sinks=make_sinks(seq)).run(seq, trace)
+        for factory in factories
+    ]
+    fleet = SimulationEngine.run_fleet(
+        [factory() for factory in factories],
+        seq,
+        trace,
+        sinks=[make_sinks(seq) for _ in factories],
+    )
+    assert_results_equal(sequential, fleet)
+    for a, b in zip(sequential, fleet):
+        for obj in range(seq.n_objects):
+            assert a.strategy.holders(obj) == b.strategy.holders(obj)
 
 
 def test_stacked_repair_is_idempotent_for_outcome_sequences():

@@ -19,7 +19,12 @@ from repro.core.loadstate import LoadState
 from repro.distributed.request_sim import _expand_messages, replay_requests
 from repro.dynamic.churn import replay_with_churn
 from repro.dynamic.evaluate import congestion_trajectory
-from repro.dynamic.online import EdgeCounterManager, StaticPlacementManager
+from repro.dynamic.online import (
+    EdgeCounterManager,
+    HysteresisCounterManager,
+    RentOrBuyManager,
+    StaticPlacementManager,
+)
 from repro.dynamic.sequence import RequestEvent, sequence_from_pattern
 from repro.network.builders import balanced_tree, star_of_buses
 from repro.network.mutation import apply_mutation
@@ -230,6 +235,36 @@ class TestRunParity:
             EdgeCounterManager(net, seq.n_objects), seq, chunk_size=chunk_size
         )
         _assert_accounts_equal(kernel, reference)
+
+    # the batched two-phase replay must stay exact for every tuning of
+    # the adaptive family, including the tournament subclasses: chunked
+    # kernel replay vs the scalar event loop, plus identical holder sets
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("chunk_size", [3, 64])
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda net, n: EdgeCounterManager(
+                net, n, object_size=2, invalidation_patience=1
+            ),
+            lambda net, n: HysteresisCounterManager(
+                net, n, object_size=2, migration_factor=2
+            ),
+            lambda net, n: RentOrBuyManager(
+                net, n, replicate_threshold=3, migrate_threshold=2
+            ),
+        ],
+        ids=["edge-counter-eager", "hysteresis", "rent-or-buy"],
+    )
+    def test_adaptive_variants(self, seed, chunk_size, make):
+        net, _pattern, seq, _placement = _instance(seed)
+        chunked = make(net, seq.n_objects)
+        kernel = chunked.run(seq, chunk_size=chunk_size)
+        scalar = make(net, seq.n_objects)
+        reference = _reference_run(scalar, seq, chunk_size=None)
+        _assert_accounts_equal(kernel, reference)
+        for obj in range(seq.n_objects):
+            assert chunked.holders(obj) == scalar.holders(obj)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,148 @@
+"""Chaos soak: the serving stack under a seeded fault schedule.
+
+Two things are measured, both with correctness asserted before the
+timing is trusted:
+
+* **chaos-soak** -- a full loadgen run against a journaling loopback
+  server while the standing chaos plan (connection drops, engine
+  crashes, torn journal writes, client read faults) fires.  The
+  recovered summary must equal a fault-free baseline and the sealed
+  journal must replay clean (ARCHITECTURE invariant 11); the measured
+  time is the *cost of recovery* -- reconnects, backoff, journal
+  replays -- on top of the clean run.
+* **fault-plane off overhead** -- with no plan installed, every
+  ``fault_point`` call must be a near-free dictionary-miss check.  The
+  serving fast path crosses a fault point per journal line, ack write
+  and socket read, so "off means off" is a performance contract, not
+  just a convenience (the end-to-end version of this gate is
+  ``bench_serve.py``'s 2x stream-overhead ceiling, which runs with the
+  plane off).
+
+The CI bench job records the soak into ``BENCH_history.json`` under the
+``pr10-chaos`` label.
+"""
+
+import os
+import tempfile
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, FaultRule
+from repro.serve import PlacementServer, ServerThread, replay_recording
+from repro.serve.loadgen import loadgen, workload_from_spec
+from repro.serve.recorder import load_recording
+from repro.sim.scenario import scenario_spec
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+_cache = {}
+
+
+def soak_plan(seed: int = 0) -> FaultPlan:
+    """The standing chaos mix (mirrors tests/faults/test_chaos_resume.py)."""
+    return FaultPlan(
+        seed=seed,
+        rules=(
+            FaultRule(site="server.ack-write", kind="drop", at=(3,)),
+            FaultRule(site="server.ack-write", kind="drop", prob=0.02),
+            FaultRule(site="recorder.write", kind="torn-write", at=(5,)),
+            FaultRule(site="server.engine", kind="crash", prob=0.02),
+            FaultRule(site="server.accept", kind="drop", prob=0.10),
+            FaultRule(site="loadgen.recv", kind="drop", prob=0.02),
+        ),
+    )
+
+
+def soak_workload():
+    if "workload" not in _cache:
+        spec = scenario_spec("storm", seed=0, small=True)
+        _cache["workload"] = (spec, *workload_from_spec(spec))
+    return _cache["workload"]
+
+
+def clean_summary():
+    if "clean" not in _cache:
+        spec, events, mutations = soak_workload()
+        server = PlacementServer(spec, max_sessions=1)
+        with ServerThread(server) as (host, port):
+            _cache["clean"] = loadgen(host, port, events, mutations, batch=8)[
+                "summary"
+            ]
+    return _cache["clean"]
+
+
+def run_soak(seed: int):
+    """One chaos run; returns (stats, sealed journal path, record dir)."""
+    spec, events, mutations = soak_workload()
+    record_dir = Path(tempfile.mkdtemp(prefix="chaos-soak-"))
+    faults.install(soak_plan(seed))
+    server = PlacementServer(spec, record_dir=record_dir, journal_sync=True)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        stats = loadgen(
+            host,
+            port,
+            events,
+            mutations,
+            batch=8,
+            timeout=10.0,
+            retries=100,
+            backoff_base=0.01,
+            backoff_max=0.1,
+            backoff_seed=seed,
+        )
+    finally:
+        faults.clear()
+        thread.stop()
+    sealed = None
+    for path in sorted(record_dir.glob("session-*.jsonl")):
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                if load_recording(path).complete:
+                    sealed = path
+        except SimulationError:
+            continue
+    return stats, sealed
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_soak_recovers_exactly_once(benchmark):
+    """The soak itself: recovery converges and stays exactly-once."""
+    baseline = clean_summary()
+    seeds = iter(range(1000))
+
+    def soak():
+        return run_soak(next(seeds))
+
+    stats, sealed = benchmark.pedantic(soak, rounds=2 if QUICK else 4, iterations=1)
+    assert stats["reconnects"] >= 1  # the at= rules guarantee chaos fired
+    assert stats["summary"] == baseline  # invariant 11
+    assert sealed is not None
+    replayed, served = replay_recording(sealed)
+    assert served == baseline and replayed == served  # invariant 10 on top
+    print(
+        f"\nchaos soak: {stats['summary']['n_events']} events recovered "
+        f"through {stats['reconnects']} reconnect(s) / "
+        f"{stats['resumed']} resume(s)"
+    )
+
+
+def test_fault_plane_off_is_nearly_free():
+    """With no plan, a fault point is a dict-miss: nanoseconds, not micros."""
+    faults.reset()
+    assert not faults.plan_active()
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        faults.fault_point("server.ack-write")
+    per_call = (time.perf_counter() - t0) / n
+    print(f"\nfault plane off: {per_call * 1e9:.0f}ns per fault_point call")
+    # generous CI-proof ceiling; the real number is tens of nanoseconds
+    assert per_call < 5e-6, f"fault_point off-path costs {per_call*1e6:.2f}us"

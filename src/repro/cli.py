@@ -377,6 +377,15 @@ def _resolve_spec(args: argparse.Namespace, stream):
     return None
 
 
+def _install_fault_plan(args: argparse.Namespace) -> None:
+    """Activate a seeded chaos plan for this process (and its pool workers)."""
+    plan_spec = getattr(args, "fault_plan", None)
+    if plan_spec:
+        from repro import faults
+
+        faults.install(faults.FaultPlan.from_spec(plan_spec))
+
+
 def _cmd_serve(args: argparse.Namespace, stream) -> int:
     import asyncio
 
@@ -385,6 +394,7 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
     spec = _resolve_spec(args, stream)
     if spec is None:
         return 2
+    _install_fault_plan(args)
     server = PlacementServer(
         spec,
         strategy=args.strategy,
@@ -393,6 +403,9 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
         queue_size=args.queue_size,
         record_dir=args.record_dir,
         max_sessions=args.sessions,
+        journal_sync=args.sync_journal,
+        watchdog=args.watchdog,
+        max_active=args.max_active,
     )
 
     def ready(bound) -> None:
@@ -416,6 +429,7 @@ def _cmd_loadgen(args: argparse.Namespace, stream) -> int:
     spec = _resolve_spec(args, stream)
     if spec is None:
         return 2
+    _install_fault_plan(args)
     events, mutations = workload_from_spec(spec)
     if args.no_churn:
         mutations = []
@@ -428,6 +442,8 @@ def _cmd_loadgen(args: argparse.Namespace, stream) -> int:
         batch=args.batch,
         repeat=args.repeat,
         connect_timeout=args.connect_timeout,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     latency = stats["latency_ms"]
     rows = [
@@ -436,6 +452,8 @@ def _cmd_loadgen(args: argparse.Namespace, stream) -> int:
         ["target rate (ev/s)", stats["target_rate"] or "max"],
         ["achieved (ev/s)", round(stats["events_per_sec"], 1)],
         ["wall seconds", round(stats["wall_seconds"], 3)],
+        ["reconnects", stats["reconnects"]],
+        ["resumed", stats["resumed"]],
         ["latency p50 (ms)", round(latency["p50"], 3)],
         ["latency p90 (ms)", round(latency["p90"], 3)],
         ["latency p99 (ms)", round(latency["p99"], 3)],
@@ -575,6 +593,21 @@ def _cmd_lab_report(args: argparse.Namespace, stream) -> int:
         print(f"wrote {args.output}", file=stream)
     else:
         print(text, file=stream)
+    return 0
+
+
+def _cmd_lab_heal(args: argparse.Namespace, stream) -> int:
+    from repro.lab.registry import LabRegistry
+
+    registry = LabRegistry(args.registry)
+    report = registry.heal()
+    for item in report["quarantined"]:
+        print(f"quarantined {item}", file=stream)
+    print(
+        f"rebuilt index from artifacts: {report['entries']} entries, "
+        f"{len(report['quarantined'])} quarantined",
+        file=stream,
+    )
     return 0
 
 
@@ -848,6 +881,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after this many completed sessions (CI smoke mode)",
     )
+    serve.add_argument(
+        "--sync-journal",
+        action="store_true",
+        help="fsync every recorded journal line before serving it "
+        "(write-ahead durability: acks only cover durable bytes)",
+    )
+    serve.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        help="engine-pass deadline in seconds (a stalled engine aborts "
+        "the session with a structured error instead of hanging)",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=_positive_int,
+        default=None,
+        help="shed connections beyond this many active sessions with a "
+        "structured retry-after error",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="seeded chaos plan (JSON file or inline JSON; "
+        "docs/ROBUSTNESS.md) -- also via REPRO_FAULT_PLAN",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     lg = sub.add_parser(
@@ -887,6 +946,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="seconds to keep retrying the initial connection",
+    )
+    lg.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-read socket timeout in seconds (a silent server raises "
+        "instead of hanging forever)",
+    )
+    lg.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="reconnect attempts after a lost connection (sessions resume "
+        "at the journal watermark when the server records)",
+    )
+    lg.add_argument(
+        "--fault-plan",
+        default=None,
+        help="seeded chaos plan (JSON file or inline JSON; "
+        "docs/ROBUSTNESS.md) -- also via REPRO_FAULT_PLAN",
     )
     lg.add_argument(
         "--report", default=None, help="write the stats document here (JSON)"
@@ -1000,6 +1079,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if --output differs from a regeneration",
     )
     lab_report.set_defaults(func=_cmd_lab_report)
+
+    lab_heal = lab_sub.add_parser(
+        "heal",
+        help=(
+            "quarantine a torn index.json (and any corrupt artifacts) and "
+            "rebuild the index byte-identically from artifact payloads"
+        ),
+    )
+    lab_heal.add_argument(
+        "--registry",
+        default="lab/registry",
+        help="registry root directory (default: lab/registry)",
+    )
+    lab_heal.set_defaults(func=_cmd_lab_heal)
 
     lab_gc = lab_sub.add_parser(
         "gc",

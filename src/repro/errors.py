@@ -24,6 +24,8 @@ __all__ = [
     "SimulationError",
     "SerializationError",
     "LabError",
+    "FaultError",
+    "InjectedFault",
 ]
 
 
@@ -113,4 +115,20 @@ class LabError(ReproError):
     required by a report is missing from the registry, and when a
     ``run-missing`` job fails (a failed run is never registered, so a
     resumed sweep retries it).
+    """
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is malformed or was installed inconsistently."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault fired at an instrumented fault point.
+
+    Raised by the hooks of :mod:`repro.faults` to *simulate* a crash or a
+    dropped connection.  It derives from :class:`ReproError` so generic
+    library error handling stays safe, but robustness layers (the serving
+    stack, the chaos tests) catch it explicitly to exercise their
+    crash-recovery paths.  The message always carries the plan seed, the
+    fault site and the hit index, so any chaos failure is replayable.
     """

@@ -1,0 +1,391 @@
+"""Deterministic fault injection for the serving and sweep stacks.
+
+The robustness story of the repo (crash-safe sessions, durable
+registries, reconnecting clients) is only trustworthy if the failure
+paths are *exercised*, and only debuggable if a failing chaos run can be
+replayed exactly.  This module is the seeded fault plane both needs:
+
+* a :class:`FaultPlan` is a plain-data schedule of faults -- which
+  instrumented *site* fires, what *kind* of fault, and at which hit
+  counts -- hashed entirely from the plan seed, so two runs with the same
+  plan inject byte-identical fault schedules;
+* :func:`fault_point` is the hook the instrumented layers call
+  (``serve/server.py``, ``serve/recorder.py``, ``serve/loadgen.py``,
+  ``parallel.py``, ``lab/registry.py``).  With no plan installed it is a
+  single global-load-and-return -- zero allocation, zero branching depth,
+  no overhead worth measuring (``benchmarks/bench_serve.py`` keeps the
+  streamed-vs-offline gate that pins this);
+* every fired fault is logged through the ``repro.faults`` logger with
+  its seed, site, kind and hit index, so any chaos failure names the
+  exact plan that reproduces it.
+
+Activation: :func:`install` programmatically, ``--fault-plan`` on the
+``serve``/``loadgen`` CLI, or the ``REPRO_FAULT_PLAN`` environment
+variable (a path to a plan JSON file, or the JSON text itself).  The
+environment route matters for worker processes: the persistent pools of
+:mod:`repro.parallel` spawn workers that inherit the environment, so a
+worker-kill plan reaches them without any plumbing.
+
+Fault kinds (interpreted by the hook sites):
+
+``drop``
+    Sever the connection (hooks raise :class:`ConnectionResetError`).
+``crash``
+    Simulate abrupt process death at the site (hooks raise
+    :class:`~repro.errors.InjectedFault`; the serving stack treats it as
+    a crash: no graceful footer, no error reply, the journal is left
+    exactly as a killed process would leave it).
+``stall``
+    The engine task sleeps ``seconds`` before serving (what the server
+    watchdog deadline exists to catch).
+``slow-write``
+    A socket write is split and delayed by ``seconds`` (partial-write /
+    slow-peer simulation).
+``disk-error``
+    A durable write fails (hooks raise :class:`OSError`).
+``torn-write``
+    A durable write persists only a prefix of its payload and then
+    crashes (hooks write the prefix, then raise
+    :class:`~repro.errors.InjectedFault`) -- the torn ``index.json`` /
+    truncated recording line scenario.
+``kill``
+    The worker process dies hard (``os.kill(os.getpid(), SIGKILL)``)
+    -- the :class:`~repro.parallel.BrokenProcessPool` scenario.
+
+Rules select hits deterministically: ``at`` fires at the listed 1-based
+hit counts of the site, ``every`` fires every k-th hit, and ``prob``
+fires when a hash of ``(plan seed, site, hit)`` falls under the
+probability -- no RNG state, so concurrency and call interleavings across
+sites never change which hits fire.  ``once`` (a sentinel file path)
+limits a rule to a single firing *across processes*: the first process
+to claim the sentinel fires, everyone else skips -- the worker-kill
+scenario needs exactly this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import FaultError, InjectedFault
+
+__all__ = [
+    "FAULT_PLAN_FORMAT",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "install",
+    "clear",
+    "reset",
+    "plan_active",
+    "active_plan",
+    "fault_point",
+    "raise_fault",
+]
+
+FAULT_PLAN_FORMAT = "repro.fault-plan/v1"
+
+FAULT_KINDS = (
+    "drop",
+    "crash",
+    "stall",
+    "slow-write",
+    "disk-error",
+    "torn-write",
+    "kill",
+)
+
+logger = logging.getLogger("repro.faults")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fired fault: what the hook site must now simulate."""
+
+    site: str
+    kind: str
+    hit: int
+    seed: int
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        """The replay-complete identity of this firing."""
+        return (
+            f"seed={self.seed} site={self.site} kind={self.kind} "
+            f"hit={self.hit}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One schedule rule: when a site fires and what kind of fault.
+
+    Exactly one trigger may be set: ``at`` (explicit 1-based hit counts),
+    ``every`` (every k-th hit) or ``prob`` (seeded per-hit coin).  With no
+    trigger the rule fires on *every* hit.  ``once`` points at a sentinel
+    file: the rule only fires while the sentinel does not exist, and
+    firing creates it -- a cross-process "exactly one kill" latch.
+    """
+
+    site: str
+    kind: str
+    at: Tuple[int, ...] = ()
+    every: int = 0
+    prob: float = 0.0
+    seconds: float = 0.0
+    once: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r} (have: {FAULT_KINDS})"
+            )
+        triggers = sum((bool(self.at), self.every > 0, self.prob > 0))
+        if triggers > 1:
+            raise FaultError(
+                f"rule for {self.site!r} sets more than one of at/every/prob"
+            )
+        if self.prob < 0 or self.prob > 1:
+            raise FaultError(f"prob must be in [0, 1], got {self.prob}")
+
+    def matches(self, hit: int, seed: int) -> bool:
+        """Does this rule fire at the given 1-based hit count?"""
+        if self.at:
+            return hit in self.at
+        if self.every:
+            return hit % self.every == 0
+        if self.prob:
+            return _hash_unit(seed, self.site, hit) < self.prob
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        document: Dict[str, object] = {"site": self.site, "kind": self.kind}
+        if self.at:
+            document["at"] = list(self.at)
+        if self.every:
+            document["every"] = self.every
+        if self.prob:
+            document["prob"] = self.prob
+        if self.seconds:
+            document["seconds"] = self.seconds
+        if self.once is not None:
+            document["once"] = self.once
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "FaultRule":
+        try:
+            return cls(
+                site=str(document["site"]),
+                kind=str(document["kind"]),
+                at=tuple(int(x) for x in document.get("at", ())),
+                every=int(document.get("every", 0)),
+                prob=float(document.get("prob", 0.0)),
+                seconds=float(document.get("seconds", 0.0)),
+                once=document.get("once"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault rule {document!r}") from exc
+
+
+def _hash_unit(seed: int, site: str, hit: int) -> float:
+    """Deterministic uniform [0, 1) draw for ``(seed, site, hit)``.
+
+    A keyed hash instead of RNG state: which hits fire never depends on
+    call order across sites or on how many other sites fired first.
+    """
+    digest = hashlib.sha256(f"{seed}:{site}:{hit}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable schedule of faults."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": FAULT_PLAN_FORMAT,
+            "seed": self.seed,
+            "faults": [rule.to_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "FaultPlan":
+        fmt = document.get("format", FAULT_PLAN_FORMAT)
+        if fmt != FAULT_PLAN_FORMAT:
+            raise FaultError(f"unknown fault-plan format {fmt!r}")
+        rules = document.get("faults", document.get("rules", ()))
+        if not isinstance(rules, Sequence) or isinstance(rules, (str, bytes)):
+            raise FaultError("fault plan 'faults' must be a list of rules")
+        return cls(
+            seed=int(document.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a plan from a JSON file path or inline JSON text."""
+        text = spec.strip()
+        if not text.startswith("{"):
+            path = Path(text)
+            if not path.exists():
+                raise FaultError(f"fault plan file {spec!r} does not exist")
+            text = path.read_text(encoding="utf-8")
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise FaultError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(document, Mapping):
+            raise FaultError("fault plan must be a JSON object")
+        return cls.from_dict(document)
+
+
+class FaultInjector:
+    """Per-process firing engine of one :class:`FaultPlan`.
+
+    Keeps one monotonically increasing hit counter per site; rule
+    matching is a pure function of ``(plan, site, hit)`` plus the
+    cross-process ``once`` sentinels, so a run under a plan is exactly
+    replayable.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.hits: Dict[str, int] = {}
+        self.fired: List[Fault] = []
+        self._by_site: Dict[str, List[FaultRule]] = {}
+        for rule in plan.rules:
+            self._by_site.setdefault(rule.site, []).append(rule)
+
+    def check(self, site: str) -> Optional[Fault]:
+        """Count one hit at ``site``; return the fault to inject, if any."""
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        for rule in self._by_site.get(site, ()):
+            if not rule.matches(hit, self.plan.seed):
+                continue
+            if rule.once is not None and not _claim_sentinel(rule.once):
+                continue
+            fault = Fault(
+                site=site,
+                kind=rule.kind,
+                hit=hit,
+                seed=self.plan.seed,
+                seconds=rule.seconds,
+            )
+            self.fired.append(fault)
+            logger.warning("injected fault %s", fault.describe())
+            return fault
+        return None
+
+
+def _claim_sentinel(path: str) -> bool:
+    """Atomically claim a once-sentinel; True iff this call won the claim."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False  # unreachable sentinel dir: never fire, never wedge
+    os.write(fd, b"fired\n")
+    os.close(fd)
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# the process-global injector
+# --------------------------------------------------------------------------- #
+_UNSET = object()
+_INJECTOR: object = _UNSET  # _UNSET -> consult env once; None -> off
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Install a plan process-wide; returns the live injector."""
+    global _INJECTOR
+    injector = FaultInjector(plan)
+    _INJECTOR = injector
+    logger.warning(
+        "fault plan installed: seed=%d rules=%d", plan.seed, len(plan.rules)
+    )
+    return injector
+
+
+def clear() -> None:
+    """Deactivate fault injection (the environment is NOT re-read)."""
+    global _INJECTOR
+    _INJECTOR = None
+
+
+def reset() -> None:
+    """Forget everything; the next hook call re-reads ``REPRO_FAULT_PLAN``."""
+    global _INJECTOR
+    _INJECTOR = _UNSET
+
+
+def _resolve() -> Optional[FaultInjector]:
+    global _INJECTOR
+    if _INJECTOR is _UNSET:
+        spec = os.environ.get("REPRO_FAULT_PLAN")
+        if spec:
+            install(FaultPlan.from_spec(spec))
+        else:
+            _INJECTOR = None
+    return _INJECTOR  # type: ignore[return-value]
+
+
+def plan_active() -> bool:
+    """True iff a fault plan is installed (env consulted lazily)."""
+    return _resolve() is not None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, if any."""
+    injector = _resolve()
+    return None if injector is None else injector.plan
+
+
+def fault_point(site: str) -> Optional[Fault]:
+    """The hook: count a hit at ``site``, return the fault to inject.
+
+    The off path is the contract: with no plan installed this is one
+    global load and a ``return None`` -- instrumented hot paths stay
+    unmeasurably close to uninstrumented ones.
+    """
+    injector = _INJECTOR
+    if injector is None:
+        return None
+    if injector is _UNSET:
+        injector = _resolve()
+        if injector is None:
+            return None
+    return injector.check(site)  # type: ignore[union-attr]
+
+
+def raise_fault(fault: Fault) -> None:
+    """Raise the exception a fired fault maps to (for raise-only kinds).
+
+    ``drop`` -> :class:`ConnectionResetError`, ``disk-error`` ->
+    :class:`OSError`, ``crash``/``torn-write`` ->
+    :class:`~repro.errors.InjectedFault`.  Kinds carrying behaviour the
+    site must perform itself (``stall``, ``slow-write``, ``kill``,
+    the prefix write of ``torn-write``) are the caller's job.
+    """
+    message = f"injected fault: {fault.describe()}"
+    if fault.kind == "drop":
+        raise ConnectionResetError(message)
+    if fault.kind == "disk-error":
+        raise OSError(message)
+    raise InjectedFault(message)

@@ -41,12 +41,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro import faults
 from repro.errors import LabError
 from repro.version import __version__ as ENGINE_VERSION
+
+logger = logging.getLogger("repro.lab")
 
 __all__ = [
     "ENGINE_VERSION",
@@ -304,6 +309,39 @@ def _json_default(value):
     return runner_default(value)
 
 
+def _durable_write(path: Path, text: str) -> None:
+    """Atomic temp-fsync-rename write: readers see old or new, never torn.
+
+    The payload is written to a sibling temp file, fsynced, and renamed
+    over the target (``os.replace`` is atomic on POSIX and Windows); the
+    directory entry is fsynced best-effort so the rename itself is
+    durable.  The ``registry.write`` fault point simulates the failure
+    modes this exists to rule out: ``torn-write`` leaves a half-written
+    *target* (the legacy in-place write a crash could tear --
+    :meth:`LabRegistry.heal` recovers it), ``disk-error`` raises
+    :class:`OSError` before anything is touched.
+    """
+    fault = faults.fault_point("registry.write")
+    if fault is not None:
+        if fault.kind == "torn-write":
+            path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+        faults.raise_fault(fault)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass  # platforms without directory fsync: rename is still atomic
+
+
 class LabRegistry:
     """A content-addressed run registry rooted at one directory.
 
@@ -327,13 +365,30 @@ class LabRegistry:
         return self.root / "index.json"
 
     def load_index(self) -> Dict[str, Dict[str, object]]:
-        """The key -> entry-record map (empty for a fresh registry)."""
+        """The key -> entry-record map (empty for a fresh registry).
+
+        An *unparseable* index is a torn write (a crash mid-rewrite under
+        the legacy in-place writer, or disk corruption): it is
+        quarantined and rebuilt from the artifact payloads via
+        :meth:`heal` -- artifacts are the source of truth, the index is a
+        cache.  An index with an *unknown format* string still raises: it
+        parses fine, so it is a version mismatch, not corruption, and
+        healing would silently destroy a future-format registry.
+        """
         if not self.index_path.exists():
             return {}
         try:
             document = json.loads(self.index_path.read_text())
-        except json.JSONDecodeError as exc:
-            raise LabError(f"corrupt registry index {self.index_path}: {exc}") from exc
+        except json.JSONDecodeError:
+            logger.warning(
+                "registry index %s is torn/corrupt; quarantining and "
+                "rebuilding from artifacts",
+                self.index_path,
+            )
+            self.heal()
+            if not self.index_path.exists():
+                return {}
+            document = json.loads(self.index_path.read_text())
         if document.get("format") != INDEX_FORMAT:
             raise LabError(
                 f"unknown registry index format {document.get('format')!r} "
@@ -347,7 +402,62 @@ class LabRegistry:
             "format": INDEX_FORMAT,
             "entries": {key: entries[key] for key in sorted(entries)},
         }
-        self.index_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        _durable_write(
+            self.index_path, json.dumps(document, indent=2, sort_keys=True)
+        )
+
+    def heal(self) -> Dict[str, object]:
+        """Rebuild ``index.json`` from artifact payloads; quarantine rot.
+
+        Artifacts carry every field the index derives (name, kind, seed,
+        spec hash, engine version, record count), so a lost or torn index
+        is rebuilt *byte-identically* to the one an uninterrupted sweep
+        would have written.  An unparseable index or artifact is moved
+        aside to ``<name>.corrupt`` (never deleted -- forensics over
+        convenience); a quarantined artifact's runs simply count as
+        missing, which ``run-missing`` heals by re-executing them.
+        Returns a report: quarantined paths and the rebuilt entry count.
+        """
+        quarantined: List[str] = []
+        if self.index_path.exists():
+            parseable = True
+            try:
+                json.loads(self.index_path.read_text())
+            except json.JSONDecodeError:
+                parseable = False
+            if not parseable:
+                target = self.index_path.with_name(self.index_path.name + ".corrupt")
+                os.replace(self.index_path, target)
+                quarantined.append(target.relative_to(self.root).as_posix())
+        entries: Dict[str, Dict[str, object]] = {}
+        for path in sorted((self.root / "artifacts").glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("format") != ARTIFACT_FORMAT:
+                    raise ValueError(f"format {payload.get('format')!r}")
+                key = (
+                    f"{payload['spec_hash']}:{payload['seed']}:"
+                    f"{payload['engine_version']}"
+                )
+                record = {
+                    "name": payload["name"],
+                    "kind": payload["kind"],
+                    "seed": payload["seed"],
+                    "spec_hash": payload["spec_hash"],
+                    "engine_version": payload["engine_version"],
+                    "artifact": path.relative_to(self.root).as_posix(),
+                    "n_records": payload["n_records"],
+                }
+            except (ValueError, KeyError) as exc:
+                logger.warning("quarantining corrupt artifact %s: %s", path, exc)
+                target = path.with_name(path.name + ".corrupt")
+                os.replace(path, target)
+                quarantined.append(target.relative_to(self.root).as_posix())
+                continue
+            entries[key] = record
+        if entries or quarantined or self.index_path.exists() or self.root.exists():
+            self._write_index(entries)
+        return {"entries": len(entries), "quarantined": quarantined}
 
     # -- artifacts --------------------------------------------------------- #
     def artifact_path(self, key: RunKey) -> Path:
@@ -376,10 +486,11 @@ class LabRegistry:
     def record(self, entry: LabEntry, records: Sequence[Mapping]) -> Path:
         """Register one completed run: write its artifact, update the index.
 
-        The artifact is written before the index entry, so a crash between
-        the two leaves either a complete (artifact, index) pair or a
+        Both writes are atomic temp-fsync-rename (:func:`_durable_write`),
+        and the artifact is written before the index entry, so a crash at
+        any point leaves either a complete (artifact, index) pair or a
         harmless orphan artifact that the next ``record`` overwrites with
-        identical bytes.
+        identical bytes -- never a torn file.
 
         ``backend`` names the kernel backend that executed the run.  It is
         the one declared provenance field: the run *key* and the
@@ -405,8 +516,9 @@ class LabRegistry:
         }
         path = self.artifact_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True, default=_json_default)
+        _durable_write(
+            path,
+            json.dumps(payload, indent=2, sort_keys=True, default=_json_default),
         )
         entries = self.load_index()
         entries[key.as_string()] = {

@@ -33,9 +33,13 @@ early when that matters.
 from __future__ import annotations
 
 import atexit
+import os
+import signal
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict
+
+from repro import faults
 
 __all__ = [
     "persistent_pool",
@@ -46,6 +50,31 @@ __all__ = [
 ]
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _call_with_faults(fn, *args):
+    """Worker-side shim: hit the ``parallel.worker`` fault point, then run.
+
+    Only submitted when a fault plan is active in the parent (the
+    non-chaos path keeps submitting ``fn`` directly -- zero overhead).
+    Workers inherit ``REPRO_FAULT_PLAN`` through the environment, so the
+    plan resolves lazily in each worker; a ``kill`` fault dies hard with
+    SIGKILL -- the genuine :class:`BrokenProcessPool` scenario, not an
+    exception the executor could catch.  Cross-process ``once`` sentinels
+    keep a kill rule from taking out every worker.
+    """
+    fault = faults.fault_point("parallel.worker")
+    if fault is not None:
+        if fault.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        faults.raise_fault(fault)
+    return fn(*args)
+
+
+def _submit(pool: ProcessPoolExecutor, fn, args):
+    if faults.plan_active():
+        return pool.submit(_call_with_faults, fn, *args)
+    return pool.submit(fn, *args)
 
 
 def persistent_pool(max_workers: int) -> ProcessPoolExecutor:
@@ -98,7 +127,7 @@ def run_jobs(max_workers: int, fn, jobs):
 
 def _collect_jobs(pool: ProcessPoolExecutor, fn, jobs):
     """Submit all jobs and collect results in submission order."""
-    futures = [pool.submit(fn, *args) for args in jobs]
+    futures = [_submit(pool, fn, args) for args in jobs]
     try:
         return [future.result() for future in futures]
     finally:
@@ -126,7 +155,7 @@ def iter_jobs(max_workers: int, fn, jobs):
         try:
             pool = persistent_pool(max_workers)
             for index, args in pending.items():
-                futures[pool.submit(fn, *args)] = index
+                futures[_submit(pool, fn, args)] = index
             for future in as_completed(futures):
                 index = futures[future]
                 result = future.result()

@@ -19,19 +19,40 @@ This package wraps the simulation kernel in a long-lived serving loop:
   ``repro serve`` (bounded queues, explicit backpressure);
 * :mod:`repro.serve.loadgen` -- the load-generator client behind
   ``repro loadgen`` (target events/sec, achieved throughput and latency
-  percentiles).
+  percentiles, per-read timeouts and reconnect-with-resume).
+
+Recordings double as write-ahead journals: items are journaled before
+they are served, sessions carry resumable tokens, and a crashed session
+is rebuilt by replaying its healed journal through the engine stream --
+bit-for-bit equal to an uninterrupted run (ARCHITECTURE invariant 11,
+*recovered equals uninterrupted*; :mod:`repro.faults` is the seeded
+chaos plane that proves it).
 """
 
-from repro.serve.batcher import ServeSession, build_session, result_record
-from repro.serve.recorder import StreamRecorder, load_recording, replay_recording
+from repro.serve.batcher import (
+    ServeSession,
+    build_session,
+    result_record,
+    resume_session,
+)
+from repro.serve.recorder import (
+    JournalHeal,
+    StreamRecorder,
+    heal_journal,
+    load_recording,
+    replay_recording,
+)
 from repro.serve.server import PlacementServer, ServerThread
 from repro.serve.wire import mutation_from_dict, mutation_to_dict
 
 __all__ = [
     "ServeSession",
     "build_session",
+    "resume_session",
     "result_record",
     "StreamRecorder",
+    "JournalHeal",
+    "heal_journal",
     "load_recording",
     "replay_recording",
     "PlacementServer",

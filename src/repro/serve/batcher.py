@@ -29,7 +29,13 @@ from repro.serve.wire import decode_events, mutation_from_dict
 from repro.sim.engine import EngineStream, SimulationResult
 from repro.sim.sinks import CostBreakdownSink, MetricsSink, TrajectorySink
 
-__all__ = ["ServeSession", "MicroBatcher", "build_session", "result_record"]
+__all__ = [
+    "ServeSession",
+    "MicroBatcher",
+    "build_session",
+    "resume_session",
+    "result_record",
+]
 
 
 def result_record(result: SimulationResult) -> Dict[str, object]:
@@ -160,6 +166,16 @@ class ServeSession:
         if self.recorder is not None:
             self.recorder.abort(reason)
 
+    def crash(self) -> None:
+        """Simulate abrupt death: the journal keeps no footer at all.
+
+        Used by the fault plane so an injected crash leaves exactly the
+        on-disk state a killed process would -- the state
+        :func:`resume_session` must recover from.
+        """
+        if self.recorder is not None:
+            self.recorder.crash()
+
 
 class MicroBatcher:
     """Coalesce decoded messages into engine micro-batches.
@@ -287,3 +303,52 @@ def build_session(
             n_objects=built.sequence.n_objects,
         )
     return session
+
+
+def resume_session(path, sync: bool = False):
+    """Rebuild a crashed session from its journal; continue appending to it.
+
+    Heals the journal back to its last durable item (truncating a torn
+    trailing line, dropping a graceful ``aborted`` footer), rebuilds the
+    session exactly as the server originally built it, and replays the
+    journal's events and mutations in recorded order through the live
+    :class:`~repro.sim.engine.EngineStream`.  Because the stream re-cuts
+    every batch at the offline span grid (invariant 10), the rebuilt
+    session is in the *identical* state the crashed one was at the
+    watermark -- which is what makes "recovered equals uninterrupted"
+    (invariant 11) an exact statement rather than a best effort.
+
+    Returns ``(session, position, n_mutations)``: the live session with
+    an append-mode recorder attached, the number of replayed request
+    events (the acked-event watermark) and the number of replayed
+    mutations -- the two cursors a reconnecting client rewinds to.
+    """
+    from repro.serve.recorder import StreamRecorder, heal_journal, load_recording
+    from repro.sim.scenario import ScenarioSpec
+
+    heal = heal_journal(path)
+    if heal.sealed:
+        raise SimulationError(
+            f"journal {path} is sealed (the stream completed); nothing to resume"
+        )
+    recording = load_recording(path)
+    spec = ScenarioSpec.from_dict(recording.header["spec"])
+    session = build_session(
+        spec,
+        strategy=recording.header["strategy"],
+        chunk_size=recording.header.get("chunk_size"),
+        recorder=None,
+    )
+    # Replay events and mutations in their recorded interleaving: a
+    # mutation at time t saw exactly t request events before it.
+    events = recording.events
+    position = 0
+    for time, op in recording.mutations:
+        if time > position:
+            session.feed(events[position:time])
+            position = time
+        session.mutate(op)
+    if position < len(events):
+        session.feed(events[position:])
+    session.recorder = StreamRecorder(path, sync=sync, append=True)
+    return session, len(events), len(recording.mutations)

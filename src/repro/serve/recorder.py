@@ -1,4 +1,4 @@
-"""Stream recordings: every served stream can be re-run offline.
+"""Stream recordings: the durable journal of every served stream.
 
 A recording is a JSON-lines file (``repro.stream-recording/v1``):
 
@@ -13,6 +13,17 @@ A recording is a JSON-lines file (``repro.stream-recording/v1``):
 * the footer: ``{"summary": {...}}`` with the canonical result record of
   the served stream (or ``{"aborted": reason}`` for a stream that died).
 
+**Write-ahead journal.**  The recorder writes every item *before* the
+engine serves it and (in ``sync`` mode) fsyncs each line, so the
+position a client saw acked is always covered by durable journal bytes
+-- the acked-event watermark.  A crash mid-write leaves at worst one
+*torn trailing line*; :func:`heal_journal` truncates it (and any
+``aborted`` footer) back to the last durable item, and
+:func:`load_recording` skips a torn tail with a warning instead of
+refusing the whole file.  Crash-safe sessions rebuild from exactly this
+healed prefix (ARCHITECTURE invariant 11: recovered equals
+uninterrupted).
+
 :func:`replay_recording` is the offline half of ARCHITECTURE invariant
 10: it rebuilds the session from the header, replays the recorded
 sequence and churn trace through the *offline*
@@ -24,9 +35,13 @@ two are bit-for-bit equal.
 from __future__ import annotations
 
 import json
+import os
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.dynamic.sequence import RequestEvent, RequestSequence
 from repro.errors import SimulationError
 from repro.network.mutation import ChurnTrace
@@ -35,6 +50,8 @@ from repro.serve.wire import decode_events, encode_events, mutation_from_dict
 __all__ = [
     "RECORDING_FORMAT",
     "StreamRecorder",
+    "JournalHeal",
+    "heal_journal",
     "load_recording",
     "replay_recording",
 ]
@@ -43,24 +60,73 @@ RECORDING_FORMAT = "repro.stream-recording/v1"
 
 
 class StreamRecorder:
-    """Append-only JSONL writer for one served stream.
+    """Append-only JSONL journal for one served stream.
 
-    Items are flushed per line, so a crashed server leaves a readable
-    partial recording (without a footer -- :func:`load_recording` reports
-    it as incomplete).
+    The file is created lazily on the first write, so a session that is
+    abandoned before recording anything (e.g. a connection that turns out
+    to be a *resume* of an older session) leaves no file behind.
+
+    Parameters
+    ----------
+    sync:
+        When True, every line is fsynced to disk before the write
+        returns -- the write-ahead-journal mode of crash-safe serving
+        (acks only cover events whose journal bytes are durable).
+    append:
+        Open an *existing* journal for continuation (session resume).
+        The header is already on disk, so :meth:`write_header` refuses.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, sync: bool = False, append: bool = False) -> None:
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "w", encoding="utf-8")
+        self.sync = bool(sync)
+        self._append = bool(append)
+        if append and not self.path.exists():
+            raise SimulationError(
+                f"cannot append to missing journal {self.path}"
+            )
+        self._fh = None
         self._closed = False
+        self._pending_header: Optional[Dict] = None
+
+    @property
+    def opened(self) -> bool:
+        """True once the journal file has been created/opened."""
+        return self._fh is not None
+
+    def _handle(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(
+                self.path, "a" if self._append else "w", encoding="utf-8"
+            )
+        return self._fh
+
+    def _emit(self, document: Dict) -> None:
+        line = json.dumps(document, separators=(",", ":")) + "\n"
+        fh = self._handle()
+        fault = faults.fault_point("recorder.write")
+        if fault is not None and fault.kind == "torn-write":
+            # persist only a prefix, then die: the torn-trailing-line
+            # scenario heal_journal exists for
+            fh.write(line[: max(1, len(line) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            faults.raise_fault(fault)
+        if fault is not None:
+            faults.raise_fault(fault)
+        fh.write(line)
+        fh.flush()
+        if self.sync:
+            os.fsync(fh.fileno())
 
     def _write(self, document: Dict) -> None:
         if self._closed:
             raise SimulationError(f"recording {self.path} is already closed")
-        self._fh.write(json.dumps(document, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        if self._pending_header is not None:
+            header, self._pending_header = self._pending_header, None
+            self._emit(header)
+        self._emit(document)
 
     def write_header(
         self,
@@ -69,16 +135,24 @@ class StreamRecorder:
         chunk_size: Optional[int],
         n_objects: int,
     ) -> None:
-        """The first line: everything needed to rebuild the session."""
-        self._write(
-            {
-                "format": RECORDING_FORMAT,
-                "spec": spec,
-                "strategy": strategy,
-                "chunk_size": chunk_size,
-                "n_objects": int(n_objects),
-            }
-        )
+        """Stage the header line: everything needed to rebuild the session.
+
+        The header is *deferred*: it hits the disk immediately before the
+        first recorded item (or footer), so a session that never records
+        anything -- e.g. a connection that turns out to be a resume of an
+        older session -- leaves no file at all.
+        """
+        if self._append:
+            raise SimulationError(
+                f"journal {self.path} opened for append already has a header"
+            )
+        self._pending_header = {
+            "format": RECORDING_FORMAT,
+            "spec": spec,
+            "strategy": strategy,
+            "chunk_size": chunk_size,
+            "n_objects": int(n_objects),
+        }
 
     def record_events(self, events: Sequence[RequestEvent]) -> None:
         """One served micro-batch, in arrival order."""
@@ -92,14 +166,121 @@ class StreamRecorder:
         """The footer of a completed stream."""
         self._write({"summary": summary})
         self._closed = True
-        self._fh.close()
+        if self._fh is not None:
+            self._fh.close()
 
     def abort(self, reason: str) -> None:
         """The footer of a stream that died mid-flight."""
         if not self._closed:
             self._write({"aborted": str(reason)})
             self._closed = True
-            self._fh.close()
+            if self._fh is not None:
+                self._fh.close()
+
+    def crash(self) -> None:
+        """Simulate abrupt death: drop the handle, write no footer.
+
+        The fault plane uses this so an injected crash leaves the journal
+        exactly as a killed process would -- possibly mid-line -- which is
+        what the resume path must recover from.
+        """
+        self._closed = True
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+
+# --------------------------------------------------------------------------- #
+# journal healing
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class JournalHeal:
+    """What :func:`heal_journal` found (and repaired) in one journal."""
+
+    n_events: int
+    n_mutations: int
+    truncated_torn_line: bool
+    dropped_aborted_footer: bool
+    sealed: bool  # a summary footer is present: the stream completed
+
+    @property
+    def repaired(self) -> bool:
+        return self.truncated_torn_line or self.dropped_aborted_footer
+
+
+def _parse_lines(text: str) -> Tuple[List[Dict], Optional[str]]:
+    """Split journal text into parsed item lines plus an optional torn tail.
+
+    A line is *torn* when it is the final line and either fails to parse
+    or is not newline-terminated (the write may have been cut after the
+    payload but before the terminator).  A malformed line anywhere else
+    is corruption, not a crash artefact, and raises.
+    """
+    items: List[Dict] = []
+    raw_lines = text.split("\n")
+    terminated = text.endswith("\n")
+    if terminated:
+        raw_lines = raw_lines[:-1]  # the split artefact after the final \n
+    for index, line in enumerate(raw_lines):
+        last = index == len(raw_lines) - 1
+        try:
+            item = json.loads(line)
+            if not isinstance(item, dict):
+                raise ValueError("journal lines must be JSON objects")
+        except ValueError as exc:
+            if last:
+                return items, line
+            raise SimulationError(
+                f"corrupt journal line {index + 1}: {line!r}"
+            ) from exc
+        if last and not terminated:
+            # parses, but the newline never made it to disk: the write
+            # was not durably complete, so treat it as torn
+            return items, line
+        items.append(item)
+    return items, None
+
+
+def heal_journal(path) -> JournalHeal:
+    """Repair a journal in place back to its last durable item.
+
+    Truncates a torn trailing line (crash mid-write) and drops a trailing
+    ``aborted`` footer (a *graceful* abort is not a seal -- the session it
+    marks can still be resumed).  Raises when the file is missing, not a
+    recording, or corrupt beyond a trailing-line tear.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SimulationError(f"no journal at {path}")
+    text = path.read_text(encoding="utf-8")
+    items, torn = _parse_lines(text)
+    if not items:
+        raise SimulationError(f"journal {path} has no intact header line")
+    if items[0].get("format") != RECORDING_FORMAT:
+        raise SimulationError(
+            f"{path} is not a {RECORDING_FORMAT} recording "
+            f"(format: {items[0].get('format')!r})"
+        )
+    dropped_aborted = False
+    if "aborted" in items[-1]:
+        items = items[:-1]
+        dropped_aborted = True
+    healed = "".join(
+        json.dumps(item, separators=(",", ":")) + "\n" for item in items
+    )
+    if torn is not None or dropped_aborted:
+        path.write_text(healed, encoding="utf-8")
+    n_events = sum(len(item.get("events", ())) for item in items)
+    n_mutations = sum(1 for item in items if "mutation" in item)
+    return JournalHeal(
+        n_events=n_events,
+        n_mutations=n_mutations,
+        truncated_torn_line=torn is not None,
+        dropped_aborted_footer=dropped_aborted,
+        sealed=any("summary" in item for item in items),
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -141,11 +322,24 @@ class Recording:
 
 
 def load_recording(path) -> Recording:
-    """Parse one recording file (loud on malformed or wrong-format files)."""
-    lines = Path(path).read_text(encoding="utf-8").splitlines()
-    if not lines:
+    """Parse one recording file (loud on malformed or wrong-format files).
+
+    A *torn trailing line* -- the footprint of a crash mid-write -- is
+    skipped with a warning rather than failing the whole recording: the
+    intact prefix is exactly the durable journal, which is what crash
+    recovery replays.  Corruption anywhere else still raises.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    items, torn = _parse_lines(text)
+    if torn is not None:
+        warnings.warn(
+            f"recording {path} ends in a torn line (crash mid-write); "
+            f"ignoring the {len(torn)}-byte tail",
+            stacklevel=2,
+        )
+    if not items:
         raise SimulationError(f"recording {path} is empty")
-    header = json.loads(lines[0])
+    header = items[0]
     if header.get("format") != RECORDING_FORMAT:
         raise SimulationError(
             f"{path} is not a {RECORDING_FORMAT} recording "
@@ -155,8 +349,7 @@ def load_recording(path) -> Recording:
     mutations: List[Tuple[int, Dict]] = []
     summary: Optional[Dict] = None
     aborted: Optional[str] = None
-    for line in lines[1:]:
-        item = json.loads(line)
+    for item in items[1:]:
         if "events" in item:
             events.extend(decode_events(item["events"]))
         elif "mutation" in item:

@@ -15,12 +15,24 @@ narrative description.  Client messages:
     Force the engine to drain everything ingested so far and ack.
 ``{"type": "end", "id": n}``
     Seal the stream; the server replies with the final summary.
+``{"type": "resume", "token": t}``
+    Only valid as the *first* client message: abandon the fresh session
+    and continue session ``t`` from its journal instead.  The server
+    replays the healed journal through the engine stream and answers
+    ``resumed`` with the durable watermark (or the recorded ``end``
+    summary when the journal turns out to be sealed).
 
 Server messages:
 
 ``{"type": "session", ...}``
-    Sent once on connect: scenario/strategy identity, universe sizes and
-    the engine batching parameters.
+    Sent once on connect: scenario/strategy identity, universe sizes,
+    the engine batching parameters, plus the session ``token`` (the
+    journal name, usable in ``resume`` after a lost connection) and
+    ``journal`` (whether the server records sessions at all).
+``{"type": "resumed", "token": t, "position": p, "n_mutations": m}``
+    Reply to ``resume``: the journal replayed cleanly and the session
+    continues after ``p`` request events and ``m`` mutations.  The
+    client rewinds both cursors and re-sends only unacked items.
 ``{"type": "ack", "id": n, "position": p, "served": s, "dropped": d,
 "congestion": c, "total_load": t}``
     Covers every client message with id <= ``n``.  The engine
@@ -29,8 +41,12 @@ Server messages:
 ``{"type": "end", "summary": {...}}``
     The canonical result record of the sealed stream (see
     :func:`repro.serve.batcher.result_record`).
-``{"type": "error", "message": ...}``
+``{"type": "error", "message": ..., "code": ..., "retry_after": ...}``
     Protocol or workload error; the connection closes after this.
+    ``code`` (optional) makes degradation structured: ``overloaded`` and
+    ``draining`` carry a ``retry_after`` hint in seconds and mean "come
+    back later", ``watchdog`` means the engine-pass deadline fired,
+    ``unknown-token``/``no-journal`` reject a ``resume``.
 
 The mutation encoding covers the closed mutation set of
 :mod:`repro.network.mutation`; :func:`mutation_from_dict` is its exact

@@ -1,0 +1,27 @@
+"""Shared fixtures for the chaos suite.
+
+Every test starts and ends with the fault plane off and the environment
+clean, so an installed plan never leaks into neighbouring tests (the
+injector is process-global by design -- that is what lets pool workers
+and the serving stack share one plan).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.sim.scenario import scenario_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plane(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return scenario_spec("storm", seed=0, small=True)

@@ -1,0 +1,148 @@
+"""The fault plane itself: plans, rules, determinism, activation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultError, InjectedFault
+from repro.faults import Fault, FaultInjector, FaultPlan, FaultRule
+
+
+class TestRules:
+    def test_at_fires_exactly_at_listed_hits(self):
+        rule = FaultRule(site="s", kind="drop", at=(2, 5))
+        fired = [hit for hit in range(1, 8) if rule.matches(hit, seed=0)]
+        assert fired == [2, 5]
+
+    def test_every_fires_every_kth_hit(self):
+        rule = FaultRule(site="s", kind="drop", every=3)
+        fired = [hit for hit in range(1, 10) if rule.matches(hit, seed=0)]
+        assert fired == [3, 6, 9]
+
+    def test_prob_is_a_pure_function_of_seed_site_hit(self):
+        rule = FaultRule(site="s", kind="drop", prob=0.5)
+        a = [rule.matches(hit, seed=3) for hit in range(1, 200)]
+        b = [rule.matches(hit, seed=3) for hit in range(1, 200)]
+        assert a == b
+        assert any(a) and not all(a)
+        # a different seed reshuffles which hits fire
+        c = [rule.matches(hit, seed=4) for hit in range(1, 200)]
+        assert a != c
+
+    def test_no_trigger_means_every_hit(self):
+        rule = FaultRule(site="s", kind="crash")
+        assert all(rule.matches(hit, seed=0) for hit in range(1, 5))
+
+    def test_conflicting_triggers_rejected(self):
+        with pytest.raises(FaultError):
+            FaultRule(site="s", kind="drop", at=(1,), every=2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultRule(site="s", kind="meteor")
+
+    def test_rule_roundtrips_through_dict(self):
+        rule = FaultRule(site="s", kind="stall", every=4, seconds=0.5)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestPlan:
+    def test_plan_roundtrips_through_json(self):
+        plan = FaultPlan(
+            seed=7,
+            rules=(
+                FaultRule(site="a", kind="drop", at=(1,)),
+                FaultRule(site="b", kind="kill", once="/tmp/x"),
+            ),
+        )
+        assert FaultPlan.from_spec(plan.to_json()) == plan
+
+    def test_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(seed=2, rules=(FaultRule(site="a", kind="crash"),))
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_spec(str(path)) == plan
+
+    def test_missing_file_and_bad_json_are_loud(self, tmp_path):
+        with pytest.raises(FaultError):
+            FaultPlan.from_spec(str(tmp_path / "nope.json"))
+        with pytest.raises(FaultError):
+            FaultPlan.from_spec("{not json")
+        with pytest.raises(FaultError):
+            FaultPlan.from_spec(json.dumps({"format": "bogus/v9"}))
+
+
+class TestInjector:
+    def test_per_site_hit_counters_are_independent(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule(site="a", kind="drop", at=(2,)),))
+        injector = FaultInjector(plan)
+        assert injector.check("b") is None  # does not advance site a
+        assert injector.check("a") is None  # hit 1
+        fault = injector.check("a")  # hit 2
+        assert fault == Fault(site="a", kind="drop", hit=2, seed=0)
+        assert injector.check("a") is None  # hit 3
+
+    def test_fired_faults_are_recorded_with_identity(self):
+        plan = FaultPlan(seed=9, rules=(FaultRule(site="a", kind="crash"),))
+        injector = FaultInjector(plan)
+        fault = injector.check("a")
+        assert injector.fired == [fault]
+        assert "seed=9" in fault.describe() and "site=a" in fault.describe()
+
+    def test_once_sentinel_limits_to_a_single_firing(self, tmp_path):
+        sentinel = tmp_path / "claimed"
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule(site="a", kind="kill", once=str(sentinel)),)
+        )
+        injector = FaultInjector(plan)
+        assert injector.check("a") is not None
+        assert sentinel.exists()
+        assert injector.check("a") is None  # claimed: never again
+        # a *different* injector (another process, in real runs) skips too
+        assert FaultInjector(plan).check("a") is None
+
+
+class TestActivation:
+    def test_off_path_returns_none_and_stays_off(self):
+        assert faults.fault_point("anything") is None
+        assert not faults.plan_active()
+        assert faults.active_plan() is None
+
+    def test_install_and_clear(self):
+        faults.install(FaultPlan(seed=1, rules=(FaultRule(site="x", kind="drop"),)))
+        assert faults.plan_active()
+        assert faults.fault_point("x").kind == "drop"
+        faults.clear()
+        assert faults.fault_point("x") is None
+
+    def test_env_var_activates_lazily(self, monkeypatch):
+        plan = FaultPlan(seed=5, rules=(FaultRule(site="e", kind="crash"),))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        faults.reset()
+        fault = faults.fault_point("e")
+        assert fault is not None and fault.seed == 5
+        assert faults.active_plan() == plan
+
+    def test_clear_does_not_rearm_from_env(self, monkeypatch):
+        plan = FaultPlan(seed=5, rules=(FaultRule(site="e", kind="crash"),))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        faults.reset()
+        assert faults.plan_active()
+        faults.clear()
+        assert faults.fault_point("e") is None  # env not re-read
+
+    def test_raise_fault_maps_kinds_to_exceptions(self):
+        def fault(kind):
+            return Fault(site="s", kind=kind, hit=1, seed=0)
+
+        with pytest.raises(ConnectionResetError):
+            faults.raise_fault(fault("drop"))
+        with pytest.raises(OSError):
+            faults.raise_fault(fault("disk-error"))
+        with pytest.raises(InjectedFault):
+            faults.raise_fault(fault("crash"))
+        with pytest.raises(InjectedFault):
+            faults.raise_fault(fault("torn-write"))

@@ -1,0 +1,178 @@
+"""Registry durability: atomic writes, torn-index recovery, `lab heal`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import InjectedFault
+from repro.faults import FaultPlan, FaultRule
+from repro.lab.registry import LabRegistry, scenario_entry
+from repro.sim.scenario import scenario_spec
+
+
+@pytest.fixture()
+def entry():
+    return scenario_entry(scenario_spec("zipf", seed=0, small=True), 0)
+
+
+@pytest.fixture()
+def entry2():
+    return scenario_entry(scenario_spec("zipf", seed=1, small=True), 1)
+
+
+RECORDS = [{"strategy": "edge-counter", "congestion": 3.0}]
+
+
+class TestAtomicWrites:
+    def test_record_leaves_no_temp_files(self, tmp_path, entry):
+        registry = LabRegistry(tmp_path / "reg")
+        registry.record(entry, RECORDS)
+        assert not list((tmp_path / "reg").rglob("*.tmp"))
+
+    def test_disk_error_fault_corrupts_nothing(self, tmp_path, entry, entry2):
+        registry = LabRegistry(tmp_path / "reg")
+        registry.record(entry, RECORDS)
+        intact_index = registry.index_path.read_bytes()
+        faults.install(
+            FaultPlan(
+                seed=0,
+                rules=(
+                    FaultRule(site="registry.write", kind="disk-error", at=(1,)),
+                ),
+            )
+        )
+        with pytest.raises(OSError):
+            registry.record(entry2, RECORDS)
+        faults.clear()
+        # the failed write touched nothing: old index intact, no artifact
+        assert registry.index_path.read_bytes() == intact_index
+        assert not registry.artifact_path(entry2.key).exists()
+        assert registry.has(entry.key) and not registry.has(entry2.key)
+
+    def test_interrupted_record_is_retried_to_identical_bytes(
+        self, tmp_path, entry
+    ):
+        # crash after the artifact but before the index: the orphan
+        # artifact is overwritten with identical bytes on retry
+        registry = LabRegistry(tmp_path / "reg")
+        faults.install(
+            FaultPlan(
+                seed=0,
+                rules=(
+                    FaultRule(site="registry.write", kind="disk-error", at=(2,)),
+                ),
+            )
+        )
+        with pytest.raises(OSError):
+            registry.record(entry, RECORDS)
+        faults.clear()
+        assert registry.artifact_path(entry.key).exists()  # orphan
+        assert not registry.has(entry.key)  # but not indexed: still missing
+        orphan = registry.artifact_path(entry.key).read_bytes()
+        registry.record(entry, RECORDS)
+        assert registry.artifact_path(entry.key).read_bytes() == orphan
+        assert registry.has(entry.key)
+
+
+class TestTornIndexRecovery:
+    def test_torn_index_write_heals_including_the_interrupted_entry(
+        self, tmp_path, entry, entry2
+    ):
+        registry = LabRegistry(tmp_path / "reg")
+        registry.record(entry, RECORDS)
+        # tear the *index* rewrite of the second record (hit 1 is its
+        # artifact): the legacy in-place failure mode _durable_write and
+        # heal() exist for
+        faults.install(
+            FaultPlan(
+                seed=0,
+                rules=(
+                    FaultRule(site="registry.write", kind="torn-write", at=(2,)),
+                ),
+            )
+        )
+        with pytest.raises(InjectedFault):
+            registry.record(entry2, RECORDS)
+        faults.clear()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(registry.index_path.read_text())  # really torn
+
+        index = registry.load_index()  # auto-quarantine + rebuild
+        assert (tmp_path / "reg" / "index.json.corrupt").exists()
+        # artifacts are the source of truth: the rebuilt index contains
+        # *both* entries -- the artifact of the interrupted record was
+        # already durable, so healing completes the interrupted write
+        assert entry.key.as_string() in index
+        assert entry2.key.as_string() in index
+        assert registry.has(entry.key) and registry.has(entry2.key)
+
+    def test_healed_index_is_byte_identical_to_uninterrupted(
+        self, tmp_path, entry, entry2
+    ):
+        torn = LabRegistry(tmp_path / "torn")
+        clean = LabRegistry(tmp_path / "clean")
+        for registry in (torn, clean):
+            registry.record(entry, RECORDS)
+            registry.record(entry2, RECORDS)
+        torn.index_path.write_text('{"format": "repro.lab-ind')
+        torn.load_index()
+        assert torn.index_path.read_bytes() == clean.index_path.read_bytes()
+
+    def test_heal_quarantines_rotten_artifacts(self, tmp_path, entry, entry2):
+        registry = LabRegistry(tmp_path / "reg")
+        registry.record(entry, RECORDS)
+        registry.record(entry2, RECORDS)
+        victim = registry.artifact_path(entry2.key)
+        victim.write_text('{"format": "repro.lab-artifact/v1", "name"')
+        report = registry.heal()
+        assert report["entries"] == 1
+        assert len(report["quarantined"]) == 1
+        assert victim.with_name(victim.name + ".corrupt").exists()
+        assert not victim.exists()
+        # the quarantined run now counts as missing: run-missing re-runs it
+        assert registry.has(entry.key)
+        assert not registry.has(entry2.key)
+        assert registry.missing([entry, entry2]) == [entry2]
+
+
+class TestHealCli:
+    def test_lab_heal_command_rebuilds_a_corrupt_index(
+        self, tmp_path, entry, entry2
+    ):
+        import io
+
+        from repro.cli import main
+
+        registry = LabRegistry(tmp_path / "reg")
+        registry.record(entry, RECORDS)
+        registry.record(entry2, RECORDS)
+        intact = registry.index_path.read_bytes()
+        registry.index_path.write_text("{torn mid-write")
+
+        stream = io.StringIO()
+        code = main(
+            ["lab", "heal", "--registry", str(tmp_path / "reg")], stream=stream
+        )
+        assert code == 0
+        output = stream.getvalue()
+        assert "index.json.corrupt" in output
+        assert "2 entries" in output
+        assert registry.index_path.read_bytes() == intact
+
+    def test_lab_heal_on_a_healthy_registry_is_idempotent(self, tmp_path, entry):
+        import io
+
+        from repro.cli import main
+
+        registry = LabRegistry(tmp_path / "reg")
+        registry.record(entry, RECORDS)
+        intact = registry.index_path.read_bytes()
+        code = main(
+            ["lab", "heal", "--registry", str(tmp_path / "reg")],
+            stream=io.StringIO(),
+        )
+        assert code == 0
+        assert registry.index_path.read_bytes() == intact

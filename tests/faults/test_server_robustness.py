@@ -1,0 +1,223 @@
+"""Graceful degradation: watchdog, load shedding, drain, resume guards."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.serve import PlacementServer, ServerThread
+from repro.serve.loadgen import loadgen, run_loadgen, workload_from_spec
+from repro.serve.wire import encode_events, encode_message
+
+
+async def open_session(host, port):
+    """Connect and read the hello; returns (reader, writer, hello)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    hello = json.loads(await reader.readline())
+    return reader, writer, hello
+
+
+class TestWatchdog:
+    def test_stalled_engine_pass_becomes_structured_error(self, spec):
+        faults.install(
+            FaultPlan(
+                seed=0,
+                rules=(
+                    FaultRule(
+                        site="server.engine", kind="stall", at=(1,), seconds=5.0
+                    ),
+                ),
+            )
+        )
+        events, _ = workload_from_spec(spec)
+
+        async def drive(host, port):
+            reader, writer, _ = await open_session(host, port)
+            writer.write(
+                encode_message(
+                    {
+                        "type": "requests",
+                        "id": 1,
+                        "events": encode_events(events[:3]),
+                    }
+                )
+            )
+            await writer.drain()
+            reply = json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=10)
+            )
+            writer.close()
+            return reply
+
+        server = PlacementServer(spec, watchdog=0.05)
+        started = time.monotonic()
+        with ServerThread(server) as (host, port):
+            reply = asyncio.run(drive(host, port))
+        assert time.monotonic() - started < 5.0  # did not sit out the stall
+        assert reply["type"] == "error"
+        assert reply["code"] == "watchdog"
+
+    def test_without_watchdog_a_fast_pass_is_untouched(self, spec):
+        events, mutations = workload_from_spec(spec)
+        server = PlacementServer(spec, watchdog=30.0, max_sessions=1)
+        with ServerThread(server) as (host, port):
+            stats = loadgen(host, port, events, mutations, batch=8)
+        assert stats["summary"]["n_events"] == len(events)
+
+
+class TestLoadShedding:
+    def test_connections_beyond_max_active_are_shed_with_retry_after(self, spec):
+        async def drive(host, port):
+            holder_reader, holder_writer, _ = await open_session(host, port)
+            reader, writer = await asyncio.open_connection(host, port)
+            shed = json.loads(await reader.readline())
+            writer.close()
+            holder_writer.write(encode_message({"type": "end", "id": 1}))
+            await holder_writer.drain()
+            await holder_reader.readline()
+            holder_writer.close()
+            return shed
+
+        server = PlacementServer(spec, max_active=1, retry_after=0.25)
+        with ServerThread(server) as (host, port):
+            shed = asyncio.run(drive(host, port))
+        assert shed["type"] == "error"
+        assert shed["code"] == "overloaded"
+        assert shed["retry_after"] == 0.25
+        assert server.sessions_shed == 1
+
+    def test_loadgen_honours_retry_after_and_gets_through(self, spec):
+        events, _ = workload_from_spec(spec)
+
+        async def scenario(host, port):
+            # hold the only slot, then release it while the client backs off
+            reader, writer, _ = await open_session(host, port)
+            task = asyncio.create_task(
+                run_loadgen(
+                    host,
+                    port,
+                    events[:16],
+                    batch=8,
+                    retries=20,
+                    backoff_base=0.01,
+                    timeout=10.0,
+                )
+            )
+            await asyncio.sleep(0.3)
+            writer.write(encode_message({"type": "end", "id": 1}))
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+            return await task
+
+        server = PlacementServer(spec, max_active=1, retry_after=0.05)
+        with ServerThread(server) as (host, port):
+            stats = asyncio.run(scenario(host, port))
+        assert stats["reconnects"] >= 1  # it was shed at least once
+        assert stats["summary"]["n_events"] == 16
+        assert server.sessions_shed >= 1
+
+
+class TestDrain:
+    def test_drain_sheds_new_lets_active_finish_then_stops(self, spec):
+        async def drive(host, port, thread):
+            reader, writer, _ = await open_session(host, port)
+            thread.drain()
+            deadline = time.monotonic() + 5
+            while not thread.server.draining:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.01)
+            late_reader, late_writer = await asyncio.open_connection(host, port)
+            shed = json.loads(await late_reader.readline())
+            late_writer.close()
+            writer.write(encode_message({"type": "end", "id": 1}))
+            await writer.drain()
+            end = json.loads(await reader.readline())
+            writer.close()
+            return shed, end
+
+        server = PlacementServer(spec)
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            shed, end = asyncio.run(drive(host, port, thread))
+        finally:
+            thread.stop()
+        assert shed["type"] == "error" and shed["code"] == "draining"
+        assert end["type"] == "end"  # the active session ran to completion
+        assert not thread._thread.is_alive()  # last session out stopped it
+
+    def test_drain_with_no_active_sessions_stops_immediately(self, spec):
+        server = PlacementServer(spec)
+        thread = ServerThread(server)
+        thread.start()
+        thread.drain()
+        thread._thread.join(timeout=5)
+        assert not thread._thread.is_alive()
+
+
+class TestResumeGuards:
+    def drive_resume(self, host, port, token):
+        async def drive():
+            reader, writer, _ = await open_session(host, port)
+            writer.write(encode_message({"type": "resume", "token": token}))
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            return reply
+
+        return asyncio.run(drive())
+
+    def test_unknown_token_is_a_coded_error(self, spec, tmp_path):
+        server = PlacementServer(spec, record_dir=tmp_path)
+        with ServerThread(server) as (host, port):
+            reply = self.drive_resume(host, port, "session-9999")
+        assert reply["type"] == "error"
+        assert reply["code"] == "unknown-token"
+
+    def test_path_traversal_tokens_are_rejected(self, spec, tmp_path):
+        server = PlacementServer(spec, record_dir=tmp_path)
+        with ServerThread(server) as (host, port):
+            reply = self.drive_resume(host, port, "../../../etc/passwd")
+        assert reply["code"] == "unknown-token"
+
+    def test_resume_without_record_dir_is_no_journal(self, spec):
+        server = PlacementServer(spec)
+        with ServerThread(server) as (host, port):
+            reply = self.drive_resume(host, port, "session-0001")
+        assert reply["code"] == "no-journal"
+
+    def test_torn_header_journal_reads_as_unknown_token(self, spec, tmp_path):
+        # the crash tore the header line itself: nothing was durable, so
+        # the client (which saw no acks) must be told to restart fresh
+        (tmp_path / "session-0042.jsonl").write_text('{"format": "repro.str')
+        server = PlacementServer(spec, record_dir=tmp_path)
+        with ServerThread(server) as (host, port):
+            reply = self.drive_resume(host, port, "session-0042")
+        assert reply["code"] == "unknown-token"
+
+
+class TestClientTimeouts:
+    def test_silent_server_trips_the_read_timeout(self, spec):
+        async def scenario():
+            async def black_hole(reader, writer):
+                await asyncio.sleep(3600)  # accept, say nothing
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with server:
+                with pytest.raises(Exception) as info:
+                    await run_loadgen(
+                        host, port, [], timeout=0.2, retries=0
+                    )
+            return info
+
+        started = time.monotonic()
+        info = asyncio.run(scenario())
+        assert time.monotonic() - started < 5.0  # bounded, not hung
+        assert "connection failed" in str(info.value)

@@ -79,12 +79,18 @@ class TestIndexDeterminism:
             b.record(entry, [{"x": 1}])
         assert a.index_path.read_bytes() == b.index_path.read_bytes()
 
-    def test_corrupt_index_raises(self, tmp_path):
+    def test_corrupt_index_is_quarantined_and_rebuilt(self, tmp_path):
+        # a torn index is a cache miss, not data loss: load_index
+        # quarantines it and rebuilds from the artifact payloads
         registry = LabRegistry(tmp_path / "reg")
-        registry.root.mkdir(parents=True)
+        entry = scenario_entry(scenario_spec("zipf", seed=0, small=True), 0)
+        registry.record(entry, [{"x": 1}])
+        intact = registry.index_path.read_bytes()
         registry.index_path.write_text("{not json")
-        with pytest.raises(LabError):
-            registry.load_index()
+        assert registry.load_index() == json.loads(intact)["entries"]
+        assert registry.index_path.read_bytes() == intact
+        assert (registry.root / "index.json.corrupt").exists()
+        assert registry.has(entry.key)
 
     def test_unknown_index_format_raises(self, tmp_path):
         registry = LabRegistry(tmp_path / "reg")
